@@ -1,0 +1,162 @@
+//! PairUpLight hyper-parameters.
+
+use tsc_rl::PpoConfig;
+
+/// How each agent's communication partner is chosen each step — the
+/// design choice ablated by the `ablation_pairing` experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PairingMode {
+    /// The paper's rule: the most congested upstream intersection,
+    /// falling back to self when nothing upstream is congested.
+    CongestedUpstream,
+    /// Always listen to your own previous message (no inter-agent
+    /// communication topology).
+    SelfLoop,
+    /// A uniformly random upstream neighbor each step.
+    RandomUpstream,
+}
+
+/// How the critic's input is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CriticMode {
+    /// Local observation only (the SingleAgentRL baseline and the
+    /// decentralized-critic ablation).
+    Local,
+    /// Centralized: local observation plus one-hop and two-hop neighbor
+    /// traffic, zero-padded at grid edges (paper §V-B, Eq. 9).
+    Centralized,
+}
+
+/// Full configuration of a PairUpLight model (paper §V, Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PairUpLightConfig {
+    /// PPO backbone hyper-parameters (γ, λ, clip ε, lr, β, K, M).
+    pub ppo: PpoConfig,
+    /// Width of the fully-connected trunk.
+    pub hidden: usize,
+    /// LSTM hidden width.
+    pub lstm_hidden: usize,
+    /// Communication bandwidth: number of 32-bit messages exchanged per
+    /// step. The paper finds 1 optimal (Table IV, Fig. 11); 0 disables
+    /// communication (the ablation of Fig. 8).
+    pub bandwidth: usize,
+    /// Standard deviation σ of the message regularizer
+    /// `m̂ = logistic(N(m, σ))` (Algorithm 1 line 16). Applied during
+    /// training only.
+    pub sigma: f32,
+    /// Weight of the message head's congestion-prediction auxiliary
+    /// loss (see DESIGN.md: this replaces cross-time channel
+    /// backpropagation, which the stored-buffer PPO of Algorithm 1
+    /// cannot provide).
+    pub message_coef: f32,
+    /// Communication-partner selection rule.
+    pub pairing: PairingMode,
+    /// Critic input assembly.
+    pub critic_mode: CriticMode,
+    /// Share one actor/critic across agents (paper: on for homogeneous
+    /// grids, off for Monaco).
+    pub parameter_sharing: bool,
+    /// ε-greedy exploration at the start of training.
+    pub eps_start: f32,
+    /// ε-greedy floor.
+    pub eps_end: f32,
+    /// Episodes over which ε decays linearly.
+    pub eps_decay_episodes: usize,
+    /// Multiplies raw rewards (Eq. 6 values are large negatives; the
+    /// networks train on `reward * reward_scale`).
+    pub reward_scale: f32,
+    /// Scaled rewards are clamped to `[-reward_clip, 0]`: under
+    /// gridlock the Eq. 6 waiting term grows without bound, which would
+    /// otherwise blow up the value targets and stall policy learning.
+    pub reward_clip: f32,
+    /// Execute the deployed policy stochastically (sample from π) or
+    /// greedily (argmax). PPO learns a stochastic policy whose phase
+    /// rotation lives partly in its randomness, so sampling is the
+    /// faithful execution mode.
+    pub stochastic_execution: bool,
+    /// Maximum phases any agent can select (action-space width).
+    pub max_phases: usize,
+    /// Seed for weight initialization and exploration.
+    pub seed: u64,
+}
+
+impl Default for PairUpLightConfig {
+    fn default() -> Self {
+        PairUpLightConfig {
+            ppo: PpoConfig {
+                gamma: 0.99,
+                lambda: 0.95,
+                clip: 0.2,
+                lr: 3e-4,
+                entropy_coef: 0.01,
+                value_coef: 0.25,
+                epochs: 4,
+                minibatch: 256,
+                max_grad_norm: 0.5,
+            },
+            hidden: 64,
+            lstm_hidden: 64,
+            bandwidth: 1,
+            sigma: 0.2,
+            message_coef: 0.1,
+            pairing: PairingMode::CongestedUpstream,
+            critic_mode: CriticMode::Centralized,
+            parameter_sharing: true,
+            eps_start: 0.15,
+            eps_end: 0.02,
+            eps_decay_episodes: 60,
+            reward_scale: 0.02,
+            reward_clip: 5.0,
+            stochastic_execution: true,
+            max_phases: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl PairUpLightConfig {
+    /// The no-communication ablation of Fig. 8 (same backbone, zero
+    /// bandwidth).
+    pub fn without_communication(mut self) -> Self {
+        self.bandwidth = 0;
+        self
+    }
+
+    /// The SingleAgentRL baseline: shared PPO policy, local critic, no
+    /// communication.
+    pub fn single_agent() -> Self {
+        PairUpLightConfig {
+            bandwidth: 0,
+            critic_mode: CriticMode::Local,
+            ..PairUpLightConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = PairUpLightConfig::default();
+        assert_eq!(c.bandwidth, 1, "a single 32-bit message (Table IV)");
+        assert_eq!(c.critic_mode, CriticMode::Centralized);
+        assert!(c.parameter_sharing);
+        assert_eq!(c.max_phases, 4);
+    }
+
+    #[test]
+    fn ablation_only_changes_bandwidth() {
+        let c = PairUpLightConfig::default().without_communication();
+        assert_eq!(c.bandwidth, 0);
+        assert_eq!(c.critic_mode, CriticMode::Centralized);
+    }
+
+    #[test]
+    fn single_agent_uses_local_critic() {
+        let c = PairUpLightConfig::single_agent();
+        assert_eq!(c.critic_mode, CriticMode::Local);
+        assert_eq!(c.bandwidth, 0);
+    }
+}

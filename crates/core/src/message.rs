@@ -1,0 +1,91 @@
+//! The message regularizer unit (Algorithm 1 line 16).
+//!
+//! The actor's raw message output `m` is regularized before it crosses
+//! the channel: `m̂ = Logistic(N(m, σ))` — Gaussian noise during
+//! training (forcing the protocol to be robust and effectively
+//! discretizing it, as in DIAL) followed by a logistic squash into
+//! `(0, 1)`. At evaluation time σ = 0.
+
+use rand::Rng;
+
+/// Applies the regularizer to a raw message vector.
+///
+/// With `sigma = 0` this is a plain logistic squash (evaluation mode).
+pub fn regularize<R: Rng>(raw: &[f32], sigma: f32, rng: &mut R) -> Vec<f32> {
+    raw.iter()
+        .map(|&m| {
+            let noisy = if sigma > 0.0 {
+                m + gaussian(rng) * sigma
+            } else {
+                m
+            };
+            logistic(noisy)
+        })
+        .collect()
+}
+
+/// The logistic function `1 / (1 + e^{-x})`.
+pub fn logistic(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    // Box–Muller.
+    let u1: f32 = rng.gen::<f32>().max(1e-12);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Communication accounting for Table IV: bits transmitted per agent
+/// per decision step given a message bandwidth (each message is one
+/// 32-bit scalar).
+pub fn bits_per_step(bandwidth: usize) -> usize {
+    bandwidth * 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let raw = [-100.0f32, -1.0, 0.0, 1.0, 100.0];
+        for _ in 0..50 {
+            for &v in &regularize(&raw, 0.5, &mut rng) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic_logistic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = regularize(&[0.0, 2.0], 0.0, &mut rng);
+        assert_eq!(out[0], 0.5);
+        assert!((out[1] - logistic(2.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_order_on_average() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 2000;
+        let mut lo_sum = 0.0;
+        let mut hi_sum = 0.0;
+        for _ in 0..n {
+            let out = regularize(&[-1.0, 1.0], 0.3, &mut rng);
+            lo_sum += out[0];
+            hi_sum += out[1];
+        }
+        assert!(hi_sum / n as f32 > lo_sum / n as f32 + 0.2);
+    }
+
+    #[test]
+    fn table_iv_bit_accounting() {
+        assert_eq!(bits_per_step(1), 32, "PairUpLight: one 32-bit message");
+        assert_eq!(bits_per_step(2), 64);
+        assert_eq!(bits_per_step(0), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The coordinated Actor and centralized Critic networks (paper Fig. 5).
+//!
+//! Both networks share the same shape — a fully-connected trunk into an
+//! LSTM — and diverge at the heads: the actor emits an action
+//! distribution *and* a raw outgoing message (Eq. 8); the critic emits
+//! a scalar value (Eq. 9). As in the paper, actor and critic are fully
+//! separate networks (no shared trunk). Hidden LSTM states are carried
+//! by the caller and stored in the rollout buffer (Algorithm 1
+//! line 20), giving truncated backpropagation-through-time of length 1.
+
+use rand::Rng;
+
+use tsc_nn::{Graph, Init, Linear, LstmCell, LstmState, Params, Tensor, Var};
+
+/// The coordinated actor: `FC → LSTM → {policy head, message head}`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ActorNet {
+    fc: Linear,
+    lstm: LstmCell,
+    policy_head: Linear,
+    message_head: Option<Linear>,
+    obs_dim: usize,
+    bandwidth: usize,
+}
+
+/// Output of one actor forward pass (graph nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct ActorOut {
+    /// `batch × max_phases` policy logits.
+    pub logits: Var,
+    /// `batch × bandwidth` raw outgoing messages (`None` when the
+    /// communication module is ablated).
+    pub message: Option<Var>,
+    /// LSTM hidden output (graph node), for further heads if needed.
+    pub h: Var,
+}
+
+impl ActorNet {
+    /// Builds an actor for `obs_dim`-dimensional local observations,
+    /// `bandwidth` incoming/outgoing messages and `max_phases` actions.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        obs_dim: usize,
+        bandwidth: usize,
+        hidden: usize,
+        lstm_hidden: usize,
+        max_phases: usize,
+        rng: &mut R,
+    ) -> Self {
+        let input_dim = obs_dim + bandwidth;
+        let fc = Linear::new(
+            params,
+            "actor.fc",
+            input_dim,
+            hidden,
+            Init::Orthogonal {
+                gain: 2f32.sqrt(),
+            },
+            rng,
+        );
+        let lstm = LstmCell::new(params, "actor.lstm", hidden, lstm_hidden, rng);
+        let policy_head = Linear::new(
+            params,
+            "actor.pi",
+            lstm_hidden,
+            max_phases,
+            Init::Orthogonal { gain: 0.01 },
+            rng,
+        );
+        let message_head = (bandwidth > 0).then(|| {
+            Linear::new(
+                params,
+                "actor.msg",
+                lstm_hidden,
+                bandwidth,
+                Init::Orthogonal { gain: 0.5 },
+                rng,
+            )
+        });
+        ActorNet {
+            fc,
+            lstm,
+            policy_head,
+            message_head,
+            obs_dim,
+            bandwidth,
+        }
+    }
+
+    /// Local-observation dimension (message excluded).
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Message bandwidth.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// LSTM hidden width.
+    pub fn lstm_hidden(&self) -> usize {
+        self.lstm.hidden()
+    }
+
+    /// Forward pass from an already-assembled input
+    /// `[obs ⊕ incoming message]` (`batch × (obs_dim + bandwidth)`)
+    /// and explicit previous LSTM state vars.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+    ) -> (ActorOut, Var) {
+        let z = self.fc.forward(g, params, x);
+        let z = g.relu(z);
+        let (h, c) = self.lstm.forward(g, params, z, h_prev, c_prev);
+        let logits = self.policy_head.forward(g, params, h);
+        let message = self
+            .message_head
+            .as_ref()
+            .map(|mh| mh.forward(g, params, h));
+        (
+            ActorOut {
+                logits,
+                message,
+                h,
+            },
+            c,
+        )
+    }
+
+    /// Convenience single-step forward from plain tensors: returns
+    /// logits, raw message row-major data, and the next LSTM state.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        input: Tensor,
+        state: &LstmState,
+    ) -> (ActorOut, LstmState) {
+        let x = g.input(input);
+        let h_prev = g.input(state.h.clone());
+        let c_prev = g.input(state.c.clone());
+        let (out, c) = self.forward(g, params, x, h_prev, c_prev);
+        let next = LstmState {
+            h: g.value(out.h).clone(),
+            c: g.value(c).clone(),
+        };
+        (out, next)
+    }
+}
+
+/// The centralized critic: `FC → LSTM → value` (Eq. 9).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CriticNet {
+    fc: Linear,
+    lstm: LstmCell,
+    value_head: Linear,
+    input_dim: usize,
+}
+
+impl CriticNet {
+    /// Builds a critic for `input_dim`-dimensional inputs (local or
+    /// centralized, per [`CriticMode`](crate::config::CriticMode)).
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        input_dim: usize,
+        hidden: usize,
+        lstm_hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fc = Linear::new(
+            params,
+            "critic.fc",
+            input_dim,
+            hidden,
+            Init::Orthogonal {
+                gain: 2f32.sqrt(),
+            },
+            rng,
+        );
+        let lstm = LstmCell::new(params, "critic.lstm", hidden, lstm_hidden, rng);
+        let value_head = Linear::new(
+            params,
+            "critic.v",
+            lstm_hidden,
+            1,
+            Init::Orthogonal { gain: 1.0 },
+            rng,
+        );
+        CriticNet {
+            fc,
+            lstm,
+            value_head,
+            input_dim,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// LSTM hidden width.
+    pub fn lstm_hidden(&self) -> usize {
+        self.lstm.hidden()
+    }
+
+    /// Forward pass with explicit previous-state vars; returns the
+    /// `batch × 1` value node and the new `(h, c)` nodes.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+    ) -> (Var, Var, Var) {
+        let z = self.fc.forward(g, params, x);
+        let z = g.relu(z);
+        let (h, c) = self.lstm.forward(g, params, z, h_prev, c_prev);
+        let v = self.value_head.forward(g, params, h);
+        (v, h, c)
+    }
+
+    /// Single-step forward from plain tensors.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        input: Tensor,
+        state: &LstmState,
+    ) -> (Var, LstmState) {
+        let x = g.input(input);
+        let h_prev = g.input(state.h.clone());
+        let c_prev = g.input(state.c.clone());
+        let (v, h, c) = self.forward(g, params, x, h_prev, c_prev);
+        let next = LstmState {
+            h: g.value(h).clone(),
+            c: g.value(c).clone(),
+        };
+        (v, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn actor_emits_policy_and_message() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut params = Params::new();
+        let actor = ActorNet::new(&mut params, 20, 1, 32, 32, 4, &mut rng);
+        let mut g = Graph::new();
+        let state = LstmState::zeros(3, 32);
+        let input = Tensor::zeros(3, 21);
+        let (out, next) = actor.step(&mut g, &params, input, &state);
+        assert_eq!(g.value(out.logits).shape(), (3, 4));
+        assert_eq!(g.value(out.message.unwrap()).shape(), (3, 1));
+        assert_eq!(next.h.shape(), (3, 32));
+    }
+
+    #[test]
+    fn zero_bandwidth_actor_has_no_message_head() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let actor = ActorNet::new(&mut params, 20, 0, 32, 32, 4, &mut rng);
+        let mut g = Graph::new();
+        let (out, _) = actor.step(
+            &mut g,
+            &params,
+            Tensor::zeros(1, 20),
+            &LstmState::zeros(1, 32),
+        );
+        assert!(out.message.is_none());
+    }
+
+    #[test]
+    fn actor_policy_depends_on_incoming_message() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let actor = ActorNet::new(&mut params, 4, 1, 16, 16, 4, &mut rng);
+        let state = LstmState::zeros(1, 16);
+        let run = |msg: f32| {
+            let mut g = Graph::new();
+            let mut input = Tensor::zeros(1, 5);
+            input.set(0, 4, msg);
+            let (out, _) = actor.step(&mut g, &params, input, &state);
+            g.value(out.logits).clone()
+        };
+        assert_ne!(run(0.0), run(1.0), "message reaches the policy");
+    }
+
+    #[test]
+    fn critic_value_is_scalar_per_row() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let critic = CriticNet::new(&mut params, 36, 32, 32, &mut rng);
+        let mut g = Graph::new();
+        let (v, next) = critic.step(
+            &mut g,
+            &params,
+            Tensor::zeros(5, 36),
+            &LstmState::zeros(5, 32),
+        );
+        assert_eq!(g.value(v).shape(), (5, 1));
+        assert_eq!(next.c.shape(), (5, 32));
+    }
+
+    #[test]
+    fn actor_and_critic_have_separate_parameters() {
+        // Paper §V-A: completely separate networks.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut actor_params = Params::new();
+        let _actor = ActorNet::new(&mut actor_params, 20, 1, 32, 32, 4, &mut rng);
+        let mut critic_params = Params::new();
+        let _critic = CriticNet::new(&mut critic_params, 36, 32, 32, &mut rng);
+        assert!(actor_params.num_scalars() > 0);
+        assert!(critic_params.num_scalars() > 0);
+        // Separate Params sets: updating one cannot touch the other.
+        assert_ne!(
+            actor_params.num_scalars(),
+            0,
+            "actor owns its own parameters"
+        );
+    }
+}

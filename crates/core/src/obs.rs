@@ -1,0 +1,268 @@
+//! Observation encoding: from detector snapshots to network inputs.
+//!
+//! The actor consumes the paper's Eq. 5 state — link-level pressure
+//! components and head-vehicle waits — arranged in fixed direction
+//! slots (N, E, S, W) so every intersection, regardless of degree,
+//! produces the same vector length (missing approaches are zero,
+//! the same padding trick the paper uses for edge intersections).
+//!
+//! The centralized critic additionally sees one-hop and two-hop
+//! neighbor congestion summaries (paper §V-B), zero-padded to fixed
+//! slot counts.
+
+use std::collections::HashMap;
+
+use tsc_sim::{IntersectionObs, Network, NodeId};
+
+/// Slots reserved for one-hop neighbors in the critic input.
+pub const ONE_HOP_SLOTS: usize = 4;
+/// Slots reserved for two-hop neighbors in the critic input.
+pub const TWO_HOP_SLOTS: usize = 8;
+/// Features per direction slot in the local observation:
+/// `[in_count, halting, halt_left, halt_through, halt_right,
+/// head_wait]` — counts plus the paper's per-movement queues.
+const IN_FEATURES: usize = 6;
+/// Outgoing features per direction slot: `[out_count]`.
+const OUT_FEATURES: usize = 1;
+/// Per-neighbor features in the critic input: `[pressure, max_wait]`.
+const NEIGHBOR_FEATURES: usize = 2;
+
+/// Normalization constants (counts are detector-bounded, waits in
+/// seconds).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObsNorm {
+    /// Vehicle counts are divided by this.
+    pub count: f32,
+    /// Waiting times are divided by this.
+    pub wait: f32,
+}
+
+impl Default for ObsNorm {
+    fn default() -> Self {
+        ObsNorm {
+            count: 10.0,
+            wait: 120.0,
+        }
+    }
+}
+
+/// Encodes detector snapshots into fixed-size network inputs.
+#[derive(Debug, Clone)]
+pub struct ObsEncoder {
+    norm: ObsNorm,
+    max_phases: usize,
+    /// Agent index of each signalized node.
+    agent_of: HashMap<NodeId, usize>,
+    /// One-hop neighbor agent indices per agent (≤ 4, direction order).
+    one_hop: Vec<Vec<usize>>,
+    /// Two-hop neighbor agent indices per agent (≤ 8).
+    two_hop: Vec<Vec<usize>>,
+}
+
+impl ObsEncoder {
+    /// Builds the encoder for `agents` (in canonical order) on `network`.
+    pub fn new(network: &Network, agents: &[NodeId], max_phases: usize, norm: ObsNorm) -> Self {
+        let agent_of: HashMap<NodeId, usize> =
+            agents.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let one_hop = agents
+            .iter()
+            .map(|&n| {
+                network
+                    .signalized_neighbors(n)
+                    .into_iter()
+                    .filter_map(|m| agent_of.get(&m).copied())
+                    .take(ONE_HOP_SLOTS)
+                    .collect()
+            })
+            .collect();
+        let two_hop = agents
+            .iter()
+            .map(|&n| {
+                network
+                    .two_hop_signalized_neighbors(n)
+                    .into_iter()
+                    .filter_map(|m| agent_of.get(&m).copied())
+                    .take(TWO_HOP_SLOTS)
+                    .collect()
+            })
+            .collect();
+        ObsEncoder {
+            norm,
+            max_phases,
+            agent_of,
+            one_hop,
+            two_hop,
+        }
+    }
+
+    /// Dimension of the local (actor) observation vector.
+    pub fn local_dim(&self) -> usize {
+        4 * IN_FEATURES + 4 * OUT_FEATURES + self.max_phases
+    }
+
+    /// Dimension of the centralized critic observation vector.
+    pub fn critic_dim(&self) -> usize {
+        self.local_dim()
+            + ONE_HOP_SLOTS * NEIGHBOR_FEATURES
+            + TWO_HOP_SLOTS * (NEIGHBOR_FEATURES - 1)
+    }
+
+    /// One-hop neighbor agent indices of `agent`.
+    pub fn one_hop(&self, agent: usize) -> &[usize] {
+        &self.one_hop[agent]
+    }
+
+    /// Two-hop neighbor agent indices of `agent`.
+    pub fn two_hop(&self, agent: usize) -> &[usize] {
+        &self.two_hop[agent]
+    }
+
+    /// Agent index of a signalized node, if it is an agent.
+    pub fn agent_of(&self, node: NodeId) -> Option<usize> {
+        self.agent_of.get(&node).copied()
+    }
+
+    /// Encodes the local observation (Eq. 5 plus the current phase).
+    pub fn encode_local(&self, obs: &IntersectionObs) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.local_dim()];
+        for link in &obs.incoming {
+            let d = link.direction.index();
+            v[d * IN_FEATURES] = link.count as f32 / self.norm.count;
+            v[d * IN_FEATURES + 1] = link.halting as f32 / self.norm.count;
+            for (k, &h) in link.halting_by_movement.iter().enumerate() {
+                v[d * IN_FEATURES + 2 + k] = h as f32 / self.norm.count;
+            }
+            v[d * IN_FEATURES + 5] = link.head_wait as f32 / self.norm.wait;
+        }
+        let out_base = 4 * IN_FEATURES;
+        // Outgoing links arrive direction-sorted; pack positionally
+        // (intersections with fewer than four exits leave zeros).
+        for (i, &count) in obs.outgoing_counts.iter().enumerate() {
+            v[out_base + i.min(3)] += count as f32 / self.norm.count;
+        }
+        let phase_base = out_base + 4;
+        if obs.current_phase < self.max_phases {
+            v[phase_base + obs.current_phase] = 1.0;
+        }
+        v
+    }
+
+    /// Congestion summary `[pressure, max_wait]` (normalized) of one
+    /// intersection, used for neighbor slots.
+    pub fn congestion_summary(&self, obs: &IntersectionObs) -> [f32; 2] {
+        [
+            obs.pressure() as f32 / self.norm.count,
+            obs.max_wait() as f32 / self.norm.wait,
+        ]
+    }
+
+    /// Encodes the centralized critic input for `agent` given the joint
+    /// observation (one `IntersectionObs` per agent, in agent order).
+    pub fn encode_critic(&self, all: &[IntersectionObs], agent: usize) -> Vec<f32> {
+        let mut v = self.encode_local(&all[agent]);
+        for slot in 0..ONE_HOP_SLOTS {
+            match self.one_hop[agent].get(slot) {
+                Some(&n) => {
+                    let s = self.congestion_summary(&all[n]);
+                    v.extend_from_slice(&s);
+                }
+                None => v.extend_from_slice(&[0.0, 0.0]),
+            }
+        }
+        for slot in 0..TWO_HOP_SLOTS {
+            match self.two_hop[agent].get(slot) {
+                Some(&n) => v.push(self.congestion_summary(&all[n])[0]),
+                None => v.push(0.0),
+            }
+        }
+        v
+    }
+
+    /// The message head's auxiliary target: the agent's own normalized
+    /// congestion (halting + pressure), clamped to `[-1, 1]` to match
+    /// the logistic message range after centring.
+    pub fn message_target(&self, obs: &IntersectionObs) -> f32 {
+        let c = (obs.total_halting() + obs.pressure().max(0.0)) as f32 / (2.0 * self.norm.count);
+        c.clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_sim::scenario::grid::{Grid, GridConfig};
+    use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+    use tsc_sim::{SimConfig, Simulation};
+
+    fn setup() -> (Simulation, ObsEncoder) {
+        let grid = Grid::build(GridConfig::default()).unwrap();
+        let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+        let scenario = grid.scenario("t", f).unwrap();
+        let sim = Simulation::new(&scenario, SimConfig::default(), 3).unwrap();
+        let agents = scenario.agents();
+        let enc = ObsEncoder::new(&scenario.network, &agents, 4, ObsNorm::default());
+        (sim, enc)
+    }
+
+    #[test]
+    fn dimensions_are_fixed_across_agents() {
+        let (mut sim, enc) = setup();
+        for _ in 0..50 {
+            sim.step();
+        }
+        let all = sim.observe_all();
+        assert_eq!(enc.local_dim(), 32);
+        assert_eq!(enc.critic_dim(), 32 + 8 + 8);
+        for (i, o) in all.iter().enumerate() {
+            assert_eq!(enc.encode_local(o).len(), enc.local_dim());
+            assert_eq!(enc.encode_critic(&all, i).len(), enc.critic_dim());
+        }
+    }
+
+    #[test]
+    fn phase_one_hot_is_set() {
+        let (sim, enc) = setup();
+        let all = sim.observe_all();
+        let v = enc.encode_local(&all[0]);
+        let phase_slice = &v[28..32];
+        assert_eq!(phase_slice.iter().sum::<f32>(), 1.0);
+        assert_eq!(phase_slice[all[0].current_phase], 1.0);
+    }
+
+    #[test]
+    fn edge_agents_get_zero_padded_neighbors() {
+        let (_, enc) = setup();
+        // Agent 0 is the (0,0) corner: 2 one-hop, 3 two-hop.
+        assert_eq!(enc.one_hop(0).len(), 2);
+        assert_eq!(enc.two_hop(0).len(), 3);
+        // An interior agent has full slots.
+        let interior = 2 * 6 + 2; // (2,2) in col-major agent order
+        assert_eq!(enc.one_hop(interior).len(), 4);
+        assert_eq!(enc.two_hop(interior).len(), 8);
+    }
+
+    #[test]
+    fn congestion_changes_critic_input() {
+        let (mut sim, enc) = setup();
+        let all0 = sim.observe_all();
+        let before = enc.encode_critic(&all0, 7);
+        for _ in 0..400 {
+            sim.step(); // queues build at defaults (phase 0 held)
+        }
+        let all1 = sim.observe_all();
+        let after = enc.encode_critic(&all1, 7);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn message_target_is_bounded() {
+        let (mut sim, enc) = setup();
+        for _ in 0..500 {
+            sim.step();
+        }
+        for o in sim.observe_all() {
+            let t = enc.message_target(&o);
+            assert!((-1.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for PairUpLight's observation encoding,
+//! message regularizer, and pairing rule.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pairuplight::message::{bits_per_step, regularize};
+use pairuplight::{ObsEncoder, ObsNorm, PairingTable};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::{Direction, IntersectionObs, LinkId, LinkObs, NodeId};
+
+fn grid_setup(cols: usize, rows: usize) -> (Grid, Vec<NodeId>, ObsEncoder, PairingTable) {
+    let grid = Grid::build(GridConfig {
+        cols,
+        rows,
+        spacing: 200.0,
+    })
+    .expect("grid");
+    let agents = grid.network().signalized_nodes();
+    let enc = ObsEncoder::new(grid.network(), &agents, 4, ObsNorm::default());
+    let table = PairingTable::new(grid.network(), &agents, &enc);
+    (grid, agents, enc, table)
+}
+
+fn arbitrary_obs(node: NodeId, halting: f64, wait: f64, phase: usize) -> IntersectionObs {
+    let left = (halting / 3.0).floor();
+    let right = (halting / 4.0).floor();
+    let through = halting - left - right;
+    IntersectionObs {
+        node,
+        time: 0,
+        incoming: vec![LinkObs {
+            link: LinkId(0),
+            direction: Direction::East,
+            count: halting + 1.0,
+            halting,
+            halting_by_movement: [left, through, right],
+            head_wait: wait,
+        }],
+        outgoing_counts: vec![0.5],
+        outgoing_links: vec![LinkId(1)],
+        current_phase: phase % 4,
+        num_phases: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The regularizer always lands in (0, 1) for any input and σ.
+    #[test]
+    fn regularizer_output_in_unit_interval(
+        raw in proptest::collection::vec(-50.0f32..50.0, 0..6),
+        sigma in 0.0f32..3.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = regularize(&raw, sigma, &mut rng);
+        prop_assert_eq!(out.len(), raw.len());
+        for v in out {
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Bit accounting is linear in bandwidth.
+    #[test]
+    fn bits_are_linear(bw in 0usize..64) {
+        prop_assert_eq!(bits_per_step(bw), 32 * bw);
+    }
+
+    /// Local encodings always have the advertised dimension and finite
+    /// entries, for any congestion level.
+    #[test]
+    fn encoding_dimension_is_stable(
+        halting in 0.0f64..500.0,
+        wait in 0.0f64..10_000.0,
+        phase in 0usize..10,
+    ) {
+        let (_, agents, enc, _) = grid_setup(2, 2);
+        let obs = arbitrary_obs(agents[0], halting.floor(), wait, phase);
+        let v = enc.encode_local(&obs);
+        prop_assert_eq!(v.len(), enc.local_dim());
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+        let target = enc.message_target(&obs);
+        prop_assert!((0.0..=1.0).contains(&(target as f64)) || (-1.0..=1.0).contains(&(target as f64)));
+    }
+
+    /// Partners are always valid agent indices, and always either the
+    /// agent itself or one of its upstream neighbors.
+    #[test]
+    fn partners_are_upstream_or_self(
+        congestion in proptest::collection::vec(0.0f64..50.0, 9),
+        wait in 0.0f64..500.0,
+    ) {
+        let (_, agents, _, table) = grid_setup(3, 3);
+        let obs: Vec<IntersectionObs> = agents
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| arbitrary_obs(n, congestion[i].floor(), wait, 0))
+            .collect();
+        let partners = table.partners(&obs);
+        prop_assert_eq!(partners.len(), agents.len());
+        for (a, &p) in partners.iter().enumerate() {
+            prop_assert!(p < agents.len());
+            prop_assert!(
+                p == a || table.upstream(a).contains(&p),
+                "agent {a} paired with non-upstream {p}"
+            );
+        }
+    }
+
+    /// Random pairing also stays within the upstream-or-self set.
+    #[test]
+    fn random_partners_are_upstream_or_self(seed in 0u64..300) {
+        let (_, agents, _, table) = grid_setup(3, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partners = table.random_partners(&mut rng);
+        for (a, &p) in partners.iter().enumerate() {
+            prop_assert!(p == a || table.upstream(a).contains(&p));
+        }
+        let selfs = table.self_partners();
+        for (a, &p) in selfs.iter().enumerate() {
+            prop_assert_eq!(p, a);
+        }
+    }
+
+    /// Critic encodings for different agents at the same joint state
+    /// have identical length (padding works at edges and corners).
+    #[test]
+    fn critic_dims_uniform_across_agents(congestion in 0.0f64..40.0) {
+        let (_, agents, enc, _) = grid_setup(3, 3);
+        let obs: Vec<IntersectionObs> = agents
+            .iter()
+            .map(|&n| arbitrary_obs(n, congestion.floor(), 10.0, 1))
+            .collect();
+        for a in 0..agents.len() {
+            prop_assert_eq!(enc.encode_critic(&obs, a).len(), enc.critic_dim());
+        }
+    }
+}

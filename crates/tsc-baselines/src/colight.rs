@@ -1,0 +1,526 @@
+//! The CoLight baseline (Wei et al., 2019; paper §VI-B): a
+//! parameter-shared deep Q-network whose state embedding is a graph
+//! attention over the intersection's one-hop neighborhood.
+//!
+//! For each agent, the observations of itself and its (up to four)
+//! neighbors are embedded, attention weights are computed between the
+//! agent's query and all keys (missing neighbor slots are masked out),
+//! and the attended context is concatenated with the self-embedding
+//! before the Q head. Training is standard DQN: shared replay over all
+//! agents, target network, ε-greedy exploration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pairuplight::{ObsEncoder, ObsNorm};
+use tsc_nn::{Adam, Graph, Init, Linear, Params, Tensor, Var};
+use tsc_rl::buffer::{ReplayBuffer, ReplayTransition};
+use tsc_rl::distribution::LinearSchedule;
+use tsc_rl::dqn::DqnConfig;
+use tsc_sim::{Controller, EpisodeStats, IntersectionObs, SimError, TscEnv};
+
+/// Number of neighbor slots in the attention (4-neighborhood + self).
+const NEIGHBOR_SLOTS: usize = 4;
+
+/// CoLight hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoLightConfig {
+    /// DQN backbone settings.
+    pub dqn: DqnConfig,
+    /// Embedding width of the graph attention.
+    pub embed: usize,
+    /// Action-space width.
+    pub max_phases: usize,
+    /// Reward scaling.
+    pub reward_scale: f32,
+    /// Scaled rewards are clamped to `[-reward_clip, 0]` (gridlock
+    /// waits are unbounded).
+    pub reward_clip: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for CoLightConfig {
+    fn default() -> Self {
+        CoLightConfig {
+            dqn: DqnConfig::default(),
+            embed: 32,
+            max_phases: 4,
+            reward_scale: 0.02,
+            reward_clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The attention + Q-head network (one shared instance).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct ColightNet {
+    embed: Linear,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    out: Linear,
+    head: Linear,
+    embed_dim: usize,
+    obs_dim: usize,
+}
+
+impl ColightNet {
+    fn new<R: Rng>(
+        params: &mut Params,
+        obs_dim: usize,
+        embed_dim: usize,
+        max_phases: usize,
+        rng: &mut R,
+    ) -> Self {
+        let gain = Init::Orthogonal {
+            gain: 2f32.sqrt(),
+        };
+        ColightNet {
+            embed: Linear::new(params, "colight.embed", obs_dim, embed_dim, gain, rng),
+            wq: Linear::new(params, "colight.wq", embed_dim, embed_dim, gain, rng),
+            wk: Linear::new(params, "colight.wk", embed_dim, embed_dim, gain, rng),
+            wv: Linear::new(params, "colight.wv", embed_dim, embed_dim, gain, rng),
+            out: Linear::new(params, "colight.out", 2 * embed_dim, embed_dim, gain, rng),
+            head: Linear::new(
+                params,
+                "colight.q",
+                embed_dim,
+                max_phases,
+                Init::Orthogonal { gain: 0.1 },
+                rng,
+            ),
+            embed_dim,
+            obs_dim,
+        }
+    }
+
+    /// Forward for one agent: `rows` = `[self, n0..n3]` (5 × obs_dim,
+    /// zero rows for missing slots), `mask` = `1 × 5` additive scores
+    /// (0 for valid slots, −1e9 for missing). Returns the `1 ×
+    /// max_phases` Q node.
+    fn forward(&self, g: &mut Graph, params: &Params, rows: Tensor, mask: Tensor) -> Var {
+        let x = g.input(rows);
+        let e_pre = self.embed.forward(g, params, x);
+        let e = g.relu(e_pre); // 5 × d
+        let sel = g.input(Tensor::from_rows(&[&[1.0, 0.0, 0.0, 0.0, 0.0]]));
+        let e_self = g.matmul(sel, e); // 1 × d
+        let q = self.wq.forward(g, params, e_self); // 1 × d
+        let k = self.wk.forward(g, params, e); // 5 × d
+        let v = self.wv.forward(g, params, e); // 5 × d
+        let kt = g.transpose(k); // d × 5
+        let scores_raw = g.matmul(q, kt); // 1 × 5
+        let scaled = g.scale(scores_raw, 1.0 / (self.embed_dim as f32).sqrt());
+        let m = g.input(mask);
+        let masked = g.add(scaled, m);
+        let alpha = g.softmax(masked); // 1 × 5
+        let ctx = g.matmul(alpha, v); // 1 × d
+        let cat = g.concat_cols(e_self, ctx); // 1 × 2d
+        let hid_pre = self.out.forward(g, params, cat);
+        let hid = g.relu(hid_pre);
+        self.head.forward(g, params, hid)
+    }
+}
+
+/// The CoLight learner.
+#[derive(Debug)]
+pub struct CoLight {
+    cfg: CoLightConfig,
+    encoder: ObsEncoder,
+    net: ColightNet,
+    params: Params,
+    target_params: Params,
+    opt: Adam,
+    replay: ReplayBuffer,
+    num_agents: usize,
+    phases_per_agent: Vec<usize>,
+    env_steps: u64,
+    episodes_trained: usize,
+    rng: StdRng,
+}
+
+impl CoLight {
+    /// Creates a CoLight learner for the environment's scenario.
+    pub fn new(env: &TscEnv, cfg: CoLightConfig) -> Self {
+        let scenario = env.scenario();
+        let agents = scenario.agents();
+        let encoder = ObsEncoder::new(
+            &scenario.network,
+            &agents,
+            cfg.max_phases,
+            ObsNorm::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut params = Params::new();
+        let net = ColightNet::new(
+            &mut params,
+            encoder.local_dim(),
+            cfg.embed,
+            cfg.max_phases,
+            &mut rng,
+        );
+        let target_params = params.clone();
+        let opt = Adam::new(&params, cfg.dqn.lr);
+        let phases_per_agent = scenario
+            .signal_plans
+            .iter()
+            .map(|p| p.num_phases().min(cfg.max_phases))
+            .collect();
+        CoLight {
+            replay: ReplayBuffer::new(cfg.dqn.replay_capacity),
+            cfg,
+            encoder,
+            net,
+            params,
+            target_params,
+            opt,
+            num_agents: agents.len(),
+            phases_per_agent,
+            env_steps: 0,
+            episodes_trained: 0,
+            rng,
+        }
+    }
+
+    /// Episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes_trained
+    }
+
+    /// Stored replay transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Flattens agent `a`'s attention state: `[self(d) | 4×nbr(d) |
+    /// mask(5)]`.
+    fn flatten_state(&self, all_obs: &[IntersectionObs], a: usize) -> Vec<f32> {
+        let d = self.encoder.local_dim();
+        let mut flat = self.encoder.encode_local(&all_obs[a]);
+        let neighbors = self.encoder.one_hop(a);
+        let mut mask = vec![0.0f32; 1 + NEIGHBOR_SLOTS];
+        for slot in 0..NEIGHBOR_SLOTS {
+            match neighbors.get(slot) {
+                Some(&n) => flat.extend(self.encoder.encode_local(&all_obs[n])),
+                None => {
+                    flat.extend(std::iter::repeat_n(0.0, d));
+                    mask[1 + slot] = -1e9;
+                }
+            }
+        }
+        flat.extend_from_slice(&mask);
+        flat
+    }
+
+    /// Splits a flattened state back into the 5×d row block and mask.
+    fn unflatten(&self, flat: &[f32]) -> (Tensor, Tensor) {
+        let d = self.encoder.local_dim();
+        let rows: Vec<&[f32]> = (0..=NEIGHBOR_SLOTS).map(|i| &flat[i * d..(i + 1) * d]).collect();
+        let block = Tensor::from_rows(&rows);
+        let mask = Tensor::row_from_slice(&flat[(1 + NEIGHBOR_SLOTS) * d..]);
+        (block, mask)
+    }
+
+    fn q_values(&self, params: &Params, flat: &[f32]) -> Vec<f32> {
+        let (rows, mask) = self.unflatten(flat);
+        let mut g = Graph::new();
+        let q = self.net.forward(&mut g, params, rows, mask);
+        g.value(q).row(0).to_vec()
+    }
+
+    fn epsilon(&self) -> f32 {
+        LinearSchedule {
+            start: self.cfg.dqn.eps_start,
+            end: self.cfg.dqn.eps_end,
+            decay_steps: self.cfg.dqn.eps_decay,
+        }
+        .value(self.env_steps)
+    }
+
+    /// Runs one training episode (exploration + per-step replay
+    /// updates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment failures.
+    pub fn train_episode(&mut self, env: &mut TscEnv, seed: u64) -> Result<EpisodeStats, SimError> {
+        let n = self.num_agents;
+        let mut all_obs = env.reset(seed);
+        let mut total_reward = 0.0f64;
+        let mut steps = 0usize;
+        loop {
+            let eps = self.epsilon();
+            let states: Vec<Vec<f32>> = (0..n).map(|a| self.flatten_state(&all_obs, a)).collect();
+            let mut actions = vec![0usize; n];
+            for a in 0..n {
+                let np = self.phases_per_agent[a];
+                actions[a] = if self.rng.gen::<f32>() < eps {
+                    self.rng.gen_range(0..np)
+                } else {
+                    let q = self.q_values(&self.params, &states[a]);
+                    q[..np]
+                        .iter()
+                        .enumerate()
+                        .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                };
+            }
+            let step = env.step(&actions)?;
+            for a in 0..n {
+                self.replay.push(ReplayTransition {
+                    obs: states[a].clone(),
+                    action: actions[a],
+                    reward: ((step.rewards[a] as f32) * self.cfg.reward_scale)
+                        .clamp(-self.cfg.reward_clip, 0.0),
+                    next_obs: self.flatten_state(&step.obs, a),
+                    done: step.done,
+                });
+                total_reward += step.rewards[a];
+            }
+            self.env_steps += 1;
+            steps += 1;
+            if self.replay.len() >= self.cfg.dqn.warmup {
+                self.learn_step();
+            }
+            if self.env_steps.is_multiple_of(self.cfg.dqn.target_sync as u64) {
+                self.target_params.copy_from(&self.params);
+            }
+            all_obs = step.obs;
+            if step.done {
+                break;
+            }
+        }
+        self.episodes_trained += 1;
+        Ok(EpisodeStats {
+            steps,
+            total_reward,
+            avg_waiting_time: env.sim().metrics().avg_waiting_time(),
+            avg_travel_time: env.sim().avg_travel_time(),
+            finished: env.sim().metrics().finished(),
+            spawned: env.sim().metrics().spawned(),
+        })
+    }
+
+    /// One minibatch gradient step on the Q regression.
+    fn learn_step(&mut self) {
+        let batch_size = self.cfg.dqn.batch_size;
+        let gamma = self.cfg.dqn.gamma;
+        let samples: Vec<ReplayTransition> = self
+            .replay
+            .sample(batch_size, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        // TD targets from the target network.
+        let targets: Vec<f32> = samples
+            .iter()
+            .map(|t| {
+                if t.done {
+                    t.reward
+                } else {
+                    let q = self.q_values(&self.target_params, &t.next_obs);
+                    t.reward + gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                }
+            })
+            .collect();
+        // One graph accumulating the per-sample squared errors.
+        let mut g = Graph::new();
+        let mut loss_acc: Option<Var> = None;
+        for (t, &y) in samples.iter().zip(&targets) {
+            let (rows, mask) = self.unflatten(&t.obs);
+            let q = self.net.forward(&mut g, &self.params, rows, mask);
+            let picked = g.gather_cols(q, vec![t.action]);
+            let target = g.input(Tensor::full(1, 1, y));
+            let d = g.sub(picked, target);
+            let sq = g.square(d);
+            loss_acc = Some(match loss_acc {
+                None => sq,
+                Some(acc) => g.add(acc, sq),
+            });
+        }
+        if let Some(acc) = loss_acc {
+            let loss = g.scale(acc, 1.0 / samples.len() as f32);
+            g.backward(loss, &mut self.params);
+            self.params.clip_grad_norm(self.cfg.dqn.max_grad_norm);
+            self.opt.step(&mut self.params);
+        }
+    }
+
+    /// Snapshots the current greedy policy.
+    pub fn controller(&self) -> CoLightController {
+        CoLightController {
+            encoder: self.encoder.clone(),
+            net: self.net.clone(),
+            params: self.params.clone(),
+            phases_per_agent: self.phases_per_agent.clone(),
+            num_agents: self.num_agents,
+        }
+    }
+}
+
+/// The deployed CoLight policy (greedy over Q values).
+#[derive(Debug)]
+pub struct CoLightController {
+    encoder: ObsEncoder,
+    net: ColightNet,
+    params: Params,
+    phases_per_agent: Vec<usize>,
+    num_agents: usize,
+}
+
+impl Controller for CoLightController {
+    fn decide(&mut self, obs: &[IntersectionObs]) -> Vec<usize> {
+        let d = self.encoder.local_dim();
+        (0..self.num_agents)
+            .map(|a| {
+                let mut flat = self.encoder.encode_local(&obs[a]);
+                let neighbors = self.encoder.one_hop(a);
+                let mut mask = vec![0.0f32; 1 + NEIGHBOR_SLOTS];
+                for slot in 0..NEIGHBOR_SLOTS {
+                    match neighbors.get(slot) {
+                        Some(&n) => flat.extend(self.encoder.encode_local(&obs[n])),
+                        None => {
+                            flat.extend(std::iter::repeat_n(0.0, d));
+                            mask[1 + slot] = -1e9;
+                        }
+                    }
+                }
+                let rows: Vec<&[f32]> = (0..=NEIGHBOR_SLOTS)
+                    .map(|i| &flat[i * d..(i + 1) * d])
+                    .collect();
+                let block = Tensor::from_rows(&rows);
+                let mask_t = Tensor::row_from_slice(&mask);
+                let mut g = Graph::new();
+                let q = self.net.forward(&mut g, &self.params, block, mask_t);
+                let np = self.phases_per_agent[a];
+                g.value(q).row(0)[..np]
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_sim::scenario::grid::{Grid, GridConfig};
+    use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+    use tsc_sim::{EnvConfig, SimConfig};
+
+    fn env() -> TscEnv {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .unwrap();
+        let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+        TscEnv::new(
+            grid.scenario("t", f).unwrap(),
+            SimConfig::default(),
+            EnvConfig {
+                decision_interval: 5,
+                episode_horizon: 140,
+            },
+            0,
+        )
+        .unwrap()
+    }
+
+    fn small_cfg() -> CoLightConfig {
+        CoLightConfig {
+            embed: 8,
+            dqn: DqnConfig {
+                warmup: 16,
+                batch_size: 8,
+                target_sync: 10,
+                ..DqnConfig::default()
+            },
+            ..CoLightConfig::default()
+        }
+    }
+
+    #[test]
+    fn attention_masks_missing_neighbors() {
+        let e = env();
+        let c = CoLight::new(&e, small_cfg());
+        let obs = e.sim().observe_all();
+        // In a 2x2 grid every agent has exactly 2 neighbors: slots 2,3
+        // masked.
+        let flat = c.flatten_state(&obs, 0);
+        let d = c.encoder.local_dim();
+        let mask = &flat[5 * d..];
+        assert_eq!(mask.len(), 5);
+        assert_eq!(mask[0], 0.0, "self slot always valid");
+        assert_eq!(mask[1], 0.0);
+        assert_eq!(mask[2], 0.0);
+        assert_eq!(mask[3], -1e9);
+        assert_eq!(mask[4], -1e9);
+    }
+
+    #[test]
+    fn one_episode_fills_replay_and_learns() {
+        let mut e = env();
+        let mut c = CoLight::new(&e, small_cfg());
+        let stats = c.train_episode(&mut e, 0).unwrap();
+        assert!(stats.steps > 0);
+        assert_eq!(c.replay_len(), stats.steps * 4);
+        assert_eq!(c.episodes_trained(), 1);
+    }
+
+    #[test]
+    fn q_values_have_action_dimension() {
+        let e = env();
+        let c = CoLight::new(&e, small_cfg());
+        let obs = e.sim().observe_all();
+        let q = c.q_values(&c.params, &c.flatten_state(&obs, 1));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn controller_runs_episode() {
+        let mut e = env();
+        let mut c = CoLight::new(&e, small_cfg());
+        c.train_episode(&mut e, 0).unwrap();
+        let mut ctl = c.controller();
+        let stats = e.run_episode(&mut ctl, 42).unwrap();
+        assert!(stats.spawned > 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut e = env();
+            let mut c = CoLight::new(&e, small_cfg());
+            c.train_episode(&mut e, 4).unwrap().total_reward
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn target_network_starts_in_sync_then_diverges() {
+        let mut e = env();
+        let mut cfg = small_cfg();
+        cfg.dqn.target_sync = 100_000; // never re-sync within this test
+        let mut c = CoLight::new(&e, cfg);
+        let before: f32 = c
+            .params
+            .ids()
+            .map(|id| c.params.value(id).norm() - c.target_params.value(id).norm())
+            .sum();
+        assert_eq!(before, 0.0);
+        c.train_episode(&mut e, 0).unwrap();
+        let after: f32 = c
+            .params
+            .ids()
+            .map(|id| (c.params.value(id).norm() - c.target_params.value(id).norm()).abs())
+            .sum();
+        assert!(after > 0.0, "online net moved away from target");
+    }
+}

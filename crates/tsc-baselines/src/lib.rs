@@ -1,0 +1,36 @@
+//! # tsc-baselines — comparison controllers for the PairUpLight study
+//!
+//! The four baselines of the paper's §VI-B, all runnable against any
+//! [`tsc_sim::TscEnv`] through the shared [`tsc_sim::Controller`]
+//! trait:
+//!
+//! * [`fixed_time`] — predetermined cyclic signal timing;
+//! * [`mod@single_agent`] — one PPO policy on local observations applied to
+//!   every intersection (no communication, local critic);
+//! * [`ma2c`] — independent A2C agents with neighbor observations and
+//!   policy fingerprints, no parameter sharing (Chu et al., 2019);
+//! * [`colight`] — parameter-shared DQN over a graph-attention
+//!   embedding of the one-hop neighborhood (Wei et al., 2019).
+//!
+//! Beyond the paper's comparison set, two classic traffic-engineering
+//! controllers give non-learning reference points (§II-A):
+//!
+//! * [`actuated`] — gap-out/extension logic with min/max green;
+//! * [`max_pressure`] — greedy Varaiya-style max-pressure control.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod actuated;
+pub mod colight;
+pub mod fixed_time;
+pub mod ma2c;
+pub mod max_pressure;
+pub mod single_agent;
+
+pub use actuated::ActuatedController;
+pub use colight::{CoLight, CoLightConfig, CoLightController};
+pub use fixed_time::FixedTimeController;
+pub use ma2c::{Ma2c, Ma2cConfig, Ma2cController};
+pub use max_pressure::MaxPressureController;
+pub use single_agent::{single_agent, single_agent_with};

@@ -1,0 +1,83 @@
+//! The SingleAgentRL baseline (paper §VI-B): one PPO policy trained on
+//! local observations only and applied uniformly to every intersection
+//! — no inter-agent communication, no neighbor information in the
+//! critic.
+//!
+//! This is exactly the PairUpLight backbone with the communication
+//! module removed and a local critic, so it reuses the
+//! [`pairuplight`] trainer with
+//! [`PairUpLightConfig::single_agent`].
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_sim::TscEnv;
+
+/// Builds the SingleAgentRL learner for `env`.
+///
+/// The returned learner trains a single shared PPO policy from local
+/// observations; its [`controller`](PairUpLight::controller) deploys
+/// that policy to all intersections.
+pub fn single_agent(env: &TscEnv, seed: u64) -> PairUpLight {
+    let cfg = PairUpLightConfig {
+        seed,
+        ..PairUpLightConfig::single_agent()
+    };
+    PairUpLight::new(env, cfg)
+}
+
+/// Builds SingleAgentRL with custom network/optimization settings,
+/// forcing the baseline's defining constraints (no communication,
+/// local critic, shared parameters) regardless of the input.
+pub fn single_agent_with(env: &TscEnv, mut cfg: PairUpLightConfig) -> PairUpLight {
+    cfg.bandwidth = 0;
+    cfg.critic_mode = pairuplight::CriticMode::Local;
+    cfg.parameter_sharing = true;
+    PairUpLight::new(env, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_sim::scenario::grid::{Grid, GridConfig};
+    use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+    use tsc_sim::{EnvConfig, SimConfig};
+
+    fn env() -> TscEnv {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .unwrap();
+        let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+        TscEnv::new(
+            grid.scenario("t", f).unwrap(),
+            SimConfig::default(),
+            EnvConfig {
+                decision_interval: 5,
+                episode_horizon: 140,
+            },
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_agent_trains_without_messages() {
+        let mut e = env();
+        let mut model = single_agent(&e, 3);
+        let ep = model.train_episode(&mut e, 0).unwrap();
+        assert_eq!(ep.mean_message, 0.0, "no communication");
+        assert!(ep.stats.steps > 0);
+    }
+
+    #[test]
+    fn constraints_are_enforced() {
+        let e = env();
+        let mut custom = PairUpLightConfig::default();
+        custom.bandwidth = 3;
+        custom.parameter_sharing = false;
+        let model = single_agent_with(&e, custom);
+        assert_eq!(model.config().bandwidth, 0);
+        assert!(model.config().parameter_sharing);
+    }
+}

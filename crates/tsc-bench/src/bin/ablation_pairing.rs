@@ -1,0 +1,80 @@
+//! Pairing-rule ablation (DESIGN.md §4.4): does it matter *who* each
+//! intersection talks to? Trains PairUpLight with the paper's
+//! most-congested-upstream rule against a self-loop and a random
+//! upstream partner, on the turning-heavy Pattern 2.
+
+use pairuplight::{PairUpLight, PairUpLightConfig, PairingMode};
+use tsc_bench::experiments::{self, ExperimentScale};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("pairing ablation at scale {scale:?}");
+    let run = || -> Result<Vec<(String, f64, f64)>, tsc_sim::SimError> {
+        let grid = Grid::build(GridConfig {
+            cols: scale.grid,
+            rows: scale.grid,
+            spacing: 200.0,
+        })?;
+        let scenario =
+            patterns::grid_scenario(&grid, FlowPattern::Two, &PatternConfig::default())?;
+        let mut rows = Vec::new();
+        for (name, mode) in [
+            ("congested-upstream (paper)", PairingMode::CongestedUpstream),
+            ("self-loop", PairingMode::SelfLoop),
+            ("random-upstream", PairingMode::RandomUpstream),
+        ] {
+            let mut env = TscEnv::new(
+                scenario.clone(),
+                SimConfig::default(),
+                EnvConfig {
+                    decision_interval: 5,
+                    episode_horizon: scale.train_horizon,
+                },
+                scale.seed,
+            )?;
+            let mut cfg = PairUpLightConfig::default();
+            cfg.pairing = mode;
+            cfg.hidden = scale.hidden;
+            cfg.lstm_hidden = scale.hidden;
+            cfg.ppo.epochs = 2;
+            cfg.seed = scale.seed;
+            cfg.eps_decay_episodes = (scale.episodes / 2).max(1);
+            let mut model = PairUpLight::new(&env, cfg);
+            eprintln!("training {name} …");
+            let mut best = f64::INFINITY;
+            let mut last = f64::NAN;
+            for i in 0..scale.episodes {
+                let ep = model.train_episode(&mut env, scale.seed + i as u64)?;
+                best = best.min(ep.stats.avg_waiting_time);
+                last = ep.stats.avg_waiting_time;
+                if i % 10 == 0 {
+                    eprintln!("  episode {:>3}: wait {:>7.2}s", i, ep.stats.avg_waiting_time);
+                }
+            }
+            rows.push((name.to_string(), best, last));
+        }
+        Ok(rows)
+    };
+    match run() {
+        Ok(rows) => {
+            println!("\nPAIRING-RULE ABLATION (Pattern 2, avg waiting time)");
+            println!("{:<30}{:>12}{:>12}", "Pairing rule", "best (s)", "final (s)");
+            let mut csv = String::from("pairing,best_wait,final_wait\n");
+            for (name, best, last) in &rows {
+                println!("{name:<30}{best:>12.2}{last:>12.2}");
+                csv.push_str(&format!("{name},{best:.2},{last:.2}\n"));
+            }
+            match experiments::write_result("ablation_pairing.csv", &csv) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("ablation_pairing failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 10: training performance on the Monaco-style
+//! heterogeneous network (no parameter sharing) — PairUpLight vs MA2C,
+//! with the FixedTime reference level.
+
+use tsc_bench::experiments::{self, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("Fig. 10 at scale {scale:?}");
+    match experiments::monaco_training(&scale) {
+        Ok((curves, fixed)) => {
+            println!("\nFIG. 10 — TRAINING UNDER THE REAL-WORLD-STYLE SETTING (MONACO)");
+            println!("FixedTime reference waiting time: {fixed:.2}s");
+            for c in &curves {
+                println!(
+                    "  {:<24} final {:>8.2}s  best {:>8.2}s",
+                    c.model,
+                    c.final_wait().unwrap_or(f64::NAN),
+                    c.best().map(|b| b.1).unwrap_or(f64::NAN)
+                );
+            }
+            let csv = experiments::curves_to_csv(&curves);
+            print!("\n{csv}");
+            match experiments::write_result("fig10.csv", &csv) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("fig10 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

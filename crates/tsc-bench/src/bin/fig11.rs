@@ -1,0 +1,38 @@
+//! Regenerates Fig. 11: communication bandwidth study — training with
+//! one vs two 32-bit messages. The paper finds that widening the
+//! channel does not help.
+
+use tsc_bench::experiments::{self, ExperimentScale};
+use tsc_bench::ModelKind;
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("Fig. 11 at scale {scale:?}");
+    let kinds = [
+        ModelKind::PairUpLightBandwidth(1),
+        ModelKind::PairUpLightBandwidth(2),
+    ];
+    match experiments::training_curves(&scale, &kinds) {
+        Ok(curves) => {
+            println!("\nFIG. 11 — COMMUNICATION BANDWIDTH COMPARISON (avg waiting time, s)");
+            for c in &curves {
+                println!(
+                    "  {:<24} final {:>8.2}s  best {:>8.2}s",
+                    c.model,
+                    c.final_wait().unwrap_or(f64::NAN),
+                    c.best().map(|b| b.1).unwrap_or(f64::NAN)
+                );
+            }
+            let csv = experiments::curves_to_csv(&curves);
+            print!("\n{csv}");
+            match experiments::write_result("fig11.csv", &csv) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("fig11 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

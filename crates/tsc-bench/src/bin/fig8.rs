@@ -1,0 +1,39 @@
+//! Regenerates Fig. 8: training performance over the first episodes for
+//! PairUpLight, CoLight, MA2C, and the no-communication ablation.
+
+use tsc_bench::experiments::{self, ExperimentScale};
+use tsc_bench::ModelKind;
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("Fig. 8 at scale {scale:?}");
+    let kinds = [
+        ModelKind::PairUpLight,
+        ModelKind::CoLight,
+        ModelKind::Ma2c,
+        ModelKind::PairUpLightNoComm,
+    ];
+    match experiments::training_curves(&scale, &kinds) {
+        Ok(curves) => {
+            println!("\nFIG. 8 — TRAINING PERFORMANCE COMPARISON (avg waiting time, s)");
+            for c in &curves {
+                println!(
+                    "  {:<24} final {:>8.2}s  best {:>8.2}s",
+                    c.model,
+                    c.final_wait().unwrap_or(f64::NAN),
+                    c.best().map(|b| b.1).unwrap_or(f64::NAN)
+                );
+            }
+            let csv = experiments::curves_to_csv(&curves);
+            print!("\n{csv}");
+            match experiments::write_result("fig8.csv", &csv) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Sensor-degradation robustness study (extension; the paper's claims
+//! center on "robustness, resilience and overall performance").
+//! Trains PairUpLight on clean detectors, then evaluates it — and the
+//! FixedTime reference — under increasing detector dropout and noise.
+//! FixedTime ignores detectors entirely, so it is the natural
+//! degradation-free floor; a robust learned policy should stay below it
+//! well past nominal conditions.
+
+use tsc_bench::eval::{evaluate, EvalConfig};
+use tsc_bench::experiments::{self, ExperimentScale};
+use tsc_bench::models::{train_model, ModelKind};
+use tsc_baselines::FixedTimeController;
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{DetectorConfig, EnvConfig, SimConfig, TscEnv};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("robustness study at scale {scale:?}");
+    let run = || -> Result<String, tsc_sim::SimError> {
+        let grid = Grid::build(GridConfig {
+            cols: scale.grid,
+            rows: scale.grid,
+            spacing: 200.0,
+        })?;
+        let scenario =
+            patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+        let mut env = TscEnv::new(
+            scenario.clone(),
+            SimConfig::default(),
+            EnvConfig {
+                decision_interval: 5,
+                episode_horizon: scale.train_horizon,
+            },
+            scale.seed,
+        )?;
+        let mut setup = tsc_bench::TrainSetup {
+            hidden: scale.hidden,
+            lstm_hidden: scale.hidden,
+            episodes: scale.episodes,
+            ppo_epochs: 2,
+            seed: scale.seed,
+            heterogeneous: false,
+        };
+        setup.episodes = scale.episodes;
+        eprintln!("training PairUpLight on clean sensors …");
+        let mut trained = train_model(ModelKind::PairUpLight, &mut env, &setup, |p| {
+            if p.episode % 10 == 0 {
+                eprintln!("  episode {:>3}: wait {:>7.2}s", p.episode, p.avg_waiting_time);
+            }
+        })?;
+        let mut csv = String::from("dropout,noise,pairuplight_travel,fixedtime_travel\n");
+        println!("\nSENSOR-DEGRADATION ROBUSTNESS (avg travel time, s)");
+        println!(
+            "{:<10}{:<8}{:>14}{:>14}",
+            "dropout", "noise", "PairUpLight", "FixedTime"
+        );
+        for (dropout, noise) in [
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.3, 0.0),
+            (0.0, 0.3),
+            (0.3, 0.3),
+            (0.6, 0.3),
+        ] {
+            let sim_cfg = SimConfig {
+                detector: DetectorConfig {
+                    range: 50.0,
+                    noise,
+                    dropout,
+                },
+                ..SimConfig::default()
+            };
+            let eval_cfg = EvalConfig {
+                horizon: scale.eval_horizon,
+                drain_cap: scale.drain_cap,
+                seed: scale.seed + 500,
+            };
+            let rl = evaluate(&mut *trained.controller, &scenario, sim_cfg, &eval_cfg)?;
+            let mut fixed = FixedTimeController::default();
+            let ft = evaluate(&mut fixed, &scenario, sim_cfg, &eval_cfg)?;
+            println!(
+                "{:<10.2}{:<8.2}{:>14.2}{:>14.2}",
+                dropout, noise, rl.avg_travel_time, ft.avg_travel_time
+            );
+            csv.push_str(&format!(
+                "{dropout},{noise},{:.2},{:.2}\n",
+                rl.avg_travel_time, ft.avg_travel_time
+            ));
+        }
+        Ok(csv)
+    };
+    match run() {
+        Ok(csv) => match experiments::write_result("robustness.csv", &csv) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        },
+        Err(e) => {
+            eprintln!("robustness failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

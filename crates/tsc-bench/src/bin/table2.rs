@@ -1,0 +1,24 @@
+//! Regenerates Table II: average travel time of all five models across
+//! flow patterns 1–5, trained on Pattern 1 only.
+
+use tsc_bench::experiments::{self, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("Table II at scale {scale:?}");
+    match experiments::table2(&scale) {
+        Ok(table) => {
+            println!("\nTABLE II — EVALUATION OF AVERAGE TRAVEL TIME (SECONDS)");
+            println!("(all models trained on Pattern 1 for {} episodes)\n", scale.episodes);
+            println!("{}", table.render());
+            match experiments::write_result("table2.csv", &table.to_csv()) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table III: average travel time in the light uniform
+//! traffic scenario (Pattern 5), trained and evaluated on Pattern 5.
+
+use tsc_bench::experiments::{self, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("Table III at scale {scale:?}");
+    match experiments::table3(&scale) {
+        Ok(table) => {
+            println!("\nTABLE III — AVERAGE TRAVEL TIME IN LIGHT TRAFFIC (SECONDS)\n");
+            println!("{}", table.render());
+            match experiments::write_result("table3.csv", &table.to_csv()) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write results: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table IV: per-step communication overhead of MA2C,
+//! CoLight and PairUpLight, computed from what each implemented model
+//! actually pulls from other intersections.
+
+use tsc_bench::experiments;
+
+fn main() {
+    // local_dim = 32 (4 approaches x [count, halting, 3 per-movement
+    // halts, wait] + 4 outgoing counts + 4-phase one-hot), max_phases =
+    // 4 — the defaults used by every model in this repository.
+    let rows = experiments::table4(32, 4);
+    println!("\nTABLE IV — COMMUNICATION OVERHEAD ANALYSIS\n");
+    println!("{}", experiments::render_table4(&rows));
+    let mut csv = String::from("model,bits_this_impl,bits_paper,information\n");
+    for r in &rows {
+        csv.push_str(&format!("{},{},{},\"{}\"\n", r.model, r.bits, r.paper_bits, r.information));
+    }
+    match experiments::write_result("table4.csv", &csv) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

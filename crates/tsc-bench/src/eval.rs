@@ -1,0 +1,191 @@
+//! Policy evaluation: run a controller on a scenario and extract the
+//! paper's metrics.
+
+use tsc_sim::{Controller, EnvConfig, Scenario, SimConfig, SimError, TscEnv};
+
+/// Result of evaluating one controller on one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalResult {
+    /// Average travel time (s) over all spawned vehicles, unfinished
+    /// trips counted up to the drain cap — the Table II metric.
+    pub avg_travel_time: f64,
+    /// Episode-average waiting time (s) — the Fig. 7/8/10 metric.
+    pub avg_waiting_time: f64,
+    /// Completed trips.
+    pub finished: usize,
+    /// Generated vehicles.
+    pub spawned: usize,
+    /// `finished / spawned`.
+    pub completion_rate: f64,
+}
+
+/// Evaluation setup shared across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalConfig {
+    /// Demand/episode horizon (s).
+    pub horizon: u32,
+    /// Hard cap (s) when draining remaining vehicles after the horizon;
+    /// gridlocked vehicles accrue travel time until this point.
+    pub drain_cap: u32,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            horizon: 3600,
+            drain_cap: 7200,
+            seed: 1000,
+        }
+    }
+}
+
+/// Runs `controller` on `scenario` for one full episode plus drain and
+/// returns the paper's metrics.
+///
+/// # Errors
+///
+/// Propagates environment construction/step failures.
+pub fn evaluate<C: Controller + ?Sized>(
+    controller: &mut C,
+    scenario: &Scenario,
+    sim_config: SimConfig,
+    cfg: &EvalConfig,
+) -> Result<EvalResult, SimError> {
+    let mut env = TscEnv::new(
+        scenario.clone(),
+        sim_config,
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: cfg.horizon,
+        },
+        cfg.seed,
+    )?;
+    let stats = env.run_episode(controller, cfg.seed)?;
+    env.drain(controller, cfg.drain_cap)?;
+    let sim = env.sim();
+    let spawned = sim.metrics().spawned();
+    let finished = sim.metrics().finished();
+    Ok(EvalResult {
+        avg_travel_time: sim.avg_travel_time(),
+        avg_waiting_time: stats.avg_waiting_time,
+        finished,
+        spawned,
+        completion_rate: if spawned == 0 {
+            1.0
+        } else {
+            finished as f64 / spawned as f64
+        },
+    })
+}
+
+/// Evaluates over several seeds and averages the metrics (used where a
+/// single stochastic run would be noisy).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn evaluate_seeds<C: Controller + ?Sized>(
+    controller: &mut C,
+    scenario: &Scenario,
+    sim_config: SimConfig,
+    cfg: &EvalConfig,
+    seeds: &[u64],
+) -> Result<EvalResult, SimError> {
+    assert!(!seeds.is_empty(), "at least one seed");
+    let mut acc = EvalResult {
+        avg_travel_time: 0.0,
+        avg_waiting_time: 0.0,
+        finished: 0,
+        spawned: 0,
+        completion_rate: 0.0,
+    };
+    for &seed in seeds {
+        let r = evaluate(
+            controller,
+            scenario,
+            sim_config,
+            &EvalConfig { seed, ..*cfg },
+        )?;
+        acc.avg_travel_time += r.avg_travel_time;
+        acc.avg_waiting_time += r.avg_waiting_time;
+        acc.finished += r.finished;
+        acc.spawned += r.spawned;
+        acc.completion_rate += r.completion_rate;
+    }
+    let n = seeds.len() as f64;
+    acc.avg_travel_time /= n;
+    acc.avg_waiting_time /= n;
+    acc.completion_rate /= n;
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_baselines::FixedTimeController;
+    use tsc_sim::scenario::grid::{Grid, GridConfig};
+    use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+
+    #[test]
+    fn fixed_time_evaluation_completes_light_traffic() {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .unwrap();
+        let cfg = PatternConfig {
+            uniform_end: 300.0,
+            ..PatternConfig::default()
+        };
+        let f = flows(&grid, FlowPattern::Five, &cfg).unwrap();
+        let scenario = grid.scenario("t", f).unwrap();
+        let mut ctl = FixedTimeController::default();
+        let r = evaluate(
+            &mut ctl,
+            &scenario,
+            SimConfig::default(),
+            &EvalConfig {
+                horizon: 300,
+                drain_cap: 1500,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert!(r.spawned > 0);
+        assert!(r.completion_rate > 0.9, "light traffic drains: {r:?}");
+        assert!(r.avg_travel_time > 0.0);
+    }
+
+    #[test]
+    fn seed_averaging_runs() {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .unwrap();
+        let cfg = PatternConfig {
+            uniform_end: 200.0,
+            ..PatternConfig::default()
+        };
+        let f = flows(&grid, FlowPattern::Five, &cfg).unwrap();
+        let scenario = grid.scenario("t", f).unwrap();
+        let mut ctl = FixedTimeController::default();
+        let r = evaluate_seeds(
+            &mut ctl,
+            &scenario,
+            SimConfig::default(),
+            &EvalConfig {
+                horizon: 200,
+                drain_cap: 800,
+                seed: 0,
+            },
+            &[1, 2, 3],
+        )
+        .unwrap();
+        assert!(r.spawned > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tsc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Paper artifact | Driver | Binary |
+//! |---|---|---|
+//! | Table II (travel time, 5 patterns) | [`experiments::table2`] | `table2` |
+//! | Table III (light traffic) | [`experiments::table3`] | `table3` |
+//! | Table IV (communication overhead) | [`experiments::table4`] | `table4` |
+//! | Fig. 7 (training curve) | [`experiments::training_curves`] | `fig7` |
+//! | Fig. 8 (200-episode comparison + ablation) | [`experiments::training_curves`] | `fig8` |
+//! | Fig. 10 (Monaco heterogeneous) | [`experiments::monaco_training`] | `fig10` |
+//! | Fig. 11 (bandwidth 1 vs 2) | [`experiments::training_curves`] | `fig11` |
+//!
+//! Every binary accepts `--episodes`, `--horizon`, `--eval-horizon`,
+//! `--hidden`, `--seed` and `--grid` to trade fidelity for wall-clock
+//! time; results are printed and written under `results/`.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod eval;
+pub mod experiments;
+pub mod models;
+
+pub use eval::{evaluate, evaluate_seeds, EvalConfig, EvalResult};
+pub use experiments::{ExperimentScale, TravelTimeTable};
+pub use models::{train_model, ModelKind, TrainSetup, TrainedModel};

@@ -1,0 +1,144 @@
+//! Weight initialization schemes.
+//!
+//! Algorithm 1 (line 2) of the paper initializes policy and critic
+//! parameters with **orthogonal initialization**, the standard choice
+//! for stabilizing PPO; biases start at zero.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Initialization scheme for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Orthogonal rows/columns scaled by the gain (paper default).
+    Orthogonal {
+        /// Scale applied after orthogonalization (e.g. `2f32.sqrt()`
+        /// for ReLU trunks, `0.01` for policy heads).
+        gain: f32,
+    },
+    /// Uniform Xavier/Glorot.
+    Xavier,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Materializes a `rows × cols` tensor.
+    pub fn tensor<R: Rng>(self, rows: usize, cols: usize, rng: &mut R) -> Tensor {
+        match self {
+            Init::Orthogonal { gain } => orthogonal(rows, cols, gain, rng),
+            Init::Xavier => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                let mut t = Tensor::zeros(rows, cols);
+                for v in t.data_mut() {
+                    *v = rng.gen_range(-limit..limit);
+                }
+                t
+            }
+            Init::Zeros => Tensor::zeros(rows, cols),
+        }
+    }
+}
+
+/// Orthogonal initialization via modified Gram–Schmidt on a Gaussian
+/// matrix. For non-square shapes the smaller dimension's vectors are
+/// orthonormal (rows if `rows <= cols`, columns otherwise).
+pub fn orthogonal<R: Rng>(rows: usize, cols: usize, gain: f32, rng: &mut R) -> Tensor {
+    let transpose = rows < cols;
+    let (n, m) = if transpose { (cols, rows) } else { (rows, cols) };
+    // n >= m: orthonormalize the m columns of an n x m Gaussian matrix.
+    let g = Tensor::randn(n, m, 1.0, rng);
+    let mut cols_v: Vec<Vec<f32>> = (0..m)
+        .map(|c| (0..n).map(|r| g.get(r, c)).collect())
+        .collect();
+    for c in 0..m {
+        for prev in 0..c {
+            let dot: f32 = cols_v[c]
+                .iter()
+                .zip(&cols_v[prev])
+                .map(|(a, b)| a * b)
+                .sum();
+            let prev_col = cols_v[prev].clone();
+            for (x, p) in cols_v[c].iter_mut().zip(&prev_col) {
+                *x -= dot * p;
+            }
+        }
+        let norm: f32 = cols_v[c].iter().map(|x| x * x).sum::<f32>().sqrt();
+        // Degenerate columns (measure zero) fall back to a unit vector.
+        if norm < 1e-6 {
+            for (i, x) in cols_v[c].iter_mut().enumerate() {
+                *x = if i == c % n { 1.0 } else { 0.0 };
+            }
+        } else {
+            for x in &mut cols_v[c] {
+                *x /= norm;
+            }
+        }
+    }
+    let mut out = Tensor::zeros(rows, cols);
+    for c in 0..m {
+        for r in 0..n {
+            let v = gain * cols_v[c][r];
+            if transpose {
+                out.set(c, r, v);
+            } else {
+                out.set(r, c, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_orthonormal_cols(t: &Tensor, tol: f32) {
+        for c1 in 0..t.cols() {
+            for c2 in 0..t.cols() {
+                let dot: f32 = (0..t.rows()).map(|r| t.get(r, c1) * t.get(r, c2)).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expect).abs() < tol,
+                    "cols {c1},{c2}: dot {dot} expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tall_orthogonal_has_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = orthogonal(10, 4, 1.0, &mut rng);
+        assert_orthonormal_cols(&t, 1e-4);
+    }
+
+    #[test]
+    fn wide_orthogonal_has_orthonormal_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = orthogonal(3, 8, 1.0, &mut rng).transpose();
+        assert_orthonormal_cols(&t, 1e-4);
+    }
+
+    #[test]
+    fn gain_scales_norms() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = orthogonal(6, 6, 2.0, &mut rng);
+        for c in 0..6 {
+            let norm: f32 = (0..6).map(|r| t.get(r, c).powi(2)).sum::<f32>().sqrt();
+            assert!((norm - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn zeros_and_xavier_shapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(Init::Zeros.tensor(2, 3, &mut rng).sum(), 0.0);
+        let x = Init::Xavier.tensor(4, 4, &mut rng);
+        let limit = (6.0f32 / 8.0).sqrt();
+        assert!(x.data().iter().all(|v| v.abs() <= limit));
+    }
+}

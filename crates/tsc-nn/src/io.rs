@@ -1,0 +1,199 @@
+//! Plain-text persistence for parameter sets.
+//!
+//! A dependency-free, human-inspectable format for saving trained
+//! weights (e.g. a trained PairUpLight policy) and reloading them later:
+//!
+//! ```text
+//! tsc-nn-params v1
+//! <tensor count>
+//! <name> <rows> <cols>
+//! <row-major f32 values, space separated>
+//! …
+//! ```
+//!
+//! Values round-trip exactly (written via the shortest-precise float
+//! formatting of Rust's `{:?}`).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::params::Params;
+use crate::tensor::Tensor;
+
+/// Errors produced when loading a parameter file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a `tsc-nn-params v1` file or is malformed.
+    Format(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format(msg) => write!(f, "malformed parameter file: {msg}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Writes `params` in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn save_params<W: Write>(params: &Params, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "tsc-nn-params v1")?;
+    writeln!(w, "{}", params.len())?;
+    for id in params.ids() {
+        let t = params.value(id);
+        writeln!(w, "{} {} {}", params.name(id), t.rows(), t.cols())?;
+        let mut first = true;
+        for v in t.data() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{v:?}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a parameter set written by [`save_params`].
+///
+/// # Errors
+///
+/// Returns [`LoadError::Format`] on malformed content and
+/// [`LoadError::Io`] on reader failures.
+pub fn load_params<R: Read>(r: R) -> Result<Params, LoadError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = || -> Result<String, LoadError> {
+        lines
+            .next()
+            .ok_or_else(|| LoadError::Format("unexpected end of file".into()))?
+            .map_err(LoadError::from)
+    };
+    let header = next()?;
+    if header.trim() != "tsc-nn-params v1" {
+        return Err(LoadError::Format(format!("bad header {header:?}")));
+    }
+    let count: usize = next()?
+        .trim()
+        .parse()
+        .map_err(|e| LoadError::Format(format!("bad tensor count: {e}")))?;
+    let mut params = Params::new();
+    for i in 0..count {
+        let meta = next()?;
+        let mut parts = meta.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| LoadError::Format(format!("tensor {i}: missing name")))?
+            .to_string();
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Format(format!("tensor {name}: bad rows")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Format(format!("tensor {name}: bad cols")))?;
+        let data_line = next()?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|s| {
+                s.parse::<f32>()
+                    .map_err(|e| LoadError::Format(format!("tensor {name}: bad value {s:?}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(LoadError::Format(format!(
+                "tensor {name}: expected {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        params.add(name, Tensor::from_vec(rows, cols, data));
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_params() -> Params {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Params::new();
+        p.add("w1", Tensor::randn(3, 4, 1.0, &mut rng));
+        p.add("b1", Tensor::zeros(1, 4));
+        p.add("odd", Tensor::from_rows(&[&[f32::MIN_POSITIVE, -0.0, 1e30]]));
+        p
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let p = sample_params();
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        let q = load_params(buf.as_slice()).unwrap();
+        assert_eq!(p.len(), q.len());
+        for (a, b) in p.ids().zip(q.ids()) {
+            assert_eq!(p.name(a), q.name(b));
+            assert_eq!(p.value(a), q.value(b), "{}", p.name(a));
+        }
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let err = load_params("not a params file\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)));
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let p = sample_params();
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load_params(truncated).is_err());
+    }
+
+    #[test]
+    fn wrong_value_count_is_rejected() {
+        let text = "tsc-nn-params v1\n1\nw 2 2\n1.0 2.0 3.0\n";
+        let err = load_params(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 4 values"));
+    }
+
+    #[test]
+    fn empty_param_set_round_trips() {
+        let p = Params::new();
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        let q = load_params(buf.as_slice()).unwrap();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Network layers: fully-connected and LSTM.
+//!
+//! Layers own [`ParamId`]s inside a shared [`Params`] set and build
+//! their forward computation onto a caller-provided [`Graph`], so one
+//! parameter set can be reused across many forward passes (parameter
+//! sharing across agents, exactly as the paper trains).
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::init::Init;
+use crate::params::{ParamId, Params};
+use crate::tensor::Tensor;
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a `in_dim → out_dim` layer in `params`.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        init: Init,
+        rng: &mut R,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init.tensor(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `batch × in_dim` input.
+    pub fn forward(&self, g: &mut Graph, params: &Params, x: Var) -> Var {
+        let w = g.param(params, self.w);
+        let b = g.param(params, self.b);
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+}
+
+/// One LSTM cell (single step; hidden state threaded by the caller).
+///
+/// Gate layout along the `4·hidden` axis is `[i, f, g, o]`. The forget
+/// gate bias starts at 1, the usual trick for stable recurrent training.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LstmCell {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+/// Hidden state of an LSTM cell: `(h, c)`, each `batch × hidden`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LstmState {
+    /// Hidden output.
+    pub h: Tensor,
+    /// Cell memory.
+    pub c: Tensor,
+}
+
+impl LstmState {
+    /// The all-zero initial state for a batch of `batch` rows.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState {
+            h: Tensor::zeros(batch, hidden),
+            c: Tensor::zeros(batch, hidden),
+        }
+    }
+}
+
+impl LstmCell {
+    /// Registers an `in_dim → hidden` LSTM cell in `params`.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let init = Init::Orthogonal { gain: 1.0 };
+        let wx = params.add(format!("{name}.wx"), init.tensor(in_dim, 4 * hidden, rng));
+        let wh = params.add(format!("{name}.wh"), init.tensor(hidden, 4 * hidden, rng));
+        let mut bias = Tensor::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0); // forget gate bias
+        }
+        let b = params.add(format!("{name}.b"), bias);
+        LstmCell {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// One step: inputs `x` (`batch × in`), previous `(h, c)` as graph
+    /// vars; returns `(h', c')` vars.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+    ) -> (Var, Var) {
+        let wx = g.param(params, self.wx);
+        let wh = g.param(params, self.wh);
+        let b = g.param(params, self.b);
+        let xw = g.matmul(x, wx);
+        let hw = g.matmul(h_prev, wh);
+        let pre = g.add(xw, hw);
+        let gates = g.add_row(pre, b);
+        let hsz = self.hidden;
+        let i_part = g.slice_cols(gates, 0, hsz);
+        let f_part = g.slice_cols(gates, hsz, 2 * hsz);
+        let g_part = g.slice_cols(gates, 2 * hsz, 3 * hsz);
+        let o_part = g.slice_cols(gates, 3 * hsz, 4 * hsz);
+        let i = g.sigmoid(i_part);
+        let f = g.sigmoid(f_part);
+        let gg = g.tanh(g_part);
+        let o = g.sigmoid(o_part);
+        let fc = g.mul(f, c_prev);
+        let ig = g.mul(i, gg);
+        let c_new = g.add(fc, ig);
+        let tc = g.tanh(c_new);
+        let h_new = g.mul(o, tc);
+        (h_new, c_new)
+    }
+
+    /// Convenience: one step from a plain [`LstmState`], returning the
+    /// next state as plain tensors (detached, i.e. truncated BPTT of
+    /// length 1 — the hidden state is stored in the rollout buffer as in
+    /// Algorithm 1 line 20).
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        x: Var,
+        state: &LstmState,
+    ) -> (Var, LstmState) {
+        let h_prev = g.input(state.h.clone());
+        let c_prev = g.input(state.c.clone());
+        let (h, c) = self.forward(g, params, x, h_prev, c_prev);
+        let next = LstmState {
+            h: g.value(h).clone(),
+            c: g.value(c).clone(),
+        };
+        (h, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut params = Params::new();
+        let l = Linear::new(&mut params, "fc", 3, 2, Init::Zeros, &mut rng);
+        params.value_mut(crate::params::ParamId(1)).set(0, 1, 5.0); // bias
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = l.forward(&mut g, &params, x);
+        assert_eq!(g.value(y).shape(), (1, 2));
+        assert_eq!(g.value(y).get(0, 1), 5.0, "bias applied");
+    }
+
+    #[test]
+    fn linear_gradients_flow_to_both_w_and_b() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let l = Linear::new(
+            &mut params,
+            "fc",
+            3,
+            2,
+            Init::Orthogonal { gain: 1.0 },
+            &mut rng,
+        );
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[0.5, -1.0, 2.0]]));
+        let y = l.forward(&mut g, &params, x);
+        let s = g.sum(y);
+        g.backward(s, &mut params);
+        for id in params.ids() {
+            assert!(params.grad(id).norm() > 0.0, "{}", params.name(id));
+        }
+    }
+
+    #[test]
+    fn lstm_step_changes_state_and_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let cell = LstmCell::new(&mut params, "lstm", 4, 8, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, -1.0, 0.5, 2.0]]));
+        let state = LstmState::zeros(1, 8);
+        let (h, next) = cell.step(&mut g, &params, x, &state);
+        assert_eq!(g.value(h).shape(), (1, 8));
+        assert_ne!(next.h, state.h);
+        assert!(g.value(h).data().iter().all(|v| v.abs() <= 1.0), "h in [-1,1]");
+    }
+
+    #[test]
+    fn lstm_memory_persists_across_steps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let cell = LstmCell::new(&mut params, "lstm", 2, 4, &mut rng);
+        // Feed a distinctive input, then zeros; the state should keep a
+        // trace of the first input (c not reset).
+        let mut state = LstmState::zeros(1, 4);
+        let mut g = Graph::new();
+        let x0 = g.input(Tensor::from_rows(&[&[3.0, -3.0]]));
+        let (_, s1) = cell.step(&mut g, &params, x0, &state);
+        state = s1;
+        let zero_state = LstmState::zeros(1, 4);
+        let mut g2 = Graph::new();
+        let z = g2.input(Tensor::zeros(1, 2));
+        let (h_with_memory, _) = cell.step(&mut g2, &params, z, &state);
+        let mut g3 = Graph::new();
+        let z3 = g3.input(Tensor::zeros(1, 2));
+        let (h_cold, _) = cell.step(&mut g3, &params, z3, &zero_state);
+        assert_ne!(g2.value(h_with_memory), g3.value(h_cold));
+    }
+
+    #[test]
+    fn lstm_gradcheck_through_one_step() {
+        // Finite-difference check through the full cell wrt wx.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let cell = LstmCell::new(&mut params, "lstm", 2, 3, &mut rng);
+        let x_data = Tensor::from_rows(&[&[0.7, -0.4]]);
+        let state = LstmState {
+            h: Tensor::from_rows(&[&[0.1, -0.2, 0.3]]),
+            c: Tensor::from_rows(&[&[0.2, 0.0, -0.1]]),
+        };
+        let run = |params: &Params| -> f32 {
+            let mut g = Graph::new();
+            let x = g.input(x_data.clone());
+            let (h, _) = cell.step(&mut g, params, x, &state);
+            let mut g2 = g;
+            let s = g2.sum(h);
+            g2.value(s).get(0, 0)
+        };
+        // Analytic.
+        let mut g = Graph::new();
+        let x = g.input(x_data.clone());
+        let (h, _) = cell.step(&mut g, &params, x, &state);
+        let s = g.sum(h);
+        params.zero_grad();
+        g.backward(s, &mut params);
+        let wx = crate::params::ParamId(0);
+        let analytic = params.grad(wx).clone();
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..12 {
+                let orig = params.value(wx).get(r, c);
+                params.value_mut(wx).set(r, c, orig + eps);
+                let fp = run(&params);
+                params.value_mut(wx).set(r, c, orig - eps);
+                let fm = run(&params);
+                params.value_mut(wx).set(r, c, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 2e-2 * (1.0 + a.abs()),
+                    "({r},{c}): {a} vs {numeric}"
+                );
+            }
+        }
+    }
+}

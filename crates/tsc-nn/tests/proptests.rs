@@ -1,0 +1,110 @@
+//! Property-based tests for tensor algebra and autograd invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsc_nn::{orthogonal, softmax_rows, Graph, Params, Tensor};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B) C == A (B C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn transpose_reverses_products(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Softmax rows are probability vectors, invariant to constant
+    /// shifts of the logits.
+    #[test]
+    fn softmax_is_shift_invariant_probability(
+        logits in small_matrix(2, 5),
+        shift in -10.0f32..10.0,
+    ) {
+        let s1 = softmax_rows(&logits);
+        let shifted = logits.map(|x| x + shift);
+        let s2 = softmax_rows(&shifted);
+        for r in 0..2 {
+            let sum: f32 = s1.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            for c in 0..5 {
+                prop_assert!(s1.get(r, c) >= 0.0);
+                prop_assert!((s1.get(r, c) - s2.get(r, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Orthogonal init yields orthonormal columns for any tall shape
+    /// and seed.
+    #[test]
+    fn orthogonal_columns_are_orthonormal(
+        seed in 0u64..500,
+        extra_rows in 0usize..6,
+        cols in 1usize..5,
+    ) {
+        let rows = cols + extra_rows;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = orthogonal(rows, cols, 1.0, &mut rng);
+        for c1 in 0..cols {
+            for c2 in 0..cols {
+                let dot: f32 = (0..rows).map(|r| t.get(r, c1) * t.get(r, c2)).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Gradient of sum(x ⊙ w) wrt w is exactly x, for any values —
+    /// a closed-form autograd check.
+    #[test]
+    fn autograd_mul_sum_gradient_is_exact(x in small_matrix(2, 3)) {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::full(2, 3, 0.5));
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.param(&params, w);
+        let prod = g.mul(xv, wv);
+        let loss = g.sum(prod);
+        g.backward(loss, &mut params);
+        prop_assert_eq!(params.grad(w).clone(), x);
+    }
+
+    /// The gradient of mean((w - t)^2) at w == t is zero everywhere.
+    #[test]
+    fn autograd_mse_gradient_vanishes_at_optimum(t in small_matrix(3, 2)) {
+        let mut params = Params::new();
+        let w = params.add("w", t.clone());
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let tv = g.input(t);
+        let d = g.sub(wv, tv);
+        let sq = g.square(d);
+        let loss = g.mean(sq);
+        g.backward(loss, &mut params);
+        prop_assert!(params.grad(w).norm() < 1e-7);
+    }
+}

@@ -1,0 +1,86 @@
+//! Advantage Actor-Critic losses (Eqs. 1–3) — the backbone of the MA2C
+//! baseline (Chu et al., 2019).
+
+use tsc_nn::{Graph, Tensor, Var};
+
+/// Hyper-parameters of an A2C update.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct A2cConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ (MA2C uses n-step returns; λ=1 reproduces that).
+    pub lambda: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Entropy coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Spatial discount applied to neighbor observations and rewards
+    /// (MA2C's α).
+    pub spatial_discount: f32,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            gamma: 0.99,
+            lambda: 1.0,
+            lr: 5e-4,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            max_grad_norm: 0.5,
+            spatial_discount: 0.75,
+        }
+    }
+}
+
+/// Vanilla policy-gradient loss `-mean(log π(a|s) · Â)` (Eq. 1),
+/// negated for minimization.
+///
+/// # Panics
+///
+/// Panics if `advantages.len()` differs from the node's row count.
+pub fn policy_loss(g: &mut Graph, log_probs: Var, advantages: &[f32]) -> Var {
+    let n = g.value(log_probs).rows();
+    assert_eq!(advantages.len(), n);
+    let adv = g.input(Tensor::from_vec(n, 1, advantages.to_vec()));
+    let weighted = g.mul(log_probs, adv);
+    let mean = g.mean(weighted);
+    g.scale(mean, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_nn::Params;
+
+    #[test]
+    fn gradient_pushes_towards_advantageous_action() {
+        let mut params = Params::new();
+        let w = params.add("logits", Tensor::from_rows(&[&[0.0, 0.0]]));
+        let mut g = Graph::new();
+        let logits = g.param(&params, w);
+        let logp = g.log_softmax(logits);
+        let picked = g.gather_cols(logp, vec![1]);
+        let loss = policy_loss(&mut g, picked, &[2.0]);
+        g.backward(loss, &mut params);
+        assert!(params.grad(w).get(0, 1) < 0.0, "descend raises logit 1");
+        assert!(params.grad(w).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn negative_advantage_reverses_direction() {
+        let mut params = Params::new();
+        let w = params.add("logits", Tensor::from_rows(&[&[0.0, 0.0]]));
+        let mut g = Graph::new();
+        let logits = g.param(&params, w);
+        let logp = g.log_softmax(logits);
+        let picked = g.gather_cols(logp, vec![1]);
+        let loss = policy_loss(&mut g, picked, &[-2.0]);
+        g.backward(loss, &mut params);
+        assert!(params.grad(w).get(0, 1) > 0.0, "descend lowers logit 1");
+    }
+}

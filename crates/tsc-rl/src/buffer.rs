@@ -1,0 +1,336 @@
+//! Experience buffers for on-policy (rollout) and off-policy (replay)
+//! learning.
+//!
+//! The rollout buffer mirrors Algorithm 1 line 20: per agent and step it
+//! stores `(s, u, r, v, h, m̂)` — observation, action, reward, value
+//! estimate, recurrent hidden state, and the regularized message — plus
+//! the behavior policy's log-probability needed by the PPO ratio.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gae::{gae, normalize_advantages};
+
+/// One stored decision of one agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Actor network input (local observation, *without* the message —
+    /// messages are stored separately so communication ablations can
+    /// reuse the same buffer).
+    pub obs: Vec<f32>,
+    /// Critic network input (own + neighbor observations).
+    pub critic_obs: Vec<f32>,
+    /// Chosen action (phase index).
+    pub action: usize,
+    /// Reward received after the action (Eq. 6).
+    pub reward: f32,
+    /// Critic value estimate at decision time.
+    pub value: f32,
+    /// Behavior log π(a|s) at decision time.
+    pub log_prob: f32,
+    /// Actor LSTM state (h, c) *before* this step.
+    pub actor_h: (Vec<f32>, Vec<f32>),
+    /// Critic LSTM state (h, c) *before* this step.
+    pub critic_h: (Vec<f32>, Vec<f32>),
+    /// Incoming regularized message(s) m̂ consumed this step.
+    pub message_in: Vec<f32>,
+    /// Algorithm-specific auxiliary targets (e.g. the congestion target
+    /// of PairUpLight's message head). Empty when unused.
+    pub aux: Vec<f32>,
+}
+
+/// Post-GAE training target for one transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// GAE advantage (normalized across the batch).
+    pub advantage: f32,
+    /// Reward-to-go return for the value loss.
+    pub ret: f32,
+}
+
+/// On-policy rollout storage for `num_agents` parallel trajectories.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer {
+    agents: Vec<Vec<Transition>>,
+    targets: Vec<Vec<Target>>,
+}
+
+impl RolloutBuffer {
+    /// Creates a buffer for `num_agents` agents.
+    pub fn new(num_agents: usize) -> Self {
+        RolloutBuffer {
+            agents: vec![Vec::new(); num_agents],
+            targets: vec![Vec::new(); num_agents],
+        }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Steps stored for agent `a`.
+    pub fn len(&self, a: usize) -> usize {
+        self.agents[a].len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.agents.iter().all(Vec::is_empty)
+    }
+
+    /// Total transitions across agents.
+    pub fn total(&self) -> usize {
+        self.agents.iter().map(Vec::len).sum()
+    }
+
+    /// Appends a transition for agent `a`.
+    pub fn push(&mut self, a: usize, t: Transition) {
+        self.agents[a].push(t);
+    }
+
+    /// Transitions of agent `a`.
+    pub fn transitions(&self, a: usize) -> &[Transition] {
+        &self.agents[a]
+    }
+
+    /// Training target for `(agent, step)` (after
+    /// [`compute_targets`](Self::compute_targets)).
+    pub fn target(&self, a: usize, t: usize) -> Target {
+        self.targets[a][t]
+    }
+
+    /// Runs GAE per agent (Algorithm 1 lines 27–28) with bootstrap
+    /// values `last_values[a]`, then normalizes advantages across the
+    /// whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last_values` length differs from the agent count.
+    pub fn compute_targets(&mut self, last_values: &[f32], gamma: f32, lambda: f32) {
+        assert_eq!(last_values.len(), self.agents.len());
+        let mut all_adv = Vec::with_capacity(self.total());
+        let mut per_agent = Vec::with_capacity(self.agents.len());
+        for (a, steps) in self.agents.iter().enumerate() {
+            let rewards: Vec<f32> = steps.iter().map(|t| t.reward).collect();
+            let values: Vec<f32> = steps.iter().map(|t| t.value).collect();
+            let (adv, ret) = gae(&rewards, &values, last_values[a], gamma, lambda);
+            all_adv.extend_from_slice(&adv);
+            per_agent.push((adv, ret));
+        }
+        normalize_advantages(&mut all_adv);
+        let mut k = 0;
+        self.targets.clear();
+        for (adv, ret) in per_agent {
+            let n = adv.len();
+            let normalized = &all_adv[k..k + n];
+            k += n;
+            self.targets.push(
+                normalized
+                    .iter()
+                    .zip(&ret)
+                    .map(|(&advantage, &ret)| Target { advantage, ret })
+                    .collect(),
+            );
+        }
+    }
+
+    /// All `(agent, step)` indices shuffled into minibatches of
+    /// `minibatch` (last batch may be smaller).
+    pub fn minibatches<R: Rng>(&self, minibatch: usize, rng: &mut R) -> Vec<Vec<(usize, usize)>> {
+        let mut idx: Vec<(usize, usize)> = self
+            .agents
+            .iter()
+            .enumerate()
+            .flat_map(|(a, steps)| (0..steps.len()).map(move |t| (a, t)))
+            .collect();
+        idx.shuffle(rng);
+        idx.chunks(minibatch.max(1)).map(<[_]>::to_vec).collect()
+    }
+
+    /// Clears all stored experience.
+    pub fn clear(&mut self) {
+        for a in &mut self.agents {
+            a.clear();
+        }
+        self.targets.clear();
+    }
+}
+
+/// One off-policy transition for DQN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTransition {
+    /// State at decision time.
+    pub obs: Vec<f32>,
+    /// Chosen action.
+    pub action: usize,
+    /// Observed reward.
+    pub reward: f32,
+    /// Successor state.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode ended after this transition.
+    pub done: bool,
+}
+
+/// A bounded FIFO replay buffer with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<ReplayTransition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+        }
+    }
+
+    /// Stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Adds a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: ReplayTransition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Uniformly samples `batch` transitions (with replacement when the
+    /// buffer is smaller than `batch`).
+    pub fn sample<'a, R: Rng>(&'a self, batch: usize, rng: &mut R) -> Vec<&'a ReplayTransition> {
+        (0..batch)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dummy(reward: f32, value: f32) -> Transition {
+        Transition {
+            obs: vec![0.0],
+            critic_obs: vec![0.0],
+            action: 0,
+            reward,
+            value,
+            log_prob: -1.0,
+            actor_h: (vec![], vec![]),
+            critic_h: (vec![], vec![]),
+            message_in: vec![],
+            aux: vec![],
+        }
+    }
+
+    #[test]
+    fn targets_match_direct_gae() {
+        let mut buf = RolloutBuffer::new(1);
+        for (r, v) in [(1.0, 0.5), (0.0, 0.2), (2.0, 0.1)] {
+            buf.push(0, dummy(r, v));
+        }
+        buf.compute_targets(&[0.3], 0.9, 0.95);
+        let (raw_adv, ret) = gae(&[1.0, 0.0, 2.0], &[0.5, 0.2, 0.1], 0.3, 0.9, 0.95);
+        let mut norm = raw_adv;
+        normalize_advantages(&mut norm);
+        for t in 0..3 {
+            assert!((buf.target(0, t).advantage - norm[t]).abs() < 1e-6);
+            assert!((buf.target(0, t).ret - ret[t]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalization_spans_agents() {
+        let mut buf = RolloutBuffer::new(2);
+        buf.push(0, dummy(10.0, 0.0));
+        buf.push(1, dummy(-10.0, 0.0));
+        buf.compute_targets(&[0.0, 0.0], 0.99, 0.95);
+        let a = buf.target(0, 0).advantage;
+        let b = buf.target(1, 0).advantage;
+        assert!((a + b).abs() < 1e-5, "normalized to zero mean");
+        assert!(a > 0.0 && b < 0.0);
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let mut buf = RolloutBuffer::new(3);
+        for a in 0..3 {
+            for _ in 0..5 {
+                buf.push(a, dummy(0.0, 0.0));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = buf.minibatches(4, &mut rng);
+        let mut seen: Vec<(usize, usize)> = batches.into_iter().flatten().collect();
+        seen.sort();
+        let mut expect: Vec<(usize, usize)> =
+            (0..3).flat_map(|a| (0..5).map(move |t| (a, t))).collect();
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn replay_buffer_evicts_fifo() {
+        let mut buf = ReplayBuffer::new(2);
+        for i in 0..3 {
+            buf.push(ReplayTransition {
+                obs: vec![i as f32],
+                action: 0,
+                reward: 0.0,
+                next_obs: vec![],
+                done: false,
+            });
+        }
+        assert_eq!(buf.len(), 2);
+        let stored: Vec<f32> = buf.data.iter().map(|t| t.obs[0]).collect();
+        assert!(stored.contains(&2.0), "newest kept");
+        assert!(!stored.contains(&0.0), "oldest evicted");
+    }
+
+    #[test]
+    fn replay_sampling_returns_requested_batch() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..5 {
+            buf.push(ReplayTransition {
+                obs: vec![i as f32],
+                action: i,
+                reward: 0.0,
+                next_obs: vec![],
+                done: false,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(buf.sample(8, &mut rng).len(), 8);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut buf = RolloutBuffer::new(1);
+        buf.push(0, dummy(1.0, 0.0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.total(), 0);
+    }
+}

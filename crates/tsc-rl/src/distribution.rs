@@ -1,0 +1,171 @@
+//! Categorical action distributions and exploration policies.
+
+use rand::Rng;
+
+/// A categorical distribution over discrete actions, given as
+/// probabilities (already normalized, e.g. a softmax row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical<'a> {
+    probs: &'a [f32],
+}
+
+impl<'a> Categorical<'a> {
+    /// Wraps a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the probabilities sum to ~1.
+    pub fn new(probs: &'a [f32]) -> Self {
+        debug_assert!(
+            (probs.iter().sum::<f32>() - 1.0).abs() < 1e-3,
+            "probs must sum to 1"
+        );
+        Categorical { probs }
+    }
+
+    /// Samples an action index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        self.probs.len() - 1
+    }
+
+    /// Index of the most probable action.
+    pub fn argmax(&self) -> usize {
+        self.probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Natural log probability of `action` (floored at 1e-8 for
+    /// numerical safety).
+    pub fn log_prob(&self, action: usize) -> f32 {
+        self.probs[action].max(1e-8).ln()
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f32 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f32>()
+    }
+}
+
+/// ε-greedy wrapper (Algorithm 1 line 13): with probability ε pick a
+/// uniformly random action, otherwise follow the distribution's mode.
+pub fn epsilon_greedy<R: Rng>(probs: &[f32], epsilon: f32, rng: &mut R) -> usize {
+    if rng.gen::<f32>() < epsilon {
+        rng.gen_range(0..probs.len())
+    } else {
+        Categorical::new(probs).argmax()
+    }
+}
+
+/// A linearly decaying exploration schedule.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearSchedule {
+    /// Value at step 0.
+    pub start: f32,
+    /// Final value.
+    pub end: f32,
+    /// Steps over which the value decays from `start` to `end`.
+    pub decay_steps: u64,
+}
+
+impl LinearSchedule {
+    /// The schedule value at `step`.
+    pub fn value(&self, step: u64) -> f32 {
+        if self.decay_steps == 0 || step >= self.decay_steps {
+            return self.end;
+        }
+        let f = step as f32 / self.decay_steps as f32;
+        self.start + f * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let probs = [0.1f32, 0.7, 0.2];
+        let d = Categorical::new(&probs);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = counts[i] as f32 / 10_000.0;
+            assert!((freq - p).abs() < 0.03, "arm {i}: {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    fn argmax_and_log_prob() {
+        let probs = [0.1f32, 0.7, 0.2];
+        let d = Categorical::new(&probs);
+        assert_eq!(d.argmax(), 1);
+        assert!((d.log_prob(1) - 0.7f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = [0.25f32; 4];
+        let skewed = [0.97f32, 0.01, 0.01, 0.01];
+        assert!(
+            Categorical::new(&uniform).entropy() > Categorical::new(&skewed).entropy()
+        );
+        assert!((Categorical::new(&uniform).entropy() - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform_random() {
+        let probs = [0.0f32, 1.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_other = false;
+        for _ in 0..100 {
+            if epsilon_greedy(&probs, 1.0, &mut rng) != 1 {
+                saw_other = true;
+            }
+        }
+        assert!(saw_other);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let probs = [0.0f32, 1.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(epsilon_greedy(&probs, 0.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn linear_schedule_endpoints() {
+        let s = LinearSchedule {
+            start: 1.0,
+            end: 0.05,
+            decay_steps: 100,
+        };
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(100), 0.05);
+        assert_eq!(s.value(1000), 0.05);
+        assert!((s.value(50) - 0.525).abs() < 1e-6);
+    }
+}

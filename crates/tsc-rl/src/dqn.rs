@@ -1,0 +1,138 @@
+//! Deep Q-learning machinery — the backbone RL model of the CoLight
+//! baseline (Wei et al., 2019).
+
+use tsc_nn::{Graph, Tensor, Var};
+
+use crate::buffer::ReplayTransition;
+
+/// Hyper-parameters of a DQN learner.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Environment steps between target-network syncs.
+    pub target_sync: usize,
+    /// Warm-up transitions before learning starts.
+    pub warmup: usize,
+    /// ε-greedy start.
+    pub eps_start: f32,
+    /// ε-greedy end.
+    pub eps_end: f32,
+    /// ε decay steps.
+    pub eps_decay: u64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            gamma: 0.99,
+            lr: 1e-3,
+            replay_capacity: 50_000,
+            batch_size: 32,
+            target_sync: 500,
+            warmup: 500,
+            eps_start: 1.0,
+            eps_end: 0.05,
+            eps_decay: 20_000,
+            max_grad_norm: 10.0,
+        }
+    }
+}
+
+/// Computes TD targets `r + γ · max_a' Q_target(s', a')` (zeroing the
+/// bootstrap on terminal transitions) from a batch of transitions and
+/// the target network's Q values for the successor states.
+///
+/// # Panics
+///
+/// Panics if `next_q.rows()` differs from the batch size.
+pub fn td_targets(batch: &[&ReplayTransition], next_q: &Tensor, gamma: f32) -> Vec<f32> {
+    assert_eq!(next_q.rows(), batch.len());
+    batch
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if t.done {
+                t.reward
+            } else {
+                let max_q = next_q
+                    .row(i)
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                t.reward + gamma * max_q
+            }
+        })
+        .collect()
+}
+
+/// Builds the DQN regression loss `mean((Q(s, a) - y)²)` where `q` is
+/// the online network's `batch × actions` output.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn q_loss(g: &mut Graph, q: Var, actions: &[usize], targets: &[f32]) -> Var {
+    let n = g.value(q).rows();
+    assert_eq!(actions.len(), n);
+    assert_eq!(targets.len(), n);
+    let picked = g.gather_cols(q, actions.to_vec());
+    let y = g.input(Tensor::from_vec(n, 1, targets.to_vec()));
+    let d = g.sub(picked, y);
+    let sq = g.square(d);
+    g.mean(sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(reward: f32, done: bool) -> ReplayTransition {
+        ReplayTransition {
+            obs: vec![0.0],
+            action: 0,
+            reward,
+            next_obs: vec![0.0],
+            done,
+        }
+    }
+
+    #[test]
+    fn targets_bootstrap_with_max_q() {
+        let a = tr(1.0, false);
+        let b = tr(2.0, true);
+        let batch = vec![&a, &b];
+        let next_q = Tensor::from_rows(&[&[0.5, 3.0], &[9.0, 9.0]]);
+        let y = td_targets(&batch, &next_q, 0.9);
+        assert!((y[0] - (1.0 + 0.9 * 3.0)).abs() < 1e-6);
+        assert_eq!(y[1], 2.0, "terminal transition has no bootstrap");
+    }
+
+    #[test]
+    fn q_loss_vanishes_at_targets() {
+        let mut g = Graph::new();
+        let q = g.input(Tensor::from_rows(&[&[1.0, 5.0], &[2.0, 0.0]]));
+        let loss = q_loss(&mut g, q, &[1, 0], &[5.0, 2.0]);
+        assert_eq!(g.value(loss).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn q_loss_gradient_moves_selected_action_only() {
+        let mut params = tsc_nn::Params::new();
+        let w = params.add("q", Tensor::from_rows(&[&[0.0, 0.0]]));
+        let mut g = Graph::new();
+        let q = g.param(&params, w);
+        let loss = q_loss(&mut g, q, &[0], &[1.0]);
+        g.backward(loss, &mut params);
+        assert!(params.grad(w).get(0, 0) != 0.0);
+        assert_eq!(params.grad(w).get(0, 1), 0.0, "unselected action untouched");
+    }
+}

@@ -1,0 +1,107 @@
+//! Generalized Advantage Estimation (Schulman et al., 2015) — the
+//! advantage estimator of the paper's backbone (Eq. 7, Algorithm 1
+//! line 27) — plus reward-to-go returns (line 28).
+
+/// Computes GAE(γ, λ) advantages and reward-to-go returns for one
+/// trajectory.
+///
+/// `values[t]` is the critic estimate for the state at step `t`;
+/// `last_value` bootstraps the value after the final transition (0 for
+/// terminal states, `V(s_{B+1})` otherwise — Algorithm 1 line 24).
+/// Returns `(advantages, returns)` with `returns[t] = adv[t] + values[t]`.
+///
+/// # Panics
+///
+/// Panics if `rewards` and `values` differ in length.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    last_value: f32,
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(rewards.len(), values.len(), "one value per reward");
+    let n = rewards.len();
+    let mut adv = vec![0.0f32; n];
+    let mut acc = 0.0f32;
+    for t in (0..n).rev() {
+        let next_v = if t + 1 < n { values[t + 1] } else { last_value };
+        let delta = rewards[t] + gamma * next_v - values[t];
+        acc = delta + gamma * lambda * acc;
+        adv[t] = acc;
+    }
+    let returns = adv.iter().zip(values).map(|(a, v)| a + v).collect();
+    (adv, returns)
+}
+
+/// Normalizes advantages to zero mean and unit variance (the standard
+/// PPO stabilization). No-op on fewer than two samples.
+pub fn normalize_advantages(adv: &mut [f32]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f32;
+    let mean = adv.iter().sum::<f32>() / n;
+    let var = adv.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for a in adv.iter_mut() {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gae_with_lambda_one_is_discounted_return_minus_value() {
+        let rewards = [1.0f32, 1.0, 1.0];
+        let values = [0.5f32, 0.5, 0.5];
+        let gamma = 0.9;
+        let (adv, returns) = gae(&rewards, &values, 0.0, gamma, 1.0);
+        // Monte-Carlo return at t=0: 1 + 0.9 + 0.81 = 2.71.
+        assert!((returns[0] - 2.71).abs() < 1e-5);
+        assert!((adv[0] - (2.71 - 0.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gae_with_lambda_zero_is_one_step_td() {
+        let rewards = [1.0f32, 2.0];
+        let values = [0.5f32, 1.0];
+        let gamma = 0.9;
+        let (adv, _) = gae(&rewards, &values, 3.0, gamma, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 1.0 - 0.5)).abs() < 1e-6);
+        assert!((adv[1] - (2.0 + 0.9 * 3.0 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_value_propagates() {
+        let (adv_no_boot, _) = gae(&[0.0], &[0.0], 0.0, 0.99, 0.95);
+        let (adv_boot, _) = gae(&[0.0], &[0.0], 10.0, 0.99, 0.95);
+        assert_eq!(adv_no_boot[0], 0.0);
+        assert!((adv_boot[0] - 9.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalization_gives_zero_mean_unit_std() {
+        let mut adv = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        normalize_advantages(&mut adv);
+        let mean: f32 = adv.iter().sum::<f32>() / 5.0;
+        let var: f32 = adv.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / 5.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_sample_normalization_is_noop() {
+        let mut adv = vec![7.0f32];
+        normalize_advantages(&mut adv);
+        assert_eq!(adv, vec![7.0]);
+    }
+
+    #[test]
+    fn empty_trajectory_is_fine() {
+        let (adv, ret) = gae(&[], &[], 0.0, 0.99, 0.95);
+        assert!(adv.is_empty() && ret.is_empty());
+    }
+}

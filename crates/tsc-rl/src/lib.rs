@@ -1,0 +1,35 @@
+//! # tsc-rl — reinforcement-learning algorithms
+//!
+//! The RL substrate of the PairUpLight reproduction:
+//!
+//! * [`mod@gae`] — Generalized Advantage Estimation and advantage
+//!   normalization (Algorithm 1 lines 27–28);
+//! * [`ppo`] — the clipped surrogate objective, value loss and entropy
+//!   bonus of the paper's backbone (Eqs. 1–4, 7);
+//! * [`a2c`] — vanilla actor-critic losses for the MA2C baseline;
+//! * [`dqn`] — TD targets, Q-regression loss and replay for the CoLight
+//!   baseline;
+//! * [`buffer`] — on-policy rollout storage mirroring Algorithm 1
+//!   line 20 and an off-policy replay buffer;
+//! * [`distribution`] — categorical sampling, ε-greedy, schedules.
+//!
+//! Loss builders assemble onto a [`tsc_nn::Graph`], so any network
+//! architecture plugs in its own forward pass. The integration test in
+//! `tests/` trains PPO and DQN learners to optimality on toy MDPs.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod a2c;
+pub mod buffer;
+pub mod distribution;
+pub mod dqn;
+pub mod gae;
+pub mod ppo;
+
+pub use a2c::A2cConfig;
+pub use buffer::{ReplayBuffer, ReplayTransition, RolloutBuffer, Target, Transition};
+pub use distribution::{epsilon_greedy, Categorical, LinearSchedule};
+pub use dqn::DqnConfig;
+pub use gae::{gae, normalize_advantages};
+pub use ppo::PpoConfig;

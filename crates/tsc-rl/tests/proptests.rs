@@ -1,0 +1,116 @@
+//! Property-based tests for the RL algorithm components.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsc_rl::buffer::{ReplayBuffer, ReplayTransition};
+use tsc_rl::distribution::Categorical;
+use tsc_rl::gae::{gae, normalize_advantages};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With λ = 1 GAE reduces to the Monte-Carlo return minus the
+    /// value baseline, for arbitrary reward/value sequences.
+    #[test]
+    fn gae_lambda_one_is_monte_carlo(
+        rewards in proptest::collection::vec(-5.0f32..5.0, 1..20),
+        gamma in 0.5f32..0.999,
+    ) {
+        let values: Vec<f32> = rewards.iter().map(|r| r * 0.3).collect();
+        let (adv, ret) = gae(&rewards, &values, 0.0, gamma, 1.0);
+        // Direct Monte-Carlo computation.
+        let n = rewards.len();
+        let mut mc = vec![0.0f32; n];
+        let mut acc = 0.0;
+        for t in (0..n).rev() {
+            acc = rewards[t] + gamma * acc;
+            mc[t] = acc;
+        }
+        for t in 0..n {
+            prop_assert!((ret[t] - mc[t]).abs() < 1e-3, "t={t}: {} vs {}", ret[t], mc[t]);
+            prop_assert!((adv[t] - (mc[t] - values[t])).abs() < 1e-3);
+        }
+    }
+
+    /// With λ = 0 every advantage is the one-step TD error.
+    #[test]
+    fn gae_lambda_zero_is_td(
+        rewards in proptest::collection::vec(-5.0f32..5.0, 1..20),
+        gamma in 0.5f32..0.999,
+        last_value in -5.0f32..5.0,
+    ) {
+        let values: Vec<f32> = rewards.iter().map(|r| r * -0.2).collect();
+        let (adv, _) = gae(&rewards, &values, last_value, gamma, 0.0);
+        let n = rewards.len();
+        for t in 0..n {
+            let next = if t + 1 < n { values[t + 1] } else { last_value };
+            let td = rewards[t] + gamma * next - values[t];
+            prop_assert!((adv[t] - td).abs() < 1e-4);
+        }
+    }
+
+    /// Normalized advantages always have ~zero mean and unit (or zero)
+    /// variance.
+    #[test]
+    fn normalization_is_standard(
+        mut adv in proptest::collection::vec(-100.0f32..100.0, 2..50),
+    ) {
+        normalize_advantages(&mut adv);
+        let n = adv.len() as f32;
+        let mean: f32 = adv.iter().sum::<f32>() / n;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        let var: f32 = adv.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / n;
+        // All-equal inputs normalize to zeros (std floor), otherwise
+        // unit variance.
+        prop_assert!(var < 1.01, "var {var}");
+    }
+
+    /// Categorical sampling only ever returns in-support indices and
+    /// log_prob is finite.
+    #[test]
+    fn categorical_sampling_is_in_support(
+        weights in proptest::collection::vec(0.0f32..1.0, 2..8),
+        seed in 0u64..100,
+    ) {
+        let total: f32 = weights.iter().sum();
+        prop_assume!(total > 1e-3);
+        let probs: Vec<f32> = weights.iter().map(|w| w / total).collect();
+        let d = Categorical::new(&probs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let a = d.sample(&mut rng);
+            prop_assert!(a < probs.len());
+            prop_assert!(d.log_prob(a).is_finite());
+        }
+    }
+
+    /// The replay buffer never exceeds capacity and always keeps the
+    /// most recent item.
+    #[test]
+    fn replay_buffer_bounds_and_recency(
+        capacity in 1usize..20,
+        pushes in 1usize..60,
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(ReplayTransition {
+                obs: vec![i as f32],
+                action: 0,
+                reward: 0.0,
+                next_obs: vec![],
+                done: false,
+            });
+        }
+        prop_assert!(buf.len() <= capacity);
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+        let mut rng = StdRng::seed_from_u64(0);
+        let sampled = buf.sample(200, &mut rng);
+        // Every sampled element must be one of the last `capacity`
+        // pushes.
+        let oldest_kept = pushes.saturating_sub(capacity) as f32;
+        for t in sampled {
+            prop_assert!(t.obs[0] >= oldest_kept);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end learning tests on toy MDPs: the full PPO and DQN loops
+//! (networks from tsc-nn, losses/buffers from tsc-rl) must solve
+//! problems with known optima.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsc_nn::{Adam, Graph, Init, Linear, Params, Tensor};
+use tsc_rl::buffer::{ReplayBuffer, ReplayTransition};
+use tsc_rl::distribution::Categorical;
+use tsc_rl::dqn::{q_loss, td_targets};
+use tsc_rl::gae::{gae, normalize_advantages};
+use tsc_rl::ppo::{clipped_policy_loss, entropy_bonus, total_loss, value_loss, PpoConfig};
+
+/// A two-state chain: state 0, action 1 leads to state 1 (reward 0);
+/// in state 1, action 0 gives reward +1 and terminates; every other
+/// action terminates with reward 0. Optimal return = 1.
+fn chain_step(state: usize, action: usize) -> (Option<usize>, f32) {
+    match (state, action) {
+        (0, 1) => (Some(1), 0.0),
+        (1, 0) => (None, 1.0),
+        _ => (None, 0.0),
+    }
+}
+
+fn one_hot(state: usize) -> Tensor {
+    let mut t = Tensor::zeros(1, 2);
+    t.set(0, state, 1.0);
+    t
+}
+
+#[test]
+fn ppo_learns_two_step_chain() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = PpoConfig {
+        lr: 0.01,
+        entropy_coef: 0.001,
+        epochs: 4,
+        minibatch: 32,
+        gamma: 0.9,
+        lambda: 0.95,
+        ..PpoConfig::default()
+    };
+    let mut params = Params::new();
+    let policy = Linear::new(
+        &mut params,
+        "pi",
+        2,
+        2,
+        Init::Orthogonal { gain: 0.1 },
+        &mut rng,
+    );
+    let critic = Linear::new(
+        &mut params,
+        "v",
+        2,
+        1,
+        Init::Orthogonal { gain: 1.0 },
+        &mut rng,
+    );
+    let mut opt = Adam::new(&params, cfg.lr);
+
+    for _iter in 0..60 {
+        // Collect a batch of episodes.
+        let mut obs_v: Vec<Tensor> = Vec::new();
+        let mut acts = Vec::new();
+        let mut logps = Vec::new();
+        let mut rewards = Vec::new();
+        let mut values = Vec::new();
+        let mut episode_ends = Vec::new();
+        for _ep in 0..16 {
+            let mut state = Some(0usize);
+            while let Some(s) = state {
+                let mut g = Graph::new();
+                let x = g.input(one_hot(s));
+                let logits = policy.forward(&mut g, &params, x);
+                let probs_t = tsc_nn::softmax_rows(g.value(logits));
+                let v = critic.forward(&mut g, &params, x);
+                let value = g.value(v).get(0, 0);
+                let dist = Categorical::new(probs_t.row(0));
+                let a = dist.sample(&mut rng);
+                let (next, r) = chain_step(s, a);
+                obs_v.push(one_hot(s));
+                acts.push(a);
+                logps.push(dist.log_prob(a));
+                rewards.push(r);
+                values.push(value);
+                state = next;
+            }
+            episode_ends.push(obs_v.len());
+        }
+        // Per-episode GAE (episodes terminate, so bootstrap = 0).
+        let mut adv = Vec::new();
+        let mut rets = Vec::new();
+        let mut start = 0;
+        for &end in &episode_ends {
+            let (a, r) = gae(
+                &rewards[start..end],
+                &values[start..end],
+                0.0,
+                cfg.gamma,
+                cfg.lambda,
+            );
+            adv.extend(a);
+            rets.extend(r);
+            start = end;
+        }
+        normalize_advantages(&mut adv);
+        // PPO epochs over the whole batch.
+        for _epoch in 0..cfg.epochs {
+            let mut g = Graph::new();
+            let rows: Vec<&[f32]> = obs_v.iter().map(|t| t.row(0)).collect();
+            let x = g.input(Tensor::from_rows(&rows));
+            let logits = policy.forward(&mut g, &params, x);
+            let logp_all = g.log_softmax(logits);
+            let picked = g.gather_cols(logp_all, acts.clone());
+            let pl = clipped_policy_loss(&mut g, picked, &logps, &adv, cfg.clip);
+            let v = critic.forward(&mut g, &params, x);
+            let vl = value_loss(&mut g, v, &rets);
+            let ent = entropy_bonus(&mut g, logits);
+            let loss = total_loss(&mut g, pl, vl, ent, &cfg);
+            g.backward(loss, &mut params);
+            params.clip_grad_norm(cfg.max_grad_norm);
+            opt.step(&mut params);
+        }
+    }
+    // Greedy policy must pick action 1 in state 0 and action 0 in state 1.
+    let greedy = |state: usize, params: &Params| -> usize {
+        let mut g = Graph::new();
+        let x = g.input(one_hot(state));
+        let logits = policy.forward(&mut g, params, x);
+        let probs = tsc_nn::softmax_rows(g.value(logits));
+        Categorical::new(probs.row(0)).argmax()
+    };
+    assert_eq!(greedy(0, &params), 1, "state 0 must move to state 1");
+    assert_eq!(greedy(1, &params), 0, "state 1 must collect the reward");
+    // Critic should value state 1 close to 1 (one step from reward).
+    let mut g = Graph::new();
+    let x = g.input(one_hot(1));
+    let v = critic.forward(&mut g, &params, x);
+    assert!(
+        (g.value(v).get(0, 0) - 1.0).abs() < 0.35,
+        "V(1) = {}",
+        g.value(v).get(0, 0)
+    );
+}
+
+#[test]
+fn dqn_learns_contextual_bandit() {
+    // Two contexts, three arms; best arm differs by context.
+    let reward = |ctx: usize, arm: usize| -> f32 {
+        match (ctx, arm) {
+            (0, 2) => 1.0,
+            (1, 0) => 1.0,
+            _ => 0.1,
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut params = Params::new();
+    let q_net = Linear::new(
+        &mut params,
+        "q",
+        2,
+        3,
+        Init::Orthogonal { gain: 1.0 },
+        &mut rng,
+    );
+    let mut opt = Adam::new(&params, 0.01);
+    let mut replay = ReplayBuffer::new(2000);
+    let gamma = 0.0; // bandit: no bootstrap
+
+    for step in 0..1500 {
+        let ctx = rng.gen_range(0..2usize);
+        let eps = (1.0 - step as f32 / 700.0).max(0.05);
+        let a = if rng.gen::<f32>() < eps {
+            rng.gen_range(0..3)
+        } else {
+            let mut g = Graph::new();
+            let x = g.input(one_hot(ctx));
+            let q = q_net.forward(&mut g, &params, x);
+            let row = g.value(q).row(0).to_vec();
+            row.iter()
+                .enumerate()
+                .max_by(|p, q| p.1.partial_cmp(q.1).unwrap())
+                .unwrap()
+                .0
+        };
+        replay.push(ReplayTransition {
+            obs: one_hot(ctx).row(0).to_vec(),
+            action: a,
+            reward: reward(ctx, a),
+            next_obs: vec![0.0, 0.0],
+            done: true,
+        });
+        if replay.len() >= 64 {
+            let batch = replay.sample(32, &mut rng);
+            let next_q = Tensor::zeros(batch.len(), 3);
+            let targets = td_targets(&batch, &next_q, gamma);
+            let actions: Vec<usize> = batch.iter().map(|t| t.action).collect();
+            let rows: Vec<&[f32]> = batch.iter().map(|t| t.obs.as_slice()).collect();
+            let mut g = Graph::new();
+            let x = g.input(Tensor::from_rows(&rows));
+            let q = q_net.forward(&mut g, &params, x);
+            let loss = q_loss(&mut g, q, &actions, &targets);
+            g.backward(loss, &mut params);
+            opt.step(&mut params);
+        }
+    }
+    for (ctx, best) in [(0usize, 2usize), (1, 0)] {
+        let mut g = Graph::new();
+        let x = g.input(one_hot(ctx));
+        let q = q_net.forward(&mut g, &params, x);
+        let row = g.value(q).row(0);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|p, q| p.1.partial_cmp(q.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, best, "context {ctx}: q = {row:?}");
+        assert!((row[best] - 1.0).abs() < 0.2, "q-value near true reward");
+    }
+}

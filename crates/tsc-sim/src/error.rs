@@ -1,0 +1,99 @@
+//! Error types for network construction and simulation control.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{LinkId, NodeId};
+
+/// Errors produced while building a [`Network`](crate::network::Network)
+/// or driving a [`Simulation`](crate::sim::Simulation).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node identifier referenced an index outside the network.
+    UnknownNode(NodeId),
+    /// A link identifier referenced an index outside the network.
+    UnknownLink(LinkId),
+    /// A link was declared between identical endpoints.
+    SelfLoop(NodeId),
+    /// A requested phase index is outside the node's phase plan.
+    InvalidPhase {
+        /// The intersection whose plan was violated.
+        node: NodeId,
+        /// The out-of-range phase index.
+        phase: usize,
+        /// Number of phases in the plan.
+        num_phases: usize,
+    },
+    /// The node has no signal plan (it is not a signalized intersection).
+    NotSignalized(NodeId),
+    /// No route exists between the given origin and destination.
+    NoRoute {
+        /// Trip origin.
+        from: NodeId,
+        /// Trip destination.
+        to: NodeId,
+    },
+    /// An action vector did not match the number of controlled intersections.
+    ActionLengthMismatch {
+        /// Actions supplied by the caller.
+        got: usize,
+        /// Signalized intersections in the scenario.
+        expected: usize,
+    },
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            SimError::SelfLoop(n) => write!(f, "link endpoints are the same node {n}"),
+            SimError::InvalidPhase {
+                node,
+                phase,
+                num_phases,
+            } => write!(
+                f,
+                "phase {phase} out of range for node {node} with {num_phases} phases"
+            ),
+            SimError::NotSignalized(n) => write!(f, "node {n} is not signalized"),
+            SimError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            SimError::ActionLengthMismatch { got, expected } => write!(
+                f,
+                "got {got} actions but scenario has {expected} signalized intersections"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::NoRoute {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert_eq!(e.to_string(), "no route from n1 to n2");
+        let e = SimError::InvalidPhase {
+            node: NodeId(0),
+            phase: 9,
+            num_phases: 4,
+        };
+        assert!(e.to_string().contains("phase 9"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,199 @@
+//! Static shortest-path routing over the link graph.
+//!
+//! Routes are computed once per OD pair on free-flow travel times
+//! (length / free speed), matching the static route assignment used by
+//! the paper's SUMO scenarios. The search runs on *links* rather than
+//! nodes so that turn restrictions (no U-turns, missing turn targets)
+//! are respected exactly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::SimError;
+use crate::ids::{LinkId, NodeId};
+use crate::network::{Movement, Network};
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    link: LinkId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties broken by link id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.link.index().cmp(&self.link.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes a shortest link-sequence route from node `origin` to node
+/// `destination` using free-flow time as the edge cost.
+///
+/// The returned route starts with a link leaving `origin` and ends with
+/// a link entering `destination`; consecutive links are always joined by
+/// a legal turning movement.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoRoute`] when `destination` is unreachable, and
+/// [`SimError::UnknownNode`] for out-of-range node ids.
+pub fn shortest_route(
+    network: &Network,
+    origin: NodeId,
+    destination: NodeId,
+    free_speed: f64,
+) -> Result<Vec<LinkId>, SimError> {
+    if origin.index() >= network.num_nodes() {
+        return Err(SimError::UnknownNode(origin));
+    }
+    if destination.index() >= network.num_nodes() {
+        return Err(SimError::UnknownNode(destination));
+    }
+    let n_links = network.num_links();
+    let mut dist = vec![f64::INFINITY; n_links];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n_links];
+    let mut heap = BinaryHeap::new();
+
+    for &l in network.outgoing(origin) {
+        let cost = network.link(l).length() / free_speed;
+        if cost < dist[l.index()] {
+            dist[l.index()] = cost;
+            heap.push(HeapEntry { cost, link: l });
+        }
+    }
+
+    let mut best_terminal: Option<(f64, LinkId)> = None;
+    while let Some(HeapEntry { cost, link }) = heap.pop() {
+        if cost > dist[link.index()] {
+            continue;
+        }
+        if network.link(link).to() == destination {
+            best_terminal = Some((cost, link));
+            break; // Dijkstra: first settled terminal link is optimal.
+        }
+        for m in Movement::ALL {
+            if let Some(next) = network.turn_target(link, m) {
+                let c = cost + network.link(next).length() / free_speed;
+                if c < dist[next.index()] {
+                    dist[next.index()] = c;
+                    prev[next.index()] = Some(link);
+                    heap.push(HeapEntry { cost: c, link: next });
+                }
+            }
+        }
+    }
+
+    let (_, mut cur) = best_terminal.ok_or(SimError::NoRoute {
+        from: origin,
+        to: destination,
+    })?;
+    let mut route = vec![cur];
+    while let Some(p) = prev[cur.index()] {
+        route.push(p);
+        cur = p;
+    }
+    route.reverse();
+    Ok(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Direction;
+    use crate::network::{Lane, NetworkBuilder};
+
+    /// 3-node corridor west -> center -> east plus a detour.
+    fn corridor() -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let w = b.add_node(0.0, 0.0, false);
+        let c = b.add_node(200.0, 0.0, true);
+        let e = b.add_node(400.0, 0.0, false);
+        let n = b.add_node(200.0, 200.0, false);
+        b.add_link(w, c, Direction::East, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(c, e, Direction::East, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(c, n, Direction::North, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(n, c, Direction::South, vec![Lane::all_movements()])
+            .unwrap();
+        (b.build().unwrap(), w, e)
+    }
+
+    #[test]
+    fn straight_route_is_found() {
+        let (net, w, e) = corridor();
+        let route = shortest_route(&net, w, e, 13.89).unwrap();
+        assert_eq!(route.len(), 2);
+        assert_eq!(net.link(route[0]).from(), w);
+        assert_eq!(net.link(*route.last().unwrap()).to(), e);
+    }
+
+    #[test]
+    fn consecutive_route_links_are_connected_by_legal_turns() {
+        let (net, w, e) = corridor();
+        let route = shortest_route(&net, w, e, 13.89).unwrap();
+        for pair in route.windows(2) {
+            assert!(net.movement_between(pair[0], pair[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_errors() {
+        let (net, _, e) = corridor();
+        // Nothing leaves `e`, so e -> w has no route.
+        let err = shortest_route(&net, e, NodeId(0), 13.89).unwrap_err();
+        assert!(matches!(err, SimError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn unknown_nodes_error() {
+        let (net, w, _) = corridor();
+        assert!(matches!(
+            shortest_route(&net, NodeId(99), w, 13.89),
+            Err(SimError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            shortest_route(&net, w, NodeId(99), 13.89),
+            Err(SimError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn route_prefers_shorter_path() {
+        // Grid square: two paths from a to d; one is shorter.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(0.0, 0.0, false);
+        let bb = b.add_node(100.0, 0.0, false);
+        let c = b.add_node(0.0, 300.0, false);
+        let d = b.add_node(100.0, 300.0, false);
+        // Short: a -> b -> d (100 + 300). Long: a -> c -> d (300 + 100)
+        // equal length; tie broken deterministically. Make long longer.
+        let cc = b.add_node(-50.0, 300.0, false);
+        b.add_link(a, bb, Direction::East, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(bb, d, Direction::North, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(a, cc, Direction::North, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(cc, c, Direction::East, vec![Lane::all_movements()])
+            .unwrap();
+        b.add_link(c, d, Direction::East, vec![Lane::all_movements()])
+            .unwrap();
+        let net = b.build().unwrap();
+        let route = shortest_route(&net, a, d, 10.0).unwrap();
+        assert_eq!(route.len(), 2, "short path has two links");
+    }
+}

@@ -1,0 +1,320 @@
+//! The synthetic grid environment of §VI-A.
+//!
+//! A `cols × rows` lattice of signalized intersections 200 m apart.
+//! Horizontal roads are **two-lane arterials** (a dedicated left-turn
+//! lane plus a shared through/right lane — the paper's realistic shared
+//! lane); vertical roads are **one-lane avenues** whose single lane
+//! serves every movement. Each boundary intersection is fed by a
+//! terminal node that sources and sinks traffic.
+
+use crate::error::SimError;
+use crate::ids::{Direction, NodeId};
+use crate::network::{Lane, Movement, Network, NetworkBuilder};
+use crate::scenario::Scenario;
+use crate::signal::SignalPlan;
+use crate::demand::OdFlow;
+
+/// Geometry of the synthetic grid.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GridConfig {
+    /// Number of intersection columns. The paper uses 6.
+    pub cols: usize,
+    /// Number of intersection rows. The paper uses 6.
+    pub rows: usize,
+    /// Distance between adjacent intersections (m). The paper uses 200.
+    pub spacing: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            cols: 6,
+            rows: 6,
+            spacing: 200.0,
+        }
+    }
+}
+
+/// A built grid: the network plus terminal lookup tables.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    config: GridConfig,
+    network: Network,
+    /// `intersections[col][row]`.
+    intersections: Vec<Vec<NodeId>>,
+    west_terminals: Vec<NodeId>,
+    east_terminals: Vec<NodeId>,
+    south_terminals: Vec<NodeId>,
+    north_terminals: Vec<NodeId>,
+}
+
+/// Lanes of a two-lane arterial approach: dedicated left + shared
+/// through/right (paper Fig. 2).
+fn arterial_lanes() -> Vec<Lane> {
+    vec![
+        Lane::new(&[Movement::Left]),
+        Lane::new(&[Movement::Through, Movement::Right]),
+    ]
+}
+
+/// The single fully shared lane of a one-lane avenue.
+fn avenue_lanes() -> Vec<Lane> {
+    vec![Lane::all_movements()]
+}
+
+impl Grid {
+    /// Builds the grid network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate dimensions.
+    pub fn build(config: GridConfig) -> Result<Self, SimError> {
+        if config.cols < 2 || config.rows < 2 {
+            return Err(SimError::InvalidConfig(
+                "grid needs at least 2x2 intersections".into(),
+            ));
+        }
+        if config.spacing <= 0.0 {
+            return Err(SimError::InvalidConfig("grid spacing must be > 0".into()));
+        }
+        let mut b = NetworkBuilder::new();
+        let s = config.spacing;
+        let mut intersections = vec![Vec::with_capacity(config.rows); config.cols];
+        for (col, column) in intersections.iter_mut().enumerate() {
+            for row in 0..config.rows {
+                column.push(b.add_node(col as f64 * s, row as f64 * s, true));
+            }
+        }
+        // Horizontal arterials between adjacent intersections.
+        for col in 0..config.cols - 1 {
+            for row in 0..config.rows {
+                let a = intersections[col][row];
+                let c = intersections[col + 1][row];
+                b.add_link(a, c, Direction::East, arterial_lanes())?;
+                b.add_link(c, a, Direction::West, arterial_lanes())?;
+            }
+        }
+        // Vertical avenues.
+        for col in 0..config.cols {
+            for row in 0..config.rows - 1 {
+                let a = intersections[col][row];
+                let c = intersections[col][row + 1];
+                b.add_link(a, c, Direction::North, avenue_lanes())?;
+                b.add_link(c, a, Direction::South, avenue_lanes())?;
+            }
+        }
+        // Boundary terminals.
+        let mut west_terminals = Vec::with_capacity(config.rows);
+        let mut east_terminals = Vec::with_capacity(config.rows);
+        for row in 0..config.rows {
+            let w = b.add_node(-s, row as f64 * s, false);
+            let e = b.add_node(config.cols as f64 * s, row as f64 * s, false);
+            b.add_link(w, intersections[0][row], Direction::East, arterial_lanes())?;
+            b.add_link(intersections[0][row], w, Direction::West, arterial_lanes())?;
+            b.add_link(
+                e,
+                intersections[config.cols - 1][row],
+                Direction::West,
+                arterial_lanes(),
+            )?;
+            b.add_link(
+                intersections[config.cols - 1][row],
+                e,
+                Direction::East,
+                arterial_lanes(),
+            )?;
+            west_terminals.push(w);
+            east_terminals.push(e);
+        }
+        let mut south_terminals = Vec::with_capacity(config.cols);
+        let mut north_terminals = Vec::with_capacity(config.cols);
+        for col in 0..config.cols {
+            let so = b.add_node(col as f64 * s, -s, false);
+            let no = b.add_node(col as f64 * s, config.rows as f64 * s, false);
+            b.add_link(so, intersections[col][0], Direction::North, avenue_lanes())?;
+            b.add_link(intersections[col][0], so, Direction::South, avenue_lanes())?;
+            b.add_link(
+                no,
+                intersections[col][config.rows - 1],
+                Direction::South,
+                avenue_lanes(),
+            )?;
+            b.add_link(
+                intersections[col][config.rows - 1],
+                no,
+                Direction::North,
+                avenue_lanes(),
+            )?;
+            south_terminals.push(so);
+            north_terminals.push(no);
+        }
+        Ok(Grid {
+            config,
+            network: b.build()?,
+            intersections,
+            west_terminals,
+            east_terminals,
+            south_terminals,
+            north_terminals,
+        })
+    }
+
+    /// Grid geometry.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Intersection at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn intersection(&self, col: usize, row: usize) -> NodeId {
+        self.intersections[col][row]
+    }
+
+    /// Terminal west of row `row` (vehicles entering here travel east).
+    pub fn west_terminal(&self, row: usize) -> NodeId {
+        self.west_terminals[row]
+    }
+
+    /// Terminal east of row `row`.
+    pub fn east_terminal(&self, row: usize) -> NodeId {
+        self.east_terminals[row]
+    }
+
+    /// Terminal south of column `col`.
+    pub fn south_terminal(&self, col: usize) -> NodeId {
+        self.south_terminals[col]
+    }
+
+    /// Terminal north of column `col`.
+    pub fn north_terminal(&self, col: usize) -> NodeId {
+        self.north_terminals[col]
+    }
+
+    /// Builds the four-phase signal plans for every intersection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction failures (cannot happen on a valid
+    /// grid).
+    pub fn signal_plans(&self) -> Result<Vec<SignalPlan>, SimError> {
+        let mut plans = Vec::new();
+        for column in &self.intersections {
+            for &node in column {
+                plans.push(SignalPlan::four_phase(&self.network, node)?);
+            }
+        }
+        Ok(plans)
+    }
+
+    /// Assembles a scenario from this grid and the given flows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation failures.
+    pub fn scenario(&self, name: impl Into<String>, flows: Vec<OdFlow>) -> Result<Scenario, SimError> {
+        Scenario::new(name, self.network.clone(), self.signal_plans()?, flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_route;
+
+    #[test]
+    fn six_by_six_grid_dimensions() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        // 36 intersections + 24 terminals.
+        assert_eq!(g.network().num_nodes(), 60);
+        assert_eq!(g.network().signalized_nodes().len(), 36);
+        // Horizontal: 5*6 pairs * 2 + vertical 6*5 * 2 + boundary 24 * 2.
+        assert_eq!(g.network().num_links(), 60 + 60 + 48);
+    }
+
+    #[test]
+    fn every_intersection_has_four_approaches_and_four_phases() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        for col in 0..6 {
+            for row in 0..6 {
+                let n = g.intersection(col, row);
+                assert_eq!(g.network().incoming(n).len(), 4);
+                assert_eq!(g.network().outgoing(n).len(), 4);
+            }
+        }
+        for plan in g.signal_plans().unwrap() {
+            assert_eq!(plan.num_phases(), 4);
+        }
+    }
+
+    #[test]
+    fn arterials_have_two_lanes_and_avenues_one() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        for link in g.network().links() {
+            match link.direction() {
+                Direction::East | Direction::West => assert_eq!(link.num_lanes(), 2),
+                Direction::North | Direction::South => assert_eq!(link.num_lanes(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn straight_route_crosses_the_whole_grid() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        let route = shortest_route(
+            g.network(),
+            g.west_terminal(2),
+            g.east_terminal(2),
+            13.89,
+        )
+        .unwrap();
+        // Terminal link + 5 internal + exit link = 7 links.
+        assert_eq!(route.len(), 7);
+    }
+
+    #[test]
+    fn turning_route_exists() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        let route = shortest_route(
+            g.network(),
+            g.west_terminal(1),
+            g.south_terminal(3),
+            13.89,
+        )
+        .unwrap();
+        assert!(route.len() >= 2);
+    }
+
+    #[test]
+    fn interior_intersection_has_four_one_hop_and_eight_two_hop_neighbors() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        let center = g.intersection(2, 2);
+        assert_eq!(g.network().signalized_neighbors(center).len(), 4);
+        assert_eq!(g.network().two_hop_signalized_neighbors(center).len(), 8);
+    }
+
+    #[test]
+    fn corner_intersection_has_two_one_hop_neighbors() {
+        let g = Grid::build(GridConfig::default()).unwrap();
+        let corner = g.intersection(0, 0);
+        assert_eq!(g.network().signalized_neighbors(corner).len(), 2);
+        assert_eq!(g.network().two_hop_signalized_neighbors(corner).len(), 3);
+    }
+
+    #[test]
+    fn degenerate_grid_is_rejected() {
+        assert!(Grid::build(GridConfig {
+            cols: 1,
+            rows: 6,
+            spacing: 200.0
+        })
+        .is_err());
+    }
+}

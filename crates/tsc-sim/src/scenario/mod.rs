@@ -1,0 +1,101 @@
+//! Complete simulation scenarios: network + signal plans + demand.
+//!
+//! The paper evaluates on two environments, both rebuilt here:
+//!
+//! * [`grid`] — the 6×6 synthetic grid with two-lane arterials and
+//!   one-lane avenues (§VI-A), together with the five traffic flow
+//!   [`patterns`] of Fig. 6;
+//! * [`monaco`] — a heterogeneous 30-intersection network standing in
+//!   for the paper's Monaco scenario (§VI-D).
+
+pub mod grid;
+pub mod monaco;
+pub mod patterns;
+
+use crate::demand::OdFlow;
+use crate::error::SimError;
+use crate::ids::NodeId;
+use crate::network::Network;
+use crate::signal::SignalPlan;
+
+/// A self-contained simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (used in experiment reports).
+    pub name: String,
+    /// The road network.
+    pub network: Network,
+    /// One plan per signalized intersection; the order here is the
+    /// canonical agent order.
+    pub signal_plans: Vec<SignalPlan>,
+    /// Demand streams.
+    pub flows: Vec<OdFlow>,
+}
+
+impl Scenario {
+    /// Assembles and validates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if a signal plan references a
+    /// non-signalized or duplicate node, or [`SimError::UnknownNode`] if
+    /// a flow endpoint is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        network: Network,
+        signal_plans: Vec<SignalPlan>,
+        flows: Vec<OdFlow>,
+    ) -> Result<Self, SimError> {
+        let mut seen = std::collections::HashSet::new();
+        for plan in &signal_plans {
+            let node = plan.node();
+            if node.index() >= network.num_nodes() {
+                return Err(SimError::UnknownNode(node));
+            }
+            if !network.node(node).is_signalized() {
+                return Err(SimError::InvalidConfig(format!(
+                    "signal plan attached to non-signalized node {node}"
+                )));
+            }
+            if !seen.insert(node) {
+                return Err(SimError::InvalidConfig(format!(
+                    "duplicate signal plan for node {node}"
+                )));
+            }
+        }
+        for flow in &flows {
+            for node in [flow.origin, flow.destination] {
+                if node.index() >= network.num_nodes() {
+                    return Err(SimError::UnknownNode(node));
+                }
+            }
+        }
+        Ok(Scenario {
+            name: name.into(),
+            network,
+            signal_plans,
+            flows,
+        })
+    }
+
+    /// The signalized intersections in agent order.
+    pub fn agents(&self) -> Vec<NodeId> {
+        self.signal_plans.iter().map(|p| p.node()).collect()
+    }
+
+    /// Number of controlled intersections.
+    pub fn num_agents(&self) -> usize {
+        self.signal_plans.len()
+    }
+
+    /// Replaces the demand, keeping network and plans — used to evaluate
+    /// a policy trained on one flow pattern against another (§VI-C).
+    pub fn with_flows(&self, name: impl Into<String>, flows: Vec<OdFlow>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            network: self.network.clone(),
+            signal_plans: self.signal_plans.clone(),
+            flows,
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! The discrete-time traffic simulation engine.
+//!
+//! This is the repository's substitute for SUMO (see DESIGN.md): a
+//! seeded, deterministic queue model stepping at 1 s. Vehicles run at
+//! free-flow speed to the back of a per-lane FIFO queue, pick the
+//! shortest permitted lane for their upcoming turn, and discharge at the
+//! lane saturation flow while their movement has green. Shared lanes
+//! exhibit head-of-line blocking; full downstream links block discharge
+//! (spillback); full entry links defer insertion (an insertion backlog,
+//! as in SUMO).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::demand::{ArrivalModel, DemandGenerator};
+use crate::detector::{DetectorConfig, IntersectionObs, LinkObs};
+use crate::error::SimError;
+use crate::ids::{LinkId, NodeId, VehicleId};
+use crate::metrics::Metrics;
+use crate::network::Movement;
+use crate::routing::shortest_route;
+use crate::scenario::Scenario;
+use crate::signal::SignalState;
+use crate::vehicle::{Vehicle, VehiclePosition};
+
+/// Physical and sensing parameters of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    /// Free-flow speed (m/s). Default 13.89 (50 km/h).
+    pub free_speed: f64,
+    /// Space one queued vehicle occupies (m). Default 7.5.
+    pub vehicle_gap: f64,
+    /// Saturation headway per lane (s/vehicle). Default 2.0, i.e. a
+    /// saturation flow of 1800 veh/h/lane (§III-A).
+    pub saturation_headway: f64,
+    /// Yellow clearance inserted on every phase change (s). Default 2.
+    pub yellow_time: u32,
+    /// Detector coverage.
+    pub detector: DetectorConfig,
+    /// Arrival sampling model.
+    pub arrival_model: ArrivalModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            free_speed: 13.89,
+            vehicle_gap: 7.5,
+            saturation_headway: 2.0,
+            yellow_time: 2,
+            detector: DetectorConfig::default(),
+            arrival_model: ArrivalModel::Stochastic,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a parameter is
+    /// non-positive where it must be positive.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.free_speed <= 0.0 {
+            return Err(SimError::InvalidConfig("free_speed must be > 0".into()));
+        }
+        if self.vehicle_gap <= 0.0 {
+            return Err(SimError::InvalidConfig("vehicle_gap must be > 0".into()));
+        }
+        if self.saturation_headway <= 0.0 {
+            return Err(SimError::InvalidConfig(
+                "saturation_headway must be > 0".into(),
+            ));
+        }
+        if self.detector.range <= 0.0 {
+            return Err(SimError::InvalidConfig("detector range must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LaneQueue {
+    vehicles: VecDeque<VehicleId>,
+    /// Fractional discharge budget; accumulates `dt / headway` per tick,
+    /// capped at 1 so a long red cannot produce a burst.
+    budget: f64,
+}
+
+#[derive(Debug, Clone)]
+struct LinkState {
+    running: Vec<VehicleId>,
+    lanes: Vec<LaneQueue>,
+    /// Total vehicles currently on the link (running + queued).
+    count: usize,
+    capacity: usize,
+}
+
+impl LinkState {
+    fn queued(&self) -> usize {
+        self.lanes.iter().map(|l| l.vehicles.len()).sum()
+    }
+}
+
+/// The simulation engine. See the module docs for the model.
+#[derive(Debug)]
+pub struct Simulation {
+    scenario: Scenario,
+    config: SimConfig,
+    time: u32,
+    vehicles: Vec<Vehicle>,
+    links: Vec<LinkState>,
+    signals: Vec<SignalState>,
+    signal_index: HashMap<NodeId, usize>,
+    demand: DemandGenerator,
+    /// Vehicles spawned but not yet physically inserted, per origin link.
+    backlog: HashMap<LinkId, VecDeque<VehicleId>>,
+    backlog_len: usize,
+    routes: Vec<Vec<LinkId>>,
+    metrics: Metrics,
+    rng: StdRng,
+    active: usize,
+    /// Seed for the deterministic detector-degradation hash.
+    degradation_seed: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation for `scenario`.
+    ///
+    /// Routes for every OD flow are computed here, so an unreachable OD
+    /// pair fails fast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoRoute`] for unreachable OD pairs and
+    /// [`SimError::InvalidConfig`] for invalid parameters.
+    pub fn new(scenario: &Scenario, config: SimConfig, seed: u64) -> Result<Self, SimError> {
+        config.validate()?;
+        let mut routes = Vec::with_capacity(scenario.flows.len());
+        for flow in &scenario.flows {
+            routes.push(shortest_route(
+                &scenario.network,
+                flow.origin,
+                flow.destination,
+                config.free_speed,
+            )?);
+        }
+        let links = scenario
+            .network
+            .links()
+            .iter()
+            .map(|l| {
+                let per_lane = (l.length() / config.vehicle_gap).floor().max(1.0) as usize;
+                LinkState {
+                    running: Vec::new(),
+                    lanes: vec![LaneQueue::default(); l.num_lanes()],
+                    count: 0,
+                    capacity: per_lane * l.num_lanes(),
+                }
+            })
+            .collect();
+        let mut signal_index = HashMap::new();
+        let signals: Vec<SignalState> = scenario
+            .signal_plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                signal_index.insert(plan.node(), i);
+                SignalState::new(plan.clone(), config.yellow_time)
+            })
+            .collect();
+        Ok(Simulation {
+            demand: DemandGenerator::new(scenario.flows.clone(), config.arrival_model),
+            scenario: scenario.clone(),
+            config,
+            time: 0,
+            vehicles: Vec::new(),
+            links,
+            signals,
+            signal_index,
+            backlog: HashMap::new(),
+            backlog_len: 0,
+            routes,
+            metrics: Metrics::new(),
+            rng: StdRng::seed_from_u64(seed),
+            active: 0,
+            degradation_seed: seed ^ 0xDE7E_C70A,
+        })
+    }
+
+    /// Current simulation time (s).
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The physical configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Collected trip metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Signalized intersections, in plan order (the agent order used by
+    /// every controller).
+    pub fn signalized(&self) -> Vec<NodeId> {
+        self.signals.iter().map(|s| s.node()).collect()
+    }
+
+    /// Signal state of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotSignalized`] if the node has no plan.
+    pub fn signal(&self, node: NodeId) -> Result<&SignalState, SimError> {
+        self.signal_index
+            .get(&node)
+            .map(|&i| &self.signals[i])
+            .ok_or(SimError::NotSignalized(node))
+    }
+
+    /// Requests a phase at `node` (yellow clearance handled internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotSignalized`] or [`SimError::InvalidPhase`].
+    pub fn request_phase(&mut self, node: NodeId, phase: usize) -> Result<(), SimError> {
+        let &i = self
+            .signal_index
+            .get(&node)
+            .ok_or(SimError::NotSignalized(node))?;
+        self.signals[i].request_phase(phase)
+    }
+
+    /// Vehicles currently on the network or in the insertion backlog.
+    pub fn active_vehicles(&self) -> usize {
+        self.active + self.backlog_len
+    }
+
+    /// Vehicles waiting in the insertion backlog.
+    pub fn backlog_vehicles(&self) -> usize {
+        self.backlog_len
+    }
+
+    /// Sum of `now - depart` over every unfinished vehicle — the
+    /// penalty term for average travel time under gridlock.
+    pub fn unfinished_penalty(&self) -> f64 {
+        self.vehicles
+            .iter()
+            .filter(|v| !v.is_finished())
+            .map(|v| v.travel_time(self.time))
+            .sum()
+    }
+
+    /// Network-average travel time (s) counting unfinished trips up to
+    /// the current time (paper Table II metric).
+    pub fn avg_travel_time(&self) -> f64 {
+        self.metrics.avg_travel_time(self.unfinished_penalty())
+    }
+
+    /// Advances the simulation by one second.
+    pub fn step(&mut self) {
+        let t = f64::from(self.time);
+        // 1. Demand: spawn new vehicles into the insertion backlog.
+        let spawns = self.demand.step(t, 1.0, &mut self.rng);
+        for flow_idx in spawns {
+            self.spawn_vehicle(flow_idx);
+        }
+        // 2. Insertion: move backlog vehicles onto entry links with space.
+        self.insert_backlog();
+        // 3. Discharge green queues through intersections.
+        self.discharge();
+        // 4. Advance running vehicles; join queues at the back.
+        self.advance_running();
+        // 5. Accrue waiting time for queued vehicles.
+        self.accrue_waits();
+        // 6. Tick signal state machines.
+        for s in &mut self.signals {
+            s.tick();
+        }
+        // 7. Sample the waiting-time statistic.
+        let sample = self.mean_of_max_waits();
+        self.metrics.record_wait_sample(sample);
+        self.time += 1;
+    }
+
+    fn spawn_vehicle(&mut self, flow_idx: usize) {
+        let route = self.routes[flow_idx].clone();
+        let id = VehicleId(self.vehicles.len());
+        let v = Vehicle::new(id, route, self.time);
+        let entry = v.current_link();
+        self.vehicles.push(v);
+        self.backlog.entry(entry).or_default().push_back(id);
+        self.backlog_len += 1;
+        self.metrics.record_spawn();
+    }
+
+    fn insert_backlog(&mut self) {
+        for (link, queue) in self.backlog.iter_mut() {
+            let state = &mut self.links[link.index()];
+            while state.count < state.capacity {
+                let Some(id) = queue.pop_front() else { break };
+                let length = self.scenario.network.link(*link).length();
+                self.vehicles[id.index()].mark_inserted(self.time, length);
+                state.running.push(id);
+                state.count += 1;
+                self.backlog_len -= 1;
+                self.active += 1;
+                self.metrics.record_insert();
+            }
+        }
+    }
+
+    /// The movement the head vehicle needs, or `None` for a network exit.
+    fn head_step(&self, vehicle: &Vehicle) -> Option<(Movement, LinkId)> {
+        let cur = vehicle.current_link();
+        vehicle.next_link().map(|next| {
+            let m = self
+                .scenario
+                .network
+                .movement_between(cur, next)
+                .expect("route links are turn-connected");
+            (m, next)
+        })
+    }
+
+    fn discharge(&mut self) {
+        let rate = 1.0 / self.config.saturation_headway;
+        // Iterate links in id order for determinism.
+        for link_idx in 0..self.links.len() {
+            let link_id = LinkId(link_idx);
+            let to_node = self.scenario.network.link(link_id).to();
+            let signal_idx = self.signal_index.get(&to_node).copied();
+            for lane_idx in 0..self.links[link_idx].lanes.len() {
+                // Accumulate budget (capped: no burst after red).
+                {
+                    let lane = &mut self.links[link_idx].lanes[lane_idx];
+                    lane.budget = (lane.budget + rate).min(1.0);
+                    if lane.vehicles.is_empty() {
+                        continue;
+                    }
+                }
+                loop {
+                    let (budget_ok, head) = {
+                        let lane = &self.links[link_idx].lanes[lane_idx];
+                        (lane.budget >= 1.0, lane.vehicles.front().copied())
+                    };
+                    let Some(head) = head else { break };
+                    if !budget_ok {
+                        break;
+                    }
+                    let step = self.head_step(&self.vehicles[head.index()]);
+                    match step {
+                        None => {
+                            // Exit at a boundary terminal: always free.
+                            let lane = &mut self.links[link_idx].lanes[lane_idx];
+                            lane.vehicles.pop_front();
+                            lane.budget -= 1.0;
+                            self.links[link_idx].count -= 1;
+                            self.active -= 1;
+                            let v = &mut self.vehicles[head.index()];
+                            v.mark_finished(self.time);
+                            let tt = v.travel_time(self.time);
+                            self.metrics.record_finish(tt);
+                        }
+                        Some((movement, next)) => {
+                            let permitted = match signal_idx {
+                                Some(i) => self.signals[i].permits(link_id, movement),
+                                None => true,
+                            };
+                            if !permitted {
+                                break; // red or yellow: head blocks lane
+                            }
+                            let next_state = &self.links[next.index()];
+                            if next_state.count >= next_state.capacity {
+                                break; // spillback: downstream full
+                            }
+                            let lane = &mut self.links[link_idx].lanes[lane_idx];
+                            lane.vehicles.pop_front();
+                            lane.budget -= 1.0;
+                            self.links[link_idx].count -= 1;
+                            let length = self.scenario.network.link(next).length();
+                            let v = &mut self.vehicles[head.index()];
+                            v.advance_route();
+                            v.set_running(length);
+                            self.links[next.index()].running.push(head);
+                            self.links[next.index()].count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance_running(&mut self) {
+        let dt = 1.0;
+        let speed = self.config.free_speed;
+        let gap = self.config.vehicle_gap;
+        for link_idx in 0..self.links.len() {
+            if self.links[link_idx].running.is_empty() {
+                continue;
+            }
+            let link_id = LinkId(link_idx);
+            let num_lanes = self.links[link_idx].lanes.len();
+            let lanes_meta: Vec<&crate::network::Lane> = self
+                .scenario
+                .network
+                .link(link_id)
+                .lanes()
+                .iter()
+                .collect();
+            // Process in arrival order so earlier vehicles queue first.
+            let mut still_running = Vec::new();
+            let running = std::mem::take(&mut self.links[link_idx].running);
+            for id in running {
+                let (new_pos, movement) = {
+                    let v = &self.vehicles[id.index()];
+                    let VehiclePosition::Running { distance } = v.position() else {
+                        continue;
+                    };
+                    (distance - speed * dt, self.head_step(v).map(|s| s.0))
+                };
+                // Candidate lanes: those permitting the needed movement
+                // (any lane for an exiting vehicle).
+                let candidate = (0..num_lanes)
+                    .filter(|&li| movement.is_none_or(|m| lanes_meta[li].permits(m)))
+                    .min_by_key(|&li| self.links[link_idx].lanes[li].vehicles.len());
+                // A route always uses legal turns, so a candidate lane
+                // exists; fall back to lane 0 defensively.
+                let lane_idx = candidate.unwrap_or(0);
+                let queue_back =
+                    self.links[link_idx].lanes[lane_idx].vehicles.len() as f64 * gap;
+                if new_pos <= queue_back {
+                    self.links[link_idx].lanes[lane_idx].vehicles.push_back(id);
+                    self.vehicles[id.index()].set_queued(lane_idx);
+                } else {
+                    self.vehicles[id.index()].set_running(new_pos);
+                    still_running.push(id);
+                }
+            }
+            self.links[link_idx].running = still_running;
+        }
+    }
+
+    fn accrue_waits(&mut self) {
+        for link in &self.links {
+            for lane in &link.lanes {
+                for &id in &lane.vehicles {
+                    self.vehicles[id.index()].accrue_wait(1.0);
+                }
+            }
+        }
+    }
+
+    fn mean_of_max_waits(&self) -> f64 {
+        if self.signals.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for s in &self.signals {
+            let node = s.node();
+            let mut max_wait: f64 = 0.0;
+            for &l in self.scenario.network.incoming(node) {
+                for lane in &self.links[l.index()].lanes {
+                    if let Some(&head) = lane.vehicles.front() {
+                        max_wait = max_wait.max(self.vehicles[head.index()].current_wait());
+                    }
+                }
+            }
+            sum += max_wait;
+        }
+        sum / self.signals.len() as f64
+    }
+
+    /// Observes `node` with the configured detectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the network.
+    pub fn observe(&self, node: NodeId) -> IntersectionObs {
+        let range = self.config.detector.range;
+        let gap = self.config.vehicle_gap;
+        let network = &self.scenario.network;
+        let mut incoming = Vec::new();
+        for &l in network.incoming(node) {
+            let state = &self.links[l.index()];
+            let mut count = 0.0;
+            let mut halting = 0.0;
+            let mut halting_by_movement = [0.0f64; 3];
+            let mut head_wait: f64 = 0.0;
+            for lane in &state.lanes {
+                for (pos_idx, &id) in lane.vehicles.iter().enumerate() {
+                    if (pos_idx as f64) * gap <= range {
+                        count += 1.0;
+                        halting += 1.0;
+                        // Attribute the vehicle to the movement it is
+                        // queued for (exits count as through).
+                        let m = self
+                            .head_step(&self.vehicles[id.index()])
+                            .map(|(m, _)| m)
+                            .unwrap_or(Movement::Through);
+                        halting_by_movement[m.index()] += 1.0;
+                        if pos_idx == 0 {
+                            head_wait =
+                                head_wait.max(self.vehicles[id.index()].current_wait());
+                        }
+                    }
+                }
+            }
+            for &id in &state.running {
+                if let VehiclePosition::Running { distance } =
+                    self.vehicles[id.index()].position()
+                {
+                    if distance <= range {
+                        count += 1.0;
+                    }
+                }
+            }
+            let mut obs = LinkObs {
+                link: l,
+                direction: network.link(l).direction(),
+                count,
+                halting,
+                halting_by_movement,
+                head_wait,
+            };
+            self.degrade(&mut obs);
+            incoming.push(obs);
+        }
+        let mut outgoing_counts = Vec::new();
+        let mut outgoing_links = Vec::new();
+        for &l in network.outgoing(node) {
+            let state = &self.links[l.index()];
+            let length = network.link(l).length();
+            let mut count = 0.0;
+            for &id in &state.running {
+                if let VehiclePosition::Running { distance } =
+                    self.vehicles[id.index()].position()
+                {
+                    if length - distance <= range {
+                        count += 1.0;
+                    }
+                }
+            }
+            if length <= range {
+                count += state.lanes.iter().map(|q| q.vehicles.len() as f64).sum::<f64>();
+            }
+            outgoing_counts.push(count);
+            outgoing_links.push(l);
+        }
+        let (current_phase, num_phases) = match self.signal_index.get(&node) {
+            Some(&i) => (
+                self.signals[i].phase(),
+                self.signals[i].plan().num_phases(),
+            ),
+            None => (0, 1),
+        };
+        IntersectionObs {
+            node,
+            time: self.time,
+            incoming,
+            outgoing_counts,
+            outgoing_links,
+            current_phase,
+            num_phases,
+        }
+    }
+
+    /// Applies the configured sensor degradation (noise, dropout) to
+    /// one link reading, deterministically in `(time, link)`.
+    fn degrade(&self, obs: &mut LinkObs) {
+        let d = &self.config.detector;
+        if d.dropout > 0.0 {
+            let u = crate::detector::degradation_uniform(
+                self.degradation_seed,
+                self.time,
+                obs.link.index(),
+            );
+            if u < d.dropout {
+                obs.count = 0.0;
+                obs.halting = 0.0;
+                obs.halting_by_movement = [0.0; 3];
+                obs.head_wait = 0.0;
+                return;
+            }
+        }
+        if d.noise > 0.0 {
+            let u = crate::detector::degradation_uniform(
+                self.degradation_seed ^ 0xA5A5,
+                self.time,
+                obs.link.index(),
+            );
+            let factor = 1.0 + d.noise * (2.0 * u - 1.0);
+            obs.count *= factor;
+            obs.halting *= factor;
+            for h in &mut obs.halting_by_movement {
+                *h *= factor;
+            }
+        }
+    }
+
+    /// Observes every signalized intersection, in agent order.
+    pub fn observe_all(&self) -> Vec<IntersectionObs> {
+        self.signals.iter().map(|s| self.observe(s.node())).collect()
+    }
+
+    /// Iterates over every vehicle ever spawned this run (finished and
+    /// active), in spawn order — the raw material for
+    /// [`TripStats`](crate::stats::TripStats).
+    pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
+        self.vehicles.iter()
+    }
+
+    /// Total vehicles (running + queued) currently on `link`.
+    pub fn link_occupancy(&self, link: LinkId) -> usize {
+        self.links[link.index()].count
+    }
+
+    /// Queued vehicles currently on `link`.
+    pub fn link_queue(&self, link: LinkId) -> usize {
+        self.links[link.index()].queued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{FlowProfile, OdFlow};
+    use crate::ids::Direction;
+    use crate::network::{Lane, NetworkBuilder};
+    use crate::scenario::Scenario;
+    use crate::signal::SignalPlan;
+
+    /// One signalized intersection with four terminals and a single
+    /// west -> east flow.
+    fn cross_scenario(rate: f64) -> Scenario {
+        let mut b = NetworkBuilder::new();
+        let c = b.add_node(0.0, 0.0, true);
+        let n = b.add_node(0.0, 200.0, false);
+        let e = b.add_node(200.0, 0.0, false);
+        let s = b.add_node(0.0, -200.0, false);
+        let w = b.add_node(-200.0, 0.0, false);
+        for (t, d) in [
+            (n, Direction::South),
+            (e, Direction::West),
+            (s, Direction::North),
+            (w, Direction::East),
+        ] {
+            b.add_link(t, c, d, vec![Lane::all_movements()]).unwrap();
+            b.add_link(c, t, d.opposite(), vec![Lane::all_movements()])
+                .unwrap();
+        }
+        let network = b.build().unwrap();
+        let plan = SignalPlan::four_phase(&network, c).unwrap();
+        let flows = vec![OdFlow::new(
+            NodeId(4),
+            NodeId(2),
+            FlowProfile::constant(rate, 0.0, 600.0),
+        )];
+        Scenario::new("cross", network, vec![plan], flows).unwrap()
+    }
+
+    fn sim(rate: f64) -> Simulation {
+        let cfg = SimConfig {
+            arrival_model: ArrivalModel::Deterministic,
+            ..SimConfig::default()
+        };
+        Simulation::new(&cross_scenario(rate), cfg, 1).unwrap()
+    }
+
+    #[test]
+    fn vehicles_flow_through_on_green() {
+        let mut s = sim(360.0);
+        // Hold the east-west through phase (index 2 in the 4-phase plan).
+        s.request_phase(NodeId(0), 2).unwrap();
+        for _ in 0..600 {
+            s.step();
+        }
+        assert!(s.metrics().finished() > 0, "vehicles complete trips");
+        // 360 veh/h for 600 s = 60 vehicles; most should finish.
+        assert!(
+            s.metrics().finished() >= 50,
+            "finished = {}",
+            s.metrics().finished()
+        );
+    }
+
+    #[test]
+    fn red_light_blocks_and_queues_grow() {
+        let mut s = sim(720.0);
+        // Hold a north-south phase: the west approach stays red.
+        s.request_phase(NodeId(0), 0).unwrap();
+        for _ in 0..300 {
+            s.step();
+        }
+        assert_eq!(s.metrics().finished(), 0, "nothing crosses on red");
+        let obs = s.observe(NodeId(0));
+        let west_approach = obs
+            .incoming
+            .iter()
+            .find(|l| l.direction == Direction::East)
+            .unwrap();
+        assert!(west_approach.halting > 0.0, "queue forms on red");
+        assert!(west_approach.head_wait > 100.0, "head wait accumulates");
+    }
+
+    #[test]
+    fn discharge_respects_saturation_flow() {
+        let mut s = sim(1800.0);
+        s.request_phase(NodeId(0), 0).unwrap(); // red for the flow
+        for _ in 0..200 {
+            s.step();
+        }
+        assert!(s.link_queue(LinkId(6)) > 10); // w -> c queue built up
+        let downstream_before = s.link_occupancy(LinkId(3)); // c -> e
+        let finished_before = s.metrics().finished();
+        s.request_phase(NodeId(0), 2).unwrap(); // green
+        for _ in 0..20 {
+            s.step();
+        }
+        // Everything that crossed the stop line is now on c -> e or done.
+        let crossed = s.link_occupancy(LinkId(3)) - downstream_before
+            + (s.metrics().finished() - finished_before);
+        // 20 s at 2 s headway = at most 10 vehicles (+1 for the budget
+        // carried in, minus the 2 s yellow).
+        assert!(crossed <= 11, "crossed {crossed} in 20 s");
+        assert!(crossed >= 5, "green actually discharges, crossed {crossed}");
+    }
+
+    #[test]
+    fn deterministic_runs_are_identical() {
+        let run = |seed| {
+            let mut s = sim(900.0);
+            let _ = seed;
+            s.request_phase(NodeId(0), 2).unwrap();
+            for _ in 0..400 {
+                s.step();
+            }
+            (
+                s.metrics().finished(),
+                s.metrics().spawned(),
+                s.avg_travel_time(),
+            )
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn conservation_spawned_equals_active_plus_finished() {
+        let mut s = sim(1200.0);
+        s.request_phase(NodeId(0), 2).unwrap();
+        for _ in 0..500 {
+            s.step();
+            assert_eq!(
+                s.metrics().spawned(),
+                s.active_vehicles() + s.metrics().finished(),
+                "vehicle conservation at t={}",
+                s.time()
+            );
+        }
+    }
+
+    #[test]
+    fn entry_link_saturates_into_backlog() {
+        // 200 m link, 7.5 m gap, 1 lane => capacity 26. Feed far more
+        // than it can hold against a red light.
+        let mut s = sim(3600.0);
+        s.request_phase(NodeId(0), 0).unwrap();
+        for _ in 0..120 {
+            s.step();
+        }
+        assert!(s.backlog_vehicles() > 0, "backlog forms once link is full");
+        assert!(s.link_occupancy(LinkId(6)) <= 26);
+    }
+
+    #[test]
+    fn observation_counts_respect_detector_range() {
+        let mut s = sim(1800.0);
+        s.request_phase(NodeId(0), 0).unwrap();
+        for _ in 0..240 {
+            s.step();
+        }
+        let obs = s.observe(NodeId(0));
+        let west = obs
+            .incoming
+            .iter()
+            .find(|l| l.direction == Direction::East)
+            .unwrap();
+        // 50 m range at 7.5 m per vehicle: positions 0..=6 are in range.
+        assert!(west.halting <= 7.0, "halting = {}", west.halting);
+        let queued = s.link_queue(LinkId(6));
+        assert!(queued > 7, "actual queue exceeds detector range");
+    }
+
+    #[test]
+    fn avg_travel_time_penalizes_gridlock() {
+        let mut blocked = sim(720.0);
+        blocked.request_phase(NodeId(0), 0).unwrap();
+        let mut flowing = sim(720.0);
+        flowing.request_phase(NodeId(0), 2).unwrap();
+        for _ in 0..400 {
+            blocked.step();
+            flowing.step();
+        }
+        assert!(blocked.avg_travel_time() > 2.0 * flowing.avg_travel_time());
+    }
+}

@@ -1,0 +1,195 @@
+//! Trip-level statistics: travel-time distributions and per-OD
+//! breakdowns, beyond the scalar averages the paper reports.
+//!
+//! Research comparisons often hinge on the *tail* of the travel-time
+//! distribution (a controller can win on the mean while starving a few
+//! approaches); [`TripStats`] exposes percentiles and per-origin
+//! summaries extracted from a finished [`Simulation`].
+
+use std::collections::BTreeMap;
+
+use crate::ids::NodeId;
+use crate::sim::Simulation;
+
+/// Summary of a sample of travel times.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TravelTimeSummary {
+    /// Number of trips in the sample.
+    pub count: usize,
+    /// Mean travel time (s).
+    pub mean: f64,
+    /// Minimum (s).
+    pub min: f64,
+    /// Median (s).
+    pub p50: f64,
+    /// 90th percentile (s).
+    pub p90: f64,
+    /// 99th percentile (s).
+    pub p99: f64,
+    /// Maximum (s).
+    pub max: f64,
+}
+
+impl TravelTimeSummary {
+    /// Summarizes a sample (empty samples produce all-zero summaries).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return TravelTimeSummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = samples.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx.min(count - 1)]
+        };
+        TravelTimeSummary {
+            count,
+            mean: samples.iter().sum::<f64>() / count as f64,
+            min: samples[0],
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: samples[count - 1],
+        }
+    }
+}
+
+/// Full trip statistics extracted from a simulation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TripStats {
+    /// All trips (finished use their actual travel time; unfinished use
+    /// time-so-far at extraction).
+    pub all: TravelTimeSummary,
+    /// Finished trips only.
+    pub finished: TravelTimeSummary,
+    /// Per-origin-terminal summaries (finished trips), keyed by origin
+    /// node.
+    pub per_origin: BTreeMap<NodeId, TravelTimeSummary>,
+}
+
+impl TripStats {
+    /// Extracts statistics from the simulation's current state.
+    pub fn collect(sim: &Simulation) -> Self {
+        let now = sim.time();
+        let mut all = Vec::new();
+        let mut done = Vec::new();
+        let mut per_origin: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+        for v in sim.vehicles() {
+            let tt = v.travel_time(now);
+            all.push(tt);
+            if v.is_finished() {
+                done.push(tt);
+                let origin = sim
+                    .scenario()
+                    .network
+                    .link(v.route()[0])
+                    .from();
+                per_origin.entry(origin).or_default().push(tt);
+            }
+        }
+        TripStats {
+            all: TravelTimeSummary::from_samples(all),
+            finished: TravelTimeSummary::from_samples(done),
+            per_origin: per_origin
+                .into_iter()
+                .map(|(k, v)| (k, TravelTimeSummary::from_samples(v)))
+                .collect(),
+        }
+    }
+
+    /// The origin whose finished trips have the worst mean travel time,
+    /// if any trips finished — the "starved approach" detector.
+    pub fn worst_origin(&self) -> Option<(NodeId, &TravelTimeSummary)> {
+        self.per_origin
+            .iter()
+            .max_by(|a, b| {
+                a.1.mean
+                    .partial_cmp(&b.1.mean)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{ArrivalModel, FlowProfile, OdFlow};
+    use crate::ids::Direction;
+    use crate::network::{Lane, NetworkBuilder};
+    use crate::scenario::Scenario;
+    use crate::signal::SignalPlan;
+    use crate::sim::SimConfig;
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let s = TravelTimeSummary::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = TravelTimeSummary::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn collect_from_live_simulation() {
+        // One intersection, one flow; run to completion and inspect.
+        let mut b = NetworkBuilder::new();
+        let c = b.add_node(0.0, 0.0, true);
+        let e = b.add_node(200.0, 0.0, false);
+        let w = b.add_node(-200.0, 0.0, false);
+        let n = b.add_node(0.0, 200.0, false);
+        let s_t = b.add_node(0.0, -200.0, false);
+        for (t, d) in [
+            (n, Direction::South),
+            (e, Direction::West),
+            (s_t, Direction::North),
+            (w, Direction::East),
+        ] {
+            b.add_link(t, c, d, vec![Lane::all_movements()]).unwrap();
+            b.add_link(c, t, d.opposite(), vec![Lane::all_movements()])
+                .unwrap();
+        }
+        let network = b.build().unwrap();
+        let plan = SignalPlan::four_phase(&network, c).unwrap();
+        let flows = vec![OdFlow::new(
+            w,
+            e,
+            FlowProfile::constant(360.0, 0.0, 300.0),
+        )];
+        let scenario = Scenario::new("stats", network, vec![plan], flows).unwrap();
+        let cfg = SimConfig {
+            arrival_model: ArrivalModel::Deterministic,
+            ..SimConfig::default()
+        };
+        let mut sim = crate::sim::Simulation::new(&scenario, cfg, 0).unwrap();
+        sim.request_phase(c, 2).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let stats = TripStats::collect(&sim);
+        assert!(stats.finished.count > 20);
+        assert!(stats.finished.mean > 0.0);
+        assert_eq!(stats.per_origin.len(), 1);
+        let (origin, worst) = stats.worst_origin().unwrap();
+        assert_eq!(origin, w);
+        assert_eq!(worst.count, stats.finished.count);
+        assert!(stats.all.count >= stats.finished.count);
+    }
+}

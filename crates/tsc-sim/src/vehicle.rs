@@ -1,0 +1,220 @@
+//! Vehicle entities and their kinematic state.
+//!
+//! The simulator is a discrete-time (1 s) queue model: on each link a
+//! vehicle first *runs* at free-flow speed towards the stop line, then
+//! *queues* in a lane chosen among those permitting its next turning
+//! movement, and finally discharges through the intersection at the
+//! lane's saturation flow when its movement has green. This reproduces
+//! the quantities the paper's controllers observe — queue lengths,
+//! halting counts, head waits, pressure — including head-of-line
+//! blocking on shared lanes.
+
+use crate::ids::{LinkId, VehicleId};
+use crate::network::Movement;
+
+/// Where a vehicle currently is on its link.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum VehiclePosition {
+    /// Travelling at free-flow speed; `distance` meters remain to the
+    /// stop line.
+    Running {
+        /// Meters to the stop line.
+        distance: f64,
+    },
+    /// Standing in the FIFO queue of lane `lane` on the current link.
+    Queued {
+        /// Lane index on the current link.
+        lane: usize,
+    },
+}
+
+/// A single vehicle with a fixed route.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Vehicle {
+    id: VehicleId,
+    route: Vec<LinkId>,
+    route_idx: usize,
+    depart_time: u32,
+    inserted_time: Option<u32>,
+    finish_time: Option<u32>,
+    position: VehiclePosition,
+    /// Seconds continuously halted (reset when the vehicle moves).
+    current_wait: f64,
+    /// Total halted seconds over the trip.
+    total_wait: f64,
+}
+
+impl Vehicle {
+    /// Creates a vehicle that wants to depart at `depart_time` along
+    /// `route` (a non-empty sequence of connected links).
+    pub(crate) fn new(id: VehicleId, route: Vec<LinkId>, depart_time: u32) -> Self {
+        debug_assert!(!route.is_empty());
+        Vehicle {
+            id,
+            route,
+            route_idx: 0,
+            depart_time,
+            inserted_time: None,
+            finish_time: None,
+            position: VehiclePosition::Running { distance: 0.0 },
+            current_wait: 0.0,
+            total_wait: 0.0,
+        }
+    }
+
+    /// This vehicle's identifier.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// The planned route.
+    pub fn route(&self) -> &[LinkId] {
+        &self.route
+    }
+
+    /// The link the vehicle currently occupies (or will enter next if it
+    /// is still waiting to be inserted).
+    pub fn current_link(&self) -> LinkId {
+        self.route[self.route_idx]
+    }
+
+    /// The link after the current one, if any.
+    pub fn next_link(&self) -> Option<LinkId> {
+        self.route.get(self.route_idx + 1).copied()
+    }
+
+    /// The turning movement required at the end of the current link, or
+    /// `None` when the vehicle exits at the end of this link. The
+    /// movement is computed by the simulator from the network and cached
+    /// there; this accessor exists for tests and diagnostics.
+    pub fn requires_exit(&self) -> bool {
+        self.route_idx + 1 >= self.route.len()
+    }
+
+    /// Requested departure time (simulation seconds).
+    pub fn depart_time(&self) -> u32 {
+        self.depart_time
+    }
+
+    /// When the vehicle actually entered the network, if it has.
+    pub fn inserted_time(&self) -> Option<u32> {
+        self.inserted_time
+    }
+
+    /// When the vehicle left the network, if it has.
+    pub fn finish_time(&self) -> Option<u32> {
+        self.finish_time
+    }
+
+    /// Current position on the link.
+    pub fn position(&self) -> VehiclePosition {
+        self.position
+    }
+
+    /// Seconds this vehicle has been continuously halted.
+    pub fn current_wait(&self) -> f64 {
+        self.current_wait
+    }
+
+    /// Total halted seconds over the whole trip so far.
+    pub fn total_wait(&self) -> f64 {
+        self.total_wait
+    }
+
+    /// Whether the vehicle is standing in a queue.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.position, VehiclePosition::Queued { .. })
+    }
+
+    /// Whether the vehicle has left the network.
+    pub fn is_finished(&self) -> bool {
+        self.finish_time.is_some()
+    }
+
+    /// Travel time: from *requested* departure (insertion backlog counts,
+    /// as in SUMO's `waitingToBeInserted` accounting) until exit, or
+    /// until `now` for unfinished trips.
+    pub fn travel_time(&self, now: u32) -> f64 {
+        let end = self.finish_time.unwrap_or(now);
+        f64::from(end.saturating_sub(self.depart_time))
+    }
+
+    // -- internal state transitions used by the simulator ---------------
+
+    pub(crate) fn mark_inserted(&mut self, now: u32, link_length: f64) {
+        self.inserted_time = Some(now);
+        self.position = VehiclePosition::Running {
+            distance: link_length,
+        };
+    }
+
+    pub(crate) fn set_running(&mut self, distance: f64) {
+        self.position = VehiclePosition::Running { distance };
+        self.current_wait = 0.0;
+    }
+
+    pub(crate) fn set_queued(&mut self, lane: usize) {
+        self.position = VehiclePosition::Queued { lane };
+    }
+
+    pub(crate) fn accrue_wait(&mut self, dt: f64) {
+        self.current_wait += dt;
+        self.total_wait += dt;
+    }
+
+    pub(crate) fn advance_route(&mut self) -> Option<LinkId> {
+        self.route_idx += 1;
+        self.current_wait = 0.0;
+        self.route.get(self.route_idx).copied()
+    }
+
+    pub(crate) fn mark_finished(&mut self, now: u32) {
+        self.finish_time = Some(now);
+    }
+}
+
+/// The movement a vehicle needs at the end of a link: either a turn onto
+/// the next route link or an exit at a boundary terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextStep {
+    /// Turn with the given movement onto the vehicle's next link.
+    Turn(Movement, LinkId),
+    /// Leave the network at the end of the current link.
+    Exit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_time_counts_insertion_backlog() {
+        let mut v = Vehicle::new(VehicleId(0), vec![LinkId(0)], 10);
+        v.mark_inserted(25, 200.0);
+        v.mark_finished(60);
+        assert_eq!(v.travel_time(1000), 50.0);
+    }
+
+    #[test]
+    fn unfinished_travel_time_runs_to_now() {
+        let v = Vehicle::new(VehicleId(0), vec![LinkId(0)], 10);
+        assert_eq!(v.travel_time(110), 100.0);
+    }
+
+    #[test]
+    fn wait_accrues_and_resets_on_motion() {
+        let mut v = Vehicle::new(VehicleId(0), vec![LinkId(0), LinkId(1)], 0);
+        v.mark_inserted(0, 100.0);
+        v.set_queued(0);
+        v.accrue_wait(1.0);
+        v.accrue_wait(1.0);
+        assert_eq!(v.current_wait(), 2.0);
+        assert_eq!(v.total_wait(), 2.0);
+        assert!(v.is_halted());
+        v.advance_route();
+        assert_eq!(v.current_wait(), 0.0);
+        assert_eq!(v.total_wait(), 2.0);
+        assert_eq!(v.current_link(), LinkId(1));
+        assert!(v.requires_exit());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of simulator invariants.
+
+use proptest::prelude::*;
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{ArrivalModel, LinkId, NodeId, SimConfig, Simulation};
+
+fn small_sim(rate_scale: f64, seed: u64, stochastic: bool) -> Simulation {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .expect("grid");
+    let cfg = PatternConfig {
+        uniform_we: 300.0 * rate_scale,
+        uniform_sn: 90.0 * rate_scale,
+        uniform_end: 600.0,
+        ..PatternConfig::default()
+    };
+    let f = flows(&grid, FlowPattern::Five, &cfg).expect("flows");
+    let scenario = grid.scenario("prop", f).expect("scenario");
+    let sim_cfg = SimConfig {
+        arrival_model: if stochastic {
+            ArrivalModel::Stochastic
+        } else {
+            ArrivalModel::Deterministic
+        },
+        ..SimConfig::default()
+    };
+    Simulation::new(&scenario, sim_cfg, seed).expect("sim")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// spawned == active + finished at every step, for any demand level,
+    /// seed and phase schedule.
+    #[test]
+    fn vehicle_conservation(
+        rate_scale in 0.5f64..4.0,
+        seed in 0u64..1000,
+        phase_period in 1usize..8,
+    ) {
+        let mut sim = small_sim(rate_scale, seed, true);
+        let agents: Vec<NodeId> = sim.signalized();
+        for t in 0..400usize {
+            if t % phase_period == 0 {
+                let phase = (t / phase_period) % 4;
+                for &a in &agents {
+                    sim.request_phase(a, phase).unwrap();
+                }
+            }
+            sim.step();
+            prop_assert_eq!(
+                sim.metrics().spawned(),
+                sim.active_vehicles() + sim.metrics().finished()
+            );
+        }
+    }
+
+    /// Link occupancy never exceeds capacity (jam density bound).
+    #[test]
+    fn occupancy_respects_capacity(
+        rate_scale in 1.0f64..6.0,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = small_sim(rate_scale, seed, true);
+        // 150 m, 7.5 m gap => 20 per lane.
+        for _ in 0..400 {
+            sim.step();
+            for link in sim.scenario().network.links() {
+                let cap = (link.length() / 7.5).floor().max(1.0) as usize * link.num_lanes();
+                prop_assert!(sim.link_occupancy(link.id()) <= cap);
+            }
+        }
+    }
+
+    /// Identical seeds give identical trajectories; metrics are equal.
+    #[test]
+    fn determinism(seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let mut sim = small_sim(2.0, seed, true);
+            for &a in &sim.signalized() {
+                sim.request_phase(a, 2).unwrap();
+            }
+            for _ in 0..300 {
+                sim.step();
+            }
+            (
+                sim.metrics().spawned(),
+                sim.metrics().finished(),
+                sim.avg_travel_time().to_bits(),
+                sim.link_queue(LinkId(0)),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Waiting time and travel time are monotone under blocking: an
+    /// all-red-ish schedule (never serving east-west) waits at least as
+    /// long as always-green east-west for the same seed.
+    #[test]
+    fn blocking_increases_waiting(seed in 0u64..200) {
+        let run = |phase: usize| {
+            let mut sim = small_sim(2.0, seed, false);
+            for &a in &sim.signalized() {
+                sim.request_phase(a, phase).unwrap();
+            }
+            for _ in 0..400 {
+                sim.step();
+            }
+            sim.metrics().avg_waiting_time()
+        };
+        // Phase 2 = EW through/right (main demand direction); phase 1 =
+        // NS left only.
+        prop_assert!(run(1) >= run(2));
+    }
+
+    /// Observations are bounded by detector range: halting counts can
+    /// never exceed range/gap + 1 vehicles per lane.
+    #[test]
+    fn detector_counts_bounded(
+        rate_scale in 2.0f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let mut sim = small_sim(rate_scale, seed, true);
+        let max_per_lane = (50.0 / 7.5_f64).floor() + 1.0;
+        for _ in 0..300 {
+            sim.step();
+        }
+        for obs in sim.observe_all() {
+            for link in &obs.incoming {
+                let lanes = sim.scenario().network.link(link.link).num_lanes() as f64;
+                prop_assert!(link.halting <= max_per_lane * lanes);
+                prop_assert!(link.head_wait >= 0.0);
+            }
+        }
+    }
+}

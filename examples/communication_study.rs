@@ -1,0 +1,76 @@
+//! Communication study (paper §VI-E, Table IV, Fig. 11): inspect the
+//! learned pairing, the message traffic, and the effect of bandwidth.
+//!
+//! ```text
+//! cargo run --release --example communication_study
+//! ```
+
+use pairuplight::message::bits_per_step;
+use pairuplight::{ObsEncoder, ObsNorm, PairUpLight, PairUpLightConfig, PairingTable};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, Simulation, TscEnv};
+
+fn main() -> Result<(), tsc_sim::SimError> {
+    // --- Part 1: who pairs with whom under congestion? -----------------
+    let grid = Grid::build(GridConfig {
+        cols: 3,
+        rows: 3,
+        spacing: 200.0,
+    })?;
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::Two, &PatternConfig::default())?;
+    let agents = scenario.agents();
+    let encoder = ObsEncoder::new(&scenario.network, &agents, 4, ObsNorm::default());
+    let pairing = PairingTable::new(&scenario.network, &agents, &encoder);
+    let mut sim = Simulation::new(&scenario, SimConfig::default(), 3)?;
+    println!("pairing evolution on a congesting 3x3 grid (agent -> partner):");
+    for checkpoint in [60u32, 600, 1200] {
+        while sim.time() < checkpoint {
+            sim.step();
+        }
+        let partners = pairing.partners(&sim.observe_all());
+        let self_paired = partners.iter().enumerate().filter(|&(a, &p)| a == p).count();
+        println!(
+            "  t={:>5}s partners={:?} ({} self-paired)",
+            checkpoint, partners, self_paired
+        );
+    }
+
+    // --- Part 2: Table IV bit accounting -------------------------------
+    println!("\ncommunication overhead per intersection per decision step:");
+    for bw in [0usize, 1, 2, 4] {
+        println!("  bandwidth {bw}: {:>4} bits", bits_per_step(bw));
+    }
+
+    // --- Part 3: Fig. 11 in miniature — bandwidth 1 vs 2 ---------------
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    for bandwidth in [1usize, 2] {
+        let mut env = TscEnv::new(
+            scenario.clone(),
+            SimConfig::default(),
+            EnvConfig {
+                decision_interval: 5,
+                episode_horizon: 1800,
+            },
+            5,
+        )?;
+        let mut cfg = PairUpLightConfig::default();
+        cfg.bandwidth = bandwidth;
+        cfg.hidden = 24;
+        cfg.lstm_hidden = 24;
+        cfg.eps_decay_episodes = 8;
+        let mut model = PairUpLight::new(&env, cfg);
+        let mut final_wait = 0.0;
+        for i in 0..15 {
+            final_wait = model.train_episode(&mut env, i)?.stats.avg_waiting_time;
+        }
+        println!(
+            "\nbandwidth {} ({} bits/step): waiting time after 15 episodes = {:.2}s",
+            bandwidth,
+            bits_per_step(bandwidth),
+            final_wait
+        );
+    }
+    println!("\n(the paper finds one 32-bit message is enough — Fig. 11)");
+    Ok(())
+}

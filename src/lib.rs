@@ -1,0 +1,7 @@
+//! Workspace root crate re-exporting the PairUpLight reproduction stack.
+pub use pairuplight;
+pub use tsc_baselines;
+pub use tsc_bench;
+pub use tsc_nn;
+pub use tsc_rl;
+pub use tsc_sim;

@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: the full stack — simulator, neural
+//! networks, RL algorithms, PairUpLight, baselines, and the experiment
+//! harness — exercised together on small scenarios.
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_baselines::{CoLight, CoLightConfig, FixedTimeController, Ma2c, Ma2cConfig};
+use tsc_bench::eval::{evaluate, EvalConfig};
+use tsc_bench::models::{train_model, ModelKind, TrainSetup};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::monaco::{self, MonacoConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, Scenario, SimConfig, TscEnv};
+
+fn small_grid_scenario(pattern: FlowPattern) -> Scenario {
+    let grid = Grid::build(GridConfig {
+        cols: 3,
+        rows: 3,
+        spacing: 200.0,
+    })
+    .expect("grid");
+    patterns::grid_scenario(&grid, pattern, &PatternConfig::default()).expect("scenario")
+}
+
+fn env_for(scenario: Scenario, horizon: u32) -> TscEnv {
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )
+    .expect("env")
+}
+
+/// The headline property: a briefly-trained PairUpLight must beat
+/// fixed-time control on light uniform traffic.
+#[test]
+fn trained_pairuplight_beats_fixed_time_on_light_traffic() {
+    let scenario = small_grid_scenario(FlowPattern::Five);
+    let mut env = env_for(scenario.clone(), 1200);
+    let mut cfg = PairUpLightConfig::default();
+    cfg.hidden = 24;
+    cfg.lstm_hidden = 24;
+    cfg.ppo.epochs = 2;
+    cfg.eps_decay_episodes = 8;
+    let mut model = PairUpLight::new(&env, cfg);
+    for i in 0..15 {
+        model.train_episode(&mut env, i).expect("episode");
+    }
+    let eval_cfg = EvalConfig {
+        horizon: 1200,
+        drain_cap: 3600,
+        seed: 99,
+    };
+    let mut trained = model.controller();
+    let rl = evaluate(&mut trained, &scenario, SimConfig::default(), &eval_cfg).expect("rl");
+    let mut fixed = FixedTimeController::default();
+    let ft = evaluate(&mut fixed, &scenario, SimConfig::default(), &eval_cfg).expect("ft");
+    assert!(
+        rl.avg_waiting_time < ft.avg_waiting_time,
+        "PairUpLight {:.1}s must beat FixedTime {:.1}s",
+        rl.avg_waiting_time,
+        ft.avg_waiting_time
+    );
+    assert!(rl.completion_rate > 0.9, "light traffic must drain: {rl:?}");
+}
+
+/// Training must reduce waiting time relative to the untrained policy.
+#[test]
+fn pairuplight_training_improves_over_episodes() {
+    let scenario = small_grid_scenario(FlowPattern::Five);
+    let mut env = env_for(scenario, 1200);
+    let mut cfg = PairUpLightConfig::default();
+    cfg.hidden = 24;
+    cfg.lstm_hidden = 24;
+    cfg.ppo.epochs = 2;
+    cfg.eps_decay_episodes = 8;
+    let mut model = PairUpLight::new(&env, cfg);
+    let mut waits = Vec::new();
+    for i in 0..14 {
+        waits.push(
+            model
+                .train_episode(&mut env, i)
+                .expect("episode")
+                .stats
+                .avg_waiting_time,
+        );
+    }
+    let early: f64 = waits[..3].iter().sum::<f64>() / 3.0;
+    let late: f64 = waits[waits.len() - 3..].iter().sum::<f64>() / 3.0;
+    assert!(
+        late < early,
+        "late waits {late:.1}s must improve on early {early:.1}s ({waits:?})"
+    );
+}
+
+/// All five Table II models must train and evaluate through the shared
+/// harness on the same environment without panicking, and their
+/// evaluation must produce sane metrics.
+#[test]
+fn harness_runs_all_models_end_to_end() {
+    let scenario = small_grid_scenario(FlowPattern::One);
+    let setup = TrainSetup {
+        hidden: 12,
+        lstm_hidden: 12,
+        episodes: 2,
+        ppo_epochs: 1,
+        seed: 3,
+        heterogeneous: false,
+    };
+    let eval_cfg = EvalConfig {
+        horizon: 600,
+        drain_cap: 1800,
+        seed: 5,
+    };
+    for kind in ModelKind::TABLE2 {
+        let mut env = env_for(scenario.clone(), 600);
+        let mut trained =
+            train_model(kind, &mut env, &setup, |_| {}).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let r = evaluate(
+            &mut *trained.controller,
+            &scenario,
+            SimConfig::default(),
+            &eval_cfg,
+        )
+        .expect("evaluate");
+        assert!(r.spawned > 0, "{kind:?} spawned nothing");
+        assert!(r.avg_travel_time > 0.0, "{kind:?} has zero travel time");
+        assert!(
+            r.avg_travel_time < 3600.0,
+            "{kind:?} exceeded drain cap: {r:?}"
+        );
+    }
+}
+
+/// The Monaco heterogeneous scenario trains per-agent PairUpLight and
+/// MA2C (both without parameter sharing).
+#[test]
+fn heterogeneous_monaco_trains_without_sharing() {
+    let cfg = MonacoConfig {
+        cols: 3,
+        rows: 3,
+        num_flows: 4,
+        ..MonacoConfig::default()
+    };
+    let scenario = monaco::scenario(&cfg, 2).expect("monaco");
+    let mut env = env_for(scenario, 400);
+    let mut pcfg = PairUpLightConfig::default();
+    pcfg.parameter_sharing = false;
+    pcfg.hidden = 8;
+    pcfg.lstm_hidden = 8;
+    pcfg.ppo.epochs = 1;
+    let mut model = PairUpLight::new(&env, pcfg);
+    let ep = model.train_episode(&mut env, 0).expect("episode");
+    assert!(ep.stats.spawned > 0);
+    let mcfg = Ma2cConfig {
+        hidden: 8,
+        lstm_hidden: 8,
+        ..Ma2cConfig::default()
+    };
+    let mut ma2c = Ma2c::new(&env, mcfg);
+    let stats = ma2c.train_episode(&mut env, 0).expect("ma2c episode");
+    assert!(stats.spawned > 0);
+}
+
+/// Determinism across the whole stack: same seeds, same results, for
+/// every trainable model family.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let scenario = small_grid_scenario(FlowPattern::One);
+        let mut env = env_for(scenario, 400);
+        let mut cfg = PairUpLightConfig::default();
+        cfg.hidden = 8;
+        cfg.lstm_hidden = 8;
+        cfg.ppo.epochs = 1;
+        let mut model = PairUpLight::new(&env, cfg);
+        let a = model.train_episode(&mut env, 0).expect("ep").stats.total_reward;
+        let ccfg = CoLightConfig {
+            embed: 8,
+            ..CoLightConfig::default()
+        };
+        let mut colight = CoLight::new(&env, ccfg);
+        let b = colight.train_episode(&mut env, 0).expect("ep").total_reward;
+        (a, b)
+    };
+    assert_eq!(run(), run());
+}
+
+/// A policy trained on clean sensors still runs (and still beats doing
+/// nothing) under detector degradation — the robustness extension.
+#[test]
+fn trained_policy_survives_sensor_degradation() {
+    let scenario = small_grid_scenario(FlowPattern::Five);
+    let mut env = env_for(scenario.clone(), 1000);
+    let mut cfg = PairUpLightConfig::default();
+    cfg.hidden = 16;
+    cfg.lstm_hidden = 16;
+    cfg.ppo.epochs = 1;
+    cfg.eps_decay_episodes = 6;
+    let mut model = PairUpLight::new(&env, cfg);
+    for i in 0..10 {
+        model.train_episode(&mut env, i).expect("episode");
+    }
+    let degraded = SimConfig {
+        detector: tsc_sim::DetectorConfig {
+            range: 50.0,
+            noise: 0.3,
+            dropout: 0.2,
+        },
+        ..SimConfig::default()
+    };
+    let eval_cfg = EvalConfig {
+        horizon: 1000,
+        drain_cap: 3000,
+        seed: 77,
+    };
+    let mut trained = model.controller();
+    let r = evaluate(&mut trained, &scenario, degraded, &eval_cfg).expect("degraded eval");
+    assert!(r.spawned > 0);
+    assert!(r.avg_travel_time.is_finite());
+    assert!(
+        r.completion_rate > 0.5,
+        "policy keeps traffic moving under degraded sensing: {r:?}"
+    );
+}
+
+/// Rewards and observations stay finite under extreme oversaturation
+/// (no NaN/Inf leaks into training).
+#[test]
+fn no_nan_under_oversaturation() {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .expect("grid");
+    let cfg = PatternConfig {
+        peak_rate: 2000.0,
+        base_rate: 1000.0,
+        ..PatternConfig::default()
+    };
+    let scenario =
+        patterns::grid_scenario(&grid, FlowPattern::Two, &cfg).expect("scenario");
+    let mut env = env_for(scenario, 900);
+    let mut pcfg = PairUpLightConfig::default();
+    pcfg.hidden = 8;
+    pcfg.lstm_hidden = 8;
+    pcfg.ppo.epochs = 1;
+    let mut model = PairUpLight::new(&env, pcfg);
+    let ep = model.train_episode(&mut env, 1).expect("episode");
+    assert!(ep.stats.total_reward.is_finite());
+    assert!(ep.policy_loss.is_finite());
+    assert!(ep.value_loss.is_finite());
+    assert!(ep.entropy.is_finite());
+}
