@@ -78,6 +78,16 @@ pub struct PairUpLightConfig {
     pub max_phases: usize,
     /// Seed for weight initialization and exploration.
     pub seed: u64,
+    /// Environment replicas collected per PPO update. 1 reproduces the
+    /// classic one-episode-per-update loop; K > 1 collects K episodes
+    /// against a frozen policy snapshot and merges them (env-index
+    /// order) into one multi-env batch.
+    pub num_envs: usize,
+    /// Drive the K replicas from scoped worker threads (`true`) or a
+    /// serial loop (`false`). Both produce bit-identical results; the
+    /// switch exists so tests can prove it and single-core hosts can
+    /// skip thread overhead.
+    pub parallel_rollouts: bool,
 }
 
 impl Default for PairUpLightConfig {
@@ -110,6 +120,8 @@ impl Default for PairUpLightConfig {
             stochastic_execution: true,
             max_phases: 4,
             seed: 0,
+            num_envs: 1,
+            parallel_rollouts: true,
         }
     }
 }

@@ -58,4 +58,4 @@ pub use config::{CriticMode, PairUpLightConfig, PairingMode};
 pub use model::{ActorNet, ActorOut, CriticNet};
 pub use obs::{ObsEncoder, ObsNorm};
 pub use pairing::PairingTable;
-pub use trainer::{PairUpLight, PairUpLightController, TrainEpisode};
+pub use trainer::{PairUpLight, PairUpLightController, Rollout, TrainEpisode};

@@ -12,9 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tsc_nn::{Adam, Graph, LstmState, Params, Tensor};
-use tsc_rl::buffer::{RolloutBuffer, Transition};
+use tsc_rl::buffer::{RolloutBuffer, Trajectory, Transition};
 use tsc_rl::distribution::{Categorical, LinearSchedule};
 use tsc_rl::ppo::{clipped_policy_loss, entropy_bonus, value_loss};
+use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::{Controller, EpisodeStats, IntersectionObs, SimError, TscEnv};
 
 use crate::config::{CriticMode, PairUpLightConfig};
@@ -53,6 +54,22 @@ impl NetBundle {
             opt,
         }
     }
+}
+
+/// Everything one environment replica produces in one collection
+/// round: the on-policy trajectory (with bootstrap values) plus the
+/// episode's diagnostics. Produced by [`PairUpLight::collect_rollout`]
+/// against an immutable policy snapshot; consumed (in env-index order)
+/// by the PPO update.
+#[derive(Debug, Clone)]
+pub struct Rollout {
+    /// Per-agent transitions and bootstrap values.
+    pub trajectory: Trajectory,
+    /// Environment statistics of the collected episode.
+    pub stats: EpisodeStats,
+    /// Mean absolute regularized message value sent (0 when
+    /// communication is disabled).
+    pub mean_message: f32,
 }
 
 /// Per-episode training diagnostics.
@@ -178,10 +195,11 @@ impl PairUpLight {
     /// with ε-greedy exploration (Algorithm 1 line 13). Returns
     /// `(action, log_prob)`.
     fn sample_action(
-        &mut self,
+        &self,
         probs: &[f32],
         agent: usize,
         epsilon: f32,
+        rng: &mut StdRng,
     ) -> (usize, f32) {
         let n = self.phases_per_agent[agent];
         // Mask to the agent's valid phases and renormalize.
@@ -194,31 +212,41 @@ impl PairUpLight {
                 *p /= sum;
             }
         }
-        let action = if self.rng.gen::<f32>() < epsilon {
-            self.rng.gen_range(0..n)
+        let action = if rng.gen::<f32>() < epsilon {
+            rng.gen_range(0..n)
         } else {
-            Categorical::new(&masked).sample(&mut self.rng)
+            Categorical::new(&masked).sample(rng)
         };
         (action, Categorical::new(&masked).log_prob(action))
     }
 
-    /// Runs one training episode (explore + update) and returns its
-    /// diagnostics.
+    /// Collects one full episode of on-policy experience against the
+    /// *current* (frozen) policy — pure with respect to the learner:
+    /// `&self` only, with all randomness (exploration, message noise,
+    /// random pairing) drawn from a private RNG derived from `seed` and
+    /// `cfg.seed`. This is what makes data-parallel collection sound:
+    /// any number of workers can run it concurrently on independent
+    /// env replicas and the result for a given `(policy, seed)` pair is
+    /// always the same.
     ///
     /// # Errors
     ///
     /// Propagates environment failures.
-    pub fn train_episode(&mut self, env: &mut TscEnv, seed: u64) -> Result<TrainEpisode, SimError> {
+    pub fn collect_rollout(&self, env: &mut TscEnv, seed: u64) -> Result<Rollout, SimError> {
         let epsilon = self.epsilon();
         let n = self.num_agents;
         let lstm = self.cfg.lstm_hidden;
         let bw = self.cfg.bandwidth;
+        // The policy stream is salted with `cfg.seed` so two learners
+        // that differ only in their model seed also explore
+        // differently on the same episode seed.
+        let mut rng = StdRng::seed_from_u64(derive_rollout_seed(self.cfg.seed, seed, 0x5A17));
         let mut all_obs = env.reset(seed);
         let mut actor_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
         let mut critic_states: Vec<LstmState> =
             (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
         let mut messages: Vec<Vec<f32>> = vec![vec![0.0; bw]; n];
-        let mut buffer = RolloutBuffer::new(n);
+        let mut traj = Trajectory::new(n);
         let mut total_reward = 0.0f64;
         let mut msg_abs_sum = 0.0f32;
         let mut msg_count = 0usize;
@@ -230,7 +258,7 @@ impl PairUpLight {
                 }
                 crate::config::PairingMode::SelfLoop => self.pairing.self_partners(),
                 crate::config::PairingMode::RandomUpstream => {
-                    self.pairing.random_partners(&mut self.rng)
+                    self.pairing.random_partners(&mut rng)
                 }
             };
             let mut actions = vec![0usize; n];
@@ -269,10 +297,10 @@ impl PairUpLight {
                     &critic_states[a],
                 );
                 let value = gc.value(v).get(0, 0) * self.value_scale();
-                let (action, log_prob) = self.sample_action(probs.row(0), a, epsilon);
+                let (action, log_prob) = self.sample_action(probs.row(0), a, epsilon, &mut rng);
                 actions[a] = action;
                 if bw > 0 {
-                    let m_hat = regularize(&raw_msg, self.cfg.sigma, &mut self.rng);
+                    let m_hat = regularize(&raw_msg, self.cfg.sigma, &mut rng);
                     msg_abs_sum += m_hat.iter().map(|x| x.abs()).sum::<f32>();
                     msg_count += m_hat.len();
                     next_messages[a] = m_hat;
@@ -304,7 +332,7 @@ impl PairUpLight {
                     .clamp(-self.cfg.reward_clip, 0.0);
                 total_reward += step.rewards[a];
                 t.aux = vec![self.encoder.message_target(&step.obs[a])];
-                buffer.push(a, t);
+                traj.push(a, t);
             }
             messages = next_messages;
             all_obs = step.obs;
@@ -314,7 +342,6 @@ impl PairUpLight {
         }
 
         // Bootstrap values V(s_{B+1}) (Algorithm 1 line 24).
-        let mut last_values = vec![0.0f32; n];
         for a in 0..n {
             let b = self.bundle_idx(a);
             let critic_in = self.critic_input(&all_obs, a);
@@ -325,34 +352,116 @@ impl PairUpLight {
                 Tensor::row_from_slice(&critic_in),
                 &critic_states[a],
             );
-            last_values[a] = g.value(v).get(0, 0) * self.value_scale();
+            traj.last_values[a] = g.value(v).get(0, 0) * self.value_scale();
         }
-        buffer.compute_targets(&last_values, self.cfg.ppo.gamma, self.cfg.ppo.lambda);
-        let (policy_loss, value_loss, entropy) = self.update(&buffer);
 
         let stats = EpisodeStats {
-            steps: buffer.len(0),
+            steps: traj.agents.first().map_or(0, Vec::len),
             total_reward,
             avg_waiting_time: env.sim().metrics().avg_waiting_time(),
             avg_travel_time: env.sim().avg_travel_time(),
             finished: env.sim().metrics().finished(),
             spawned: env.sim().metrics().spawned(),
         };
-        let out = TrainEpisode {
-            episode: self.episodes_trained,
+        Ok(Rollout {
+            trajectory: traj,
             stats,
-            epsilon,
             mean_message: if msg_count > 0 {
                 msg_abs_sum / msg_count as f32
             } else {
                 0.0
             },
-            policy_loss,
-            value_loss,
-            entropy,
-        };
-        self.episodes_trained += 1;
-        Ok(out)
+        })
+    }
+
+    /// Collects one rollout per replica in `set`, seeding replica `e`
+    /// with `seeds[e]`, and returns the rollouts **in env-index order**
+    /// regardless of worker scheduling.
+    ///
+    /// With `parallel`, replicas are driven by scoped worker threads
+    /// sharing the frozen policy read-only; each worker writes into its
+    /// own pre-allocated slot, so no result ever moves between lanes
+    /// and no floating-point value is accumulated across threads —
+    /// the output is bit-identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest env index) environment failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds.len() != set.len()`.
+    pub fn collect_rollouts(
+        &self,
+        set: &mut RolloutSet,
+        seeds: &[u64],
+        parallel: bool,
+    ) -> Result<Vec<Rollout>, SimError> {
+        assert_eq!(seeds.len(), set.len(), "one seed per replica");
+        let mut slots: Vec<Option<Result<Rollout, SimError>>> =
+            (0..set.len()).map(|_| None).collect();
+        if parallel && set.len() > 1 {
+            let this = &*self;
+            std::thread::scope(|scope| {
+                for ((env, &seed), slot) in
+                    set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut())
+                {
+                    scope.spawn(move || *slot = Some(this.collect_rollout(env, seed)));
+                }
+            });
+        } else {
+            for ((env, &seed), slot) in set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut())
+            {
+                *slot = Some(self.collect_rollout(env, seed));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every worker fills its slot"))
+            .collect()
+    }
+
+    /// Merges a round of rollouts (already in env-index order) into one
+    /// multi-env batch, runs the PPO update, and returns one
+    /// [`TrainEpisode`] record per rollout (sharing the round's losses).
+    fn update_round(&mut self, rollouts: Vec<Rollout>) -> Vec<TrainEpisode> {
+        let epsilon = self.epsilon();
+        let mut metas = Vec::with_capacity(rollouts.len());
+        let mut trajs = Vec::with_capacity(rollouts.len());
+        for r in rollouts {
+            metas.push((r.stats, r.mean_message));
+            trajs.push(r.trajectory);
+        }
+        let (mut buffer, last_values) = RolloutBuffer::from_trajectories(trajs);
+        buffer.compute_targets(&last_values, self.cfg.ppo.gamma, self.cfg.ppo.lambda);
+        let (policy_loss, value_loss, entropy) = self.update(&buffer);
+        metas
+            .into_iter()
+            .map(|(stats, mean_message)| {
+                let ep = TrainEpisode {
+                    episode: self.episodes_trained,
+                    stats,
+                    epsilon,
+                    mean_message,
+                    policy_loss,
+                    value_loss,
+                    entropy,
+                };
+                self.episodes_trained += 1;
+                ep
+            })
+            .collect()
+    }
+
+    /// Runs one training episode (explore + update) and returns its
+    /// diagnostics. Equivalent to a `num_envs = 1` collection round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment failures.
+    pub fn train_episode(&mut self, env: &mut TscEnv, seed: u64) -> Result<TrainEpisode, SimError> {
+        let rollout = self.collect_rollout(env, seed)?;
+        Ok(self.update_round(vec![rollout]).remove(0))
     }
 
     /// PPO update (Algorithm 1 line 29): K epochs over minibatches.
@@ -370,11 +479,14 @@ impl PairUpLight {
                     acc = (acc.0 + l.0, acc.1 + l.1, acc.2 + l.2);
                     count += 1;
                 } else {
-                    // Group the minibatch by owning agent.
+                    // Group the minibatch by owning agent. Buffer lanes
+                    // are env-major (`lane = env * num_agents + agent`),
+                    // so the owning agent — and therefore the bundle —
+                    // is `lane % num_agents`.
                     let mut per_agent: Vec<Vec<(usize, usize)>> =
                         vec![Vec::new(); self.num_agents];
-                    for (a, t) in batch {
-                        per_agent[a].push((a, t));
+                    for (lane, t) in batch {
+                        per_agent[lane % self.num_agents].push((lane, t));
                     }
                     for (a, items) in per_agent.into_iter().enumerate() {
                         if !items.is_empty() {
@@ -478,8 +590,18 @@ impl PairUpLight {
         stats
     }
 
-    /// Trains for `episodes` episodes, seeding episode `i` with
-    /// `base_seed + i`, invoking `on_episode` after each.
+    /// Trains for at least `episodes` episodes, invoking `on_episode`
+    /// after each.
+    ///
+    /// With `cfg.num_envs = 1` this is the classic loop: one episode
+    /// per PPO update, episode `i` seeded `base_seed + i`. With
+    /// `K = num_envs > 1`, each update consumes a *round* of `K`
+    /// episodes collected from independent env replicas against a
+    /// frozen policy snapshot, replica `e` of round `r` seeded
+    /// [`derive_rollout_seed`]`(base_seed, r, e)`; rounds repeat until
+    /// `episodes` is reached, so the history length rounds up to a
+    /// multiple of `K`. Results are bit-identical whether the replicas
+    /// run on worker threads (`cfg.parallel_rollouts`) or serially.
     ///
     /// # Errors
     ///
@@ -491,13 +613,46 @@ impl PairUpLight {
         base_seed: u64,
         mut on_episode: impl FnMut(&TrainEpisode),
     ) -> Result<Vec<TrainEpisode>, SimError> {
+        let k = self.cfg.num_envs.max(1);
         let mut history = Vec::with_capacity(episodes);
-        for i in 0..episodes {
-            let ep = self.train_episode(env, base_seed + i as u64)?;
-            on_episode(&ep);
-            history.push(ep);
+        if k == 1 {
+            for i in 0..episodes {
+                let ep = self.train_episode(env, base_seed + i as u64)?;
+                on_episode(&ep);
+                history.push(ep);
+            }
+            return Ok(history);
+        }
+        // `env` serves as the prototype; replicas are reset with their
+        // derived seeds before every round, so its current state never
+        // leaks into training.
+        let mut set = RolloutSet::new(env, k);
+        let mut round: u64 = 0;
+        while history.len() < episodes {
+            let seeds: Vec<u64> = (0..k)
+                .map(|e| derive_rollout_seed(base_seed, round, e as u64))
+                .collect();
+            let rollouts = self.collect_rollouts(&mut set, &seeds, self.cfg.parallel_rollouts)?;
+            for ep in self.update_round(rollouts) {
+                on_episode(&ep);
+                history.push(ep);
+            }
+            round += 1;
         }
         Ok(history)
+    }
+
+    /// All trainable scalars across bundles, concatenated in a stable
+    /// (bundle, parameter, element) order. Intended for exact
+    /// (bit-for-bit) equality checks between training runs.
+    pub fn parameter_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for b in &self.bundles {
+            for id in b.params.ids() {
+                out.extend_from_slice(b.params.value(id).data());
+            }
+        }
+        out
     }
 
     /// Saves every bundle's weights to `path` (tsc-nn text format; one
@@ -752,6 +907,39 @@ mod tests {
             (a.stats.total_reward, b.stats.total_reward, a.mean_message)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multi_env_round_counts_episodes_and_shares_losses() {
+        let mut env = tiny_env(140);
+        let mut cfg = small_cfg();
+        cfg.num_envs = 2;
+        let mut model = PairUpLight::new(&env, cfg);
+        let history = model.train(&mut env, 2, 0, |_| {}).unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(model.episodes_trained(), 2);
+        assert_eq!(history[0].episode, 0);
+        assert_eq!(history[1].episode, 1);
+        // One PPO update per round: its diagnostics are shared by the
+        // round's episode records.
+        assert_eq!(history[0].policy_loss, history[1].policy_loss);
+        assert_eq!(history[0].value_loss, history[1].value_loss);
+        // Replicas got distinct derived seeds, so their episodes differ.
+        assert_ne!(
+            history[0].stats.total_reward,
+            history[1].stats.total_reward
+        );
+    }
+
+    #[test]
+    fn collect_rollout_is_pure_and_repeatable() {
+        let mut env = tiny_env(140);
+        let model = PairUpLight::new(&env, small_cfg());
+        let a = model.collect_rollout(&mut env, 3).unwrap();
+        let b = model.collect_rollout(&mut env, 3).unwrap();
+        assert_eq!(a.stats.total_reward, b.stats.total_reward);
+        assert_eq!(a.trajectory.last_values, b.trajectory.last_values);
+        assert_eq!(a.trajectory.total(), b.trajectory.total());
     }
 
     #[test]

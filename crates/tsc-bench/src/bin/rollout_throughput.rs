@@ -1,0 +1,97 @@
+//! Rollout-collection throughput of the data-parallel engine.
+//!
+//! Measures environment steps per second when collecting episodes with
+//! `K = 1, 2, 4, 8` replicas on the paper's 6×6 grid, comparing the
+//! scoped-thread worker path against the serial path at each `K`, and
+//! reporting the speedup over `K = 1`. Numbers scale with the host's
+//! core count: on a single-core machine the parallel path degenerates
+//! to serial throughput (minus negligible thread overhead), which is
+//! expected and does not affect determinism.
+//!
+//! Usage: `rollout_throughput [horizon_seconds] [rounds]`
+//! (defaults: 300, 2).
+
+use std::time::Instant;
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, SimError, TscEnv};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let horizon: u32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let rounds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    if let Err(e) = run(horizon, rounds) {
+        eprintln!("rollout_throughput failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
+    let grid = Grid::build(GridConfig::default())?;
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let env = TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )?;
+    let mut cfg = PairUpLightConfig::default();
+    // Small nets keep the bench dominated by what it measures: the
+    // collection loop, not one-off weight initialization.
+    cfg.hidden = 32;
+    cfg.lstm_hidden = 32;
+    let model = PairUpLight::new(&env, cfg);
+    let sim_seconds_per_episode = u64::from(env.steps_per_episode() as u32)
+        * u64::from(env.seconds_per_step());
+
+    println!(
+        "rollout throughput: 6x6 grid, horizon {horizon}s, {} decision steps/episode, \
+         {rounds} round(s) per cell, host cores: {}",
+        env.steps_per_episode(),
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+    println!("{:>3} {:>10} {:>14} {:>14} {:>10}", "K", "mode", "elapsed", "env-steps/s", "speedup");
+
+    let mut baseline: Option<f64> = None;
+    for k in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            let mut set = RolloutSet::new(&env, k);
+            let start = Instant::now();
+            let mut steps_done: u64 = 0;
+            for round in 0..rounds {
+                let seeds: Vec<u64> = (0..k)
+                    .map(|e| derive_rollout_seed(0, round, e as u64))
+                    .collect();
+                let rollouts = model.collect_rollouts(&mut set, &seeds, parallel)?;
+                steps_done += rollouts.iter().map(|r| r.stats.steps as u64).sum::<u64>();
+            }
+            let elapsed = start.elapsed();
+            let steps_per_sec = steps_done as f64 / elapsed.as_secs_f64();
+            // Serial K=1 is the reference a single classic training
+            // loop achieves.
+            if k == 1 && !parallel {
+                baseline = Some(steps_per_sec);
+            }
+            let speedup = steps_per_sec / baseline.expect("K=1 serial measured first");
+            println!(
+                "{k:>3} {:>10} {:>14.2?} {steps_per_sec:>14.0} {speedup:>9.2}x",
+                if parallel { "threads" } else { "serial" },
+                elapsed,
+            );
+        }
+    }
+    println!(
+        "(each episode simulates {sim_seconds_per_episode}s of traffic; \
+         decision steps = episodes x steps/episode)"
+    );
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Finite-difference gradient checks for the autograd engine.
+//!
+//! For every trainable scalar θ of a layer, the analytic gradient from
+//! `Graph::backward` must match the central difference
+//! `(L(θ+ε) − L(θ−ε)) / 2ε` of the same scalar loss. The loss
+//! projects the layer output onto fixed pseudo-random weights so no
+//! gradient component is hidden by symmetry.
+//!
+//! Numerics: everything here is f32, so ε trades truncation error
+//! (∝ ε²) against roundoff (∝ u/ε). ε = 5e-3 puts both well below the
+//! 1e-4 tolerance for these O(1)-sized losses; the tolerance is scaled
+//! by (1 + |g|) so large gradients are checked relatively and small
+//! ones absolutely.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsc_nn::{Graph, Init, Linear, LstmCell, LstmState, Params, Tensor};
+
+const EPS: f32 = 5e-3;
+const TOL: f32 = 1e-4;
+
+/// Fixed pseudo-random projection weights (deterministic, O(1) scale).
+fn projection(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() - 0.5).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Checks every parameter scalar of `params` against central
+/// differences of `loss_fn`, after `backward` has filled the analytic
+/// gradients.
+fn check_all_params(params: &mut Params, loss_fn: &dyn Fn(&Params) -> f32, context: &str) {
+    let ids: Vec<_> = params.ids().collect();
+    let mut checked = 0usize;
+    for id in ids {
+        let n = params.value(id).data().len();
+        let name = params.name(id).to_string();
+        for i in 0..n {
+            let orig = params.value(id).data()[i];
+            params.value_mut(id).data_mut()[i] = orig + EPS;
+            let up = loss_fn(params);
+            params.value_mut(id).data_mut()[i] = orig - EPS;
+            let down = loss_fn(params);
+            params.value_mut(id).data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * EPS);
+            let analytic = params.grad(id).data()[i];
+            let err = (analytic - numeric).abs();
+            let tol = TOL * (1.0 + analytic.abs().max(numeric.abs()));
+            assert!(
+                err <= tol,
+                "{context}: d loss / d {name}[{i}]: analytic {analytic:.6e} vs \
+                 numeric {numeric:.6e} (err {err:.2e} > tol {tol:.2e})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "{context}: no parameters checked");
+}
+
+#[test]
+fn linear_gradients_match_central_differences() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut params = Params::new();
+    let layer = Linear::new(&mut params, "fc", 3, 4, Init::Xavier, &mut rng);
+    let x = projection(2, 3, &mut rng);
+    let w = projection(2, 4, &mut rng);
+
+    let loss_fn = |p: &Params| -> f32 {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let y = layer.forward(&mut g, p, xv);
+        // Nonlinearity so second derivatives are nonzero and the check
+        // cannot pass by linearity alone.
+        let s = g.tanh(y);
+        let wv = g.input(w.clone());
+        let prod = g.mul(s, wv);
+        let loss = g.mean(prod);
+        g.value(loss).get(0, 0)
+    };
+
+    // Analytic pass.
+    {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let y = layer.forward(&mut g, &params, xv);
+        let s = g.tanh(y);
+        let wv = g.input(w.clone());
+        let prod = g.mul(s, wv);
+        let loss = g.mean(prod);
+        params.zero_grad();
+        g.backward(loss, &mut params);
+    }
+    check_all_params(&mut params, &loss_fn, "linear");
+}
+
+#[test]
+fn lstm_gradients_match_central_differences() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut params = Params::new();
+    let cell = LstmCell::new(&mut params, "lstm", 3, 4, &mut rng);
+    let x = projection(2, 3, &mut rng);
+    // A non-trivial previous state exercises the w_h and forget-gate
+    // paths, which an all-zero state would silence.
+    let state = LstmState {
+        h: projection(2, 4, &mut rng),
+        c: projection(2, 4, &mut rng),
+    };
+    let wh = projection(2, 4, &mut rng);
+    let wc = projection(2, 4, &mut rng);
+
+    let loss_fn = |p: &Params| -> f32 {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let hv = g.input(state.h.clone());
+        let cv = g.input(state.c.clone());
+        let (h_new, c_new) = cell.forward(&mut g, p, xv, hv, cv);
+        // Project both outputs so gradients flow through the output
+        // gate (h path) and the cell accumulator (c path).
+        let whv = g.input(wh.clone());
+        let wcv = g.input(wc.clone());
+        let ph = g.mul(h_new, whv);
+        let pc = g.mul(c_new, wcv);
+        let sh = g.mean(ph);
+        let sc = g.mean(pc);
+        let loss = g.add(sh, sc);
+        g.value(loss).get(0, 0)
+    };
+
+    {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let hv = g.input(state.h.clone());
+        let cv = g.input(state.c.clone());
+        let (h_new, c_new) = cell.forward(&mut g, &params, xv, hv, cv);
+        let whv = g.input(wh.clone());
+        let wcv = g.input(wc.clone());
+        let ph = g.mul(h_new, whv);
+        let pc = g.mul(c_new, wcv);
+        let sh = g.mean(ph);
+        let sc = g.mean(pc);
+        let loss = g.add(sh, sc);
+        params.zero_grad();
+        g.backward(loss, &mut params);
+    }
+    check_all_params(&mut params, &loss_fn, "lstm");
+}

@@ -48,7 +48,54 @@ pub struct Target {
     pub ret: f32,
 }
 
-/// On-policy rollout storage for `num_agents` parallel trajectories.
+/// The on-policy experience one environment replica produces in one
+/// collection round, before any cross-env merging.
+///
+/// Collection workers each fill their own `Trajectory` against an
+/// immutable policy snapshot; [`RolloutBuffer::from_trajectories`] then
+/// merges them in env-index order, so downstream GAE / advantage
+/// normalization / minibatch shuffling see a canonical layout that is
+/// independent of thread scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// Per-agent transition sequences, in agent order.
+    pub agents: Vec<Vec<Transition>>,
+    /// Per-agent bootstrap values v(s_T), in agent order.
+    pub last_values: Vec<f32>,
+}
+
+impl Trajectory {
+    /// An empty trajectory for `num_agents` agents.
+    pub fn new(num_agents: usize) -> Self {
+        Trajectory {
+            agents: vec![Vec::new(); num_agents],
+            last_values: vec![0.0; num_agents],
+        }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Appends a transition for agent `a`.
+    pub fn push(&mut self, a: usize, t: Transition) {
+        self.agents[a].push(t);
+    }
+
+    /// Total transitions across agents.
+    pub fn total(&self) -> usize {
+        self.agents.iter().map(Vec::len).sum()
+    }
+}
+
+/// On-policy rollout storage for `num_lanes` parallel trajectories.
+///
+/// A *lane* is one (environment replica, agent) pair. Single-env
+/// training uses one lane per agent; multi-env training lays lanes out
+/// env-major (`lane = env_idx * num_agents + agent`, see
+/// [`Self::from_trajectories`]), which keeps GAE, batch-wide advantage
+/// normalization, and minibatch shuffling unchanged.
 #[derive(Debug, Clone, Default)]
 pub struct RolloutBuffer {
     agents: Vec<Vec<Transition>>,
@@ -64,7 +111,42 @@ impl RolloutBuffer {
         }
     }
 
-    /// Number of agents.
+    /// Merges per-env trajectories into one multi-env buffer plus the
+    /// concatenated bootstrap values for
+    /// [`compute_targets`](Self::compute_targets).
+    ///
+    /// Lanes are laid out env-major: the trajectory at `trajs[e]`
+    /// occupies lanes `e * num_agents .. (e + 1) * num_agents`, so a
+    /// lane maps back to its agent as `lane % num_agents`. Because the
+    /// caller passes `trajs` in env-index order (not thread completion
+    /// order), the merged buffer — and therefore advantage
+    /// normalization and minibatch shuffling — is bit-identical
+    /// between serial and parallel collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajs` is empty or the trajectories disagree on
+    /// agent count.
+    pub fn from_trajectories(trajs: Vec<Trajectory>) -> (Self, Vec<f32>) {
+        assert!(!trajs.is_empty(), "need at least one trajectory");
+        let num_agents = trajs[0].num_agents();
+        let mut agents = Vec::with_capacity(trajs.len() * num_agents);
+        let mut last_values = Vec::with_capacity(trajs.len() * num_agents);
+        for traj in trajs {
+            assert_eq!(
+                traj.num_agents(),
+                num_agents,
+                "trajectories must agree on agent count"
+            );
+            assert_eq!(traj.last_values.len(), num_agents);
+            agents.extend(traj.agents);
+            last_values.extend(traj.last_values);
+        }
+        let targets = vec![Vec::new(); agents.len()];
+        (RolloutBuffer { agents, targets }, last_values)
+    }
+
+    /// Number of lanes (agents × merged envs).
     pub fn num_agents(&self) -> usize {
         self.agents.len()
     }
@@ -289,6 +371,57 @@ mod tests {
             (0..3).flat_map(|a| (0..5).map(move |t| (a, t))).collect();
         expect.sort();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn from_trajectories_merges_env_major() {
+        // Two envs × two agents; rewards tag (env, agent) so lane
+        // placement is observable.
+        let mut t0 = Trajectory::new(2);
+        t0.push(0, dummy(0.0, 0.1));
+        t0.push(1, dummy(1.0, 0.1));
+        t0.last_values = vec![10.0, 11.0];
+        let mut t1 = Trajectory::new(2);
+        t1.push(0, dummy(2.0, 0.1));
+        t1.push(1, dummy(3.0, 0.1));
+        t1.last_values = vec![12.0, 13.0];
+
+        let (buf, last) = RolloutBuffer::from_trajectories(vec![t0, t1]);
+        assert_eq!(buf.num_agents(), 4, "lanes = envs * agents");
+        assert_eq!(last, vec![10.0, 11.0, 12.0, 13.0]);
+        for lane in 0..4 {
+            assert_eq!(buf.transitions(lane)[0].reward, lane as f32);
+            // Env-major layout: agent recoverable as lane % num_agents.
+            let agent = lane % 2;
+            assert_eq!(lane / 2 * 2 + agent, lane);
+        }
+    }
+
+    #[test]
+    fn single_trajectory_merge_matches_plain_buffer() {
+        // K = 1 must reduce exactly to the single-env layout, which is
+        // what keeps `train_episode` behavior unchanged.
+        let mut traj = Trajectory::new(2);
+        traj.push(0, dummy(1.0, 0.5));
+        traj.push(0, dummy(0.0, 0.2));
+        traj.push(1, dummy(2.0, 0.1));
+        traj.last_values = vec![0.3, 0.4];
+
+        let mut direct = RolloutBuffer::new(2);
+        direct.push(0, dummy(1.0, 0.5));
+        direct.push(0, dummy(0.0, 0.2));
+        direct.push(1, dummy(2.0, 0.1));
+
+        let (mut merged, last) = RolloutBuffer::from_trajectories(vec![traj]);
+        assert_eq!(last, vec![0.3, 0.4]);
+        merged.compute_targets(&last, 0.9, 0.95);
+        direct.compute_targets(&[0.3, 0.4], 0.9, 0.95);
+        for a in 0..2 {
+            assert_eq!(merged.transitions(a), direct.transitions(a));
+            for t in 0..merged.len(a) {
+                assert_eq!(merged.target(a, t), direct.target(a, t));
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod gae;
 pub mod ppo;
 
 pub use a2c::A2cConfig;
-pub use buffer::{ReplayBuffer, ReplayTransition, RolloutBuffer, Target, Transition};
+pub use buffer::{ReplayBuffer, ReplayTransition, RolloutBuffer, Target, Trajectory, Transition};
 pub use distribution::{epsilon_greedy, Categorical, LinearSchedule};
 pub use dqn::DqnConfig;
 pub use gae::{gae, normalize_advantages};

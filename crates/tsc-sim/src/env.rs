@@ -56,7 +56,11 @@ pub trait Controller {
 }
 
 /// The multi-agent traffic-signal-control environment.
-#[derive(Debug)]
+///
+/// `Clone` copies the full simulation state, which is what makes cheap
+/// per-worker environment replicas possible in the data-parallel
+/// rollout engine (see [`crate::rollout::RolloutSet`]).
+#[derive(Debug, Clone)]
 pub struct TscEnv {
     scenario: Scenario,
     sim_config: SimConfig,

@@ -47,6 +47,7 @@ pub mod ids;
 pub mod metrics;
 pub mod network;
 pub mod recorder;
+pub mod rollout;
 pub mod routing;
 pub mod scenario;
 pub mod signal;
@@ -62,6 +63,7 @@ pub use ids::{Direction, LinkId, NodeId, VehicleId};
 pub use metrics::Metrics;
 pub use network::{Lane, Link, Movement, Network, NetworkBuilder, Node};
 pub use recorder::{Recorder, Sample};
+pub use rollout::{derive_rollout_seed, RolloutSet};
 pub use routing::shortest_route;
 pub use scenario::Scenario;
 pub use signal::{Phase, SignalPlan, SignalState};

@@ -106,7 +106,7 @@ impl LinkState {
 }
 
 /// The simulation engine. See the module docs for the model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Simulation {
     scenario: Scenario,
     config: SimConfig,

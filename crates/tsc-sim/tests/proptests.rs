@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
-use tsc_sim::{ArrivalModel, LinkId, NodeId, SimConfig, Simulation};
+use tsc_sim::{ArrivalModel, LinkId, Movement, NodeId, SimConfig, Simulation};
 
 fn small_sim(rate_scale: f64, seed: u64, stochastic: bool) -> Simulation {
     let grid = Grid::build(GridConfig {
@@ -115,6 +115,102 @@ proptest! {
         // Phase 2 = EW through/right (main demand direction); phase 1 =
         // NS left only.
         prop_assert!(run(1) >= run(2));
+    }
+
+    /// Vehicle conservation with the backlog term made explicit —
+    /// spawned == on-network + insertion backlog + arrived — across
+    /// *all five* paper flow patterns (the plain conservation property
+    /// above only drives Pattern 5's uniform demand).
+    #[test]
+    fn vehicle_conservation_with_backlog_across_patterns(
+        pattern_idx in 0usize..5,
+        rate_scale in 0.5f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .expect("grid");
+        let cfg = PatternConfig {
+            peak_rate: 600.0 * rate_scale,
+            base_rate: 150.0 * rate_scale,
+            uniform_we: 300.0 * rate_scale,
+            uniform_sn: 90.0 * rate_scale,
+            ..PatternConfig::default()
+        };
+        let f = flows(&grid, FlowPattern::ALL[pattern_idx], &cfg).expect("flows");
+        let scenario = grid.scenario("prop-backlog", f).expect("scenario");
+        let mut sim = Simulation::new(&scenario, SimConfig::default(), seed).expect("sim");
+        for t in 0..400usize {
+            sim.step();
+            let backlog = sim.backlog_vehicles();
+            let on_network = sim.active_vehicles() - backlog;
+            prop_assert_eq!(
+                sim.metrics().spawned(),
+                on_network + backlog + sim.metrics().finished(),
+                "t={}: spawned {} != on-network {} + backlog {} + arrived {}",
+                t,
+                sim.metrics().spawned(),
+                on_network,
+                backlog,
+                sim.metrics().finished()
+            );
+            prop_assert!(backlog <= sim.metrics().spawned());
+        }
+    }
+
+    /// Queues on fully-red approaches never shrink: while every
+    /// movement of an incoming link is unpermitted (and the signal is
+    /// not in yellow clearance), vehicles may join its queue but none
+    /// may leave it.
+    #[test]
+    fn queues_monotone_under_red(
+        seed in 0u64..1000,
+        held_phase in 0usize..4,
+        rate_scale in 1.0f64..4.0,
+    ) {
+        let mut sim = small_sim(rate_scale, seed, true);
+        let agents: Vec<NodeId> = sim.signalized();
+        for &a in &agents {
+            sim.request_phase(a, held_phase).unwrap();
+        }
+        // Let the initial yellow clearance (2 s by default) elapse so
+        // the held phase is actually showing.
+        for _ in 0..5 {
+            sim.step();
+        }
+        let network = sim.scenario().network.clone();
+        for _ in 0..200usize {
+            // Snapshot queues on links that are fully red right now.
+            let mut red_queues: Vec<(LinkId, usize)> = Vec::new();
+            for &node in &agents {
+                let sig = sim.signal(node).expect("signalized");
+                if sig.in_yellow() {
+                    continue;
+                }
+                for &link in network.incoming(node) {
+                    let all_red = Movement::ALL
+                        .iter()
+                        .all(|&m| !sig.permits(link, m));
+                    if all_red {
+                        red_queues.push((link, sim.link_queue(link)));
+                    }
+                }
+            }
+            sim.step();
+            for (link, before) in red_queues {
+                let after = sim.link_queue(link);
+                prop_assert!(
+                    after >= before,
+                    "queue on red link {:?} shrank {} -> {}",
+                    link,
+                    before,
+                    after
+                );
+            }
+        }
     }
 
     /// Observations are bounded by detector range: halting counts can

@@ -34,9 +34,61 @@ fn env_for(scenario: Scenario, horizon: u32) -> TscEnv {
     .expect("env")
 }
 
+/// Data-parallel collection is bit-for-bit equivalent to serial
+/// collection: training with `num_envs = 4` on scoped worker threads
+/// must produce exactly the same network parameters and episode
+/// returns as the serial driver, because per-replica seeds are derived
+/// (not drawn from shared state) and rollouts merge in env-index
+/// order regardless of thread completion order.
+#[test]
+fn parallel_matches_serial() {
+    let run = |parallel: bool| {
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .expect("grid");
+        let scenario =
+            patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
+                .expect("scenario");
+        let mut env = env_for(scenario, 250);
+        let mut cfg = PairUpLightConfig::default();
+        cfg.hidden = 12;
+        cfg.lstm_hidden = 12;
+        cfg.ppo.epochs = 2;
+        cfg.ppo.minibatch = 32;
+        cfg.num_envs = 4;
+        cfg.parallel_rollouts = parallel;
+        let mut model = PairUpLight::new(&env, cfg);
+        // 8 episodes = 2 rounds of 4 replicas each.
+        let history = model.train(&mut env, 8, 42, |_| {}).expect("train");
+        let rewards: Vec<u64> = history
+            .iter()
+            .map(|e| e.stats.total_reward.to_bits())
+            .collect();
+        let params: Vec<u32> = model
+            .parameter_vector()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        (history.len(), rewards, params)
+    };
+    let threaded = run(true);
+    let serial = run(false);
+    assert_eq!(threaded.0, 8, "2 rounds x 4 envs");
+    assert_eq!(threaded.1, serial.1, "episode returns must match bit-for-bit");
+    assert_eq!(threaded.2, serial.2, "network parameters must match bit-for-bit");
+}
+
 /// The headline property: a briefly-trained PairUpLight must beat
 /// fixed-time control on light uniform traffic.
+///
+/// Tier-2 (`--ignored`): trains 15 episodes at horizon 1200, which
+/// dominates suite runtime; `pairuplight_smoke_end_to_end` keeps the
+/// same pipeline covered in tier-1.
 #[test]
+#[ignore = "slow training run (tier-2); see README §Testing"]
 fn trained_pairuplight_beats_fixed_time_on_light_traffic() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 1200);
@@ -67,8 +119,48 @@ fn trained_pairuplight_beats_fixed_time_on_light_traffic() {
     assert!(rl.completion_rate > 0.9, "light traffic must drain: {rl:?}");
 }
 
-/// Training must reduce waiting time relative to the untrained policy.
+/// Tier-1 smoke variant of the two slow training properties above:
+/// a short multi-env training run must execute the full
+/// explore/merge/update/evaluate pipeline and produce sane,
+/// finite diagnostics. It deliberately does *not* assert performance
+/// against fixed-time — four short episodes are not enough signal, and
+/// a flaky threshold would be worse than the honest tier-2 split (the
+/// performance claims live in the `#[ignore]`d tests).
 #[test]
+fn pairuplight_smoke_end_to_end() {
+    let scenario = small_grid_scenario(FlowPattern::Five);
+    let mut env = env_for(scenario.clone(), 400);
+    let mut cfg = PairUpLightConfig::default();
+    cfg.hidden = 12;
+    cfg.lstm_hidden = 12;
+    cfg.ppo.epochs = 1;
+    cfg.num_envs = 2;
+    let mut model = PairUpLight::new(&env, cfg);
+    let history = model.train(&mut env, 4, 7, |_| {}).expect("train");
+    assert_eq!(history.len(), 4);
+    for ep in &history {
+        assert!(ep.stats.spawned > 0);
+        assert!(ep.stats.total_reward.is_finite());
+        assert!(ep.policy_loss.is_finite());
+        assert!(ep.value_loss.is_finite());
+        assert!(ep.entropy > 0.0, "policy must stay stochastic: {ep:?}");
+    }
+    let eval_cfg = EvalConfig {
+        horizon: 400,
+        drain_cap: 1200,
+        seed: 99,
+    };
+    let mut trained = model.controller();
+    let r = evaluate(&mut trained, &scenario, SimConfig::default(), &eval_cfg).expect("eval");
+    assert!(r.spawned > 0);
+    assert!(r.avg_waiting_time.is_finite() && r.avg_waiting_time >= 0.0);
+}
+
+/// Training must reduce waiting time relative to the untrained policy.
+///
+/// Tier-2 (`--ignored`): 14 episodes at horizon 1200.
+#[test]
+#[ignore = "slow training run (tier-2); see README §Testing"]
 fn pairuplight_training_improves_over_episodes() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario, 1200);
@@ -191,7 +283,11 @@ fn full_stack_determinism() {
 
 /// A policy trained on clean sensors still runs (and still beats doing
 /// nothing) under detector degradation — the robustness extension.
+///
+/// Tier-2 (`--ignored`): 10 episodes at horizon 1000. Tier-1 coverage
+/// of degraded sensing: `degraded_sensors_smoke` below.
 #[test]
+#[ignore = "slow training run (tier-2); see README §Testing"]
 fn trained_policy_survives_sensor_degradation() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 1000);
@@ -225,6 +321,42 @@ fn trained_policy_survives_sensor_degradation() {
         r.completion_rate > 0.5,
         "policy keeps traffic moving under degraded sensing: {r:?}"
     );
+}
+
+/// Tier-1 smoke variant of the robustness property: a minimally
+/// trained policy must evaluate cleanly (finite metrics, traffic
+/// spawns) under degraded detectors. The completion-rate performance
+/// bar stays in the tier-2 test above.
+#[test]
+fn degraded_sensors_smoke() {
+    let scenario = small_grid_scenario(FlowPattern::Five);
+    let mut env = env_for(scenario.clone(), 400);
+    let mut cfg = PairUpLightConfig::default();
+    cfg.hidden = 12;
+    cfg.lstm_hidden = 12;
+    cfg.ppo.epochs = 1;
+    let mut model = PairUpLight::new(&env, cfg);
+    for i in 0..2 {
+        model.train_episode(&mut env, i).expect("episode");
+    }
+    let degraded = SimConfig {
+        detector: tsc_sim::DetectorConfig {
+            range: 50.0,
+            noise: 0.3,
+            dropout: 0.2,
+        },
+        ..SimConfig::default()
+    };
+    let eval_cfg = EvalConfig {
+        horizon: 400,
+        drain_cap: 1200,
+        seed: 77,
+    };
+    let mut trained = model.controller();
+    let r = evaluate(&mut trained, &scenario, degraded, &eval_cfg).expect("degraded eval");
+    assert!(r.spawned > 0);
+    assert!(r.avg_travel_time.is_finite() && r.avg_travel_time > 0.0);
+    assert!(r.avg_waiting_time.is_finite());
 }
 
 /// Rewards and observations stay finite under extreme oversaturation

@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — as a plain timing loop: short warm-up, then
+//! timed batches, reporting mean ns/iteration to stdout. No statistics,
+//! plots, or baselines; swap in the real crate for those.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing it, until the measurement target is
+    /// reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let start = Instant::now();
+        let mut n: u64 = 0;
+        loop {
+            black_box(f());
+            n += 1;
+            if start.elapsed() >= self.target {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += n;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_done == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters_done);
+        println!(
+            "{name}: {per_iter} ns/iter ({} iters in {:.2?})",
+            self.iters_done, self.elapsed
+        );
+    }
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep runs short: this harness is for relative smoke
+            // numbers, not publication statistics.
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target: self.target,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; `sample_size` is accepted for API compatibility and
+/// ignored.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 1, "the closure ran repeatedly");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            target: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Distribution re-exports for API compatibility with `rand 0.8`
+//! (`rand::distributions::Standard` etc.). The workspace samples via
+//! [`crate::Rng::gen`]/[`crate::Rng::gen_range`]; this module only
+//! keeps the canonical paths alive.
+
+pub use crate::{SampleRange, Standard};

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the macro
+//! namespace (no-op derives, see the vendored `serde_derive`) and the
+//! trait namespace, so `#[derive(serde::Serialize)]` annotations and
+//! `T: serde::Serialize` bounds both compile. No actual serialization
+//! is implemented — nothing in this workspace serializes (there is no
+//! `serde_json`); replace the vendored pair with the real crates if
+//! that changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(serde::Serialize,
+//! serde::Deserialize)]` but never serializes anything (there is no
+//! `serde_json` in the tree), so these derives expand to nothing. They
+//! exist purely so the annotations keep compiling offline; swap the
+//! vendored `serde` pair for the real crates to restore actual
+//! serialization support.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
