@@ -88,6 +88,17 @@ pub struct PairUpLightConfig {
     /// switch exists so tests can prove it and single-core hosts can
     /// skip thread overhead.
     pub parallel_rollouts: bool,
+    /// Maximum automatic retries of one training round before the
+    /// fault-tolerant loop gives up with a typed error. Applies both to
+    /// panicked rollout workers (retried with the *same* derived seed,
+    /// preserving determinism) and to diverged PPO updates (rolled back
+    /// and retried with a reseeded round).
+    pub max_round_retries: u32,
+    /// Divergence-sentinel threshold: a PPO round whose policy or value
+    /// loss exceeds this magnitude (or is non-finite, or leaves a
+    /// non-finite parameter behind) is rolled back to the pre-round
+    /// state instead of poisoning the model.
+    pub divergence_loss_limit: f32,
 }
 
 impl Default for PairUpLightConfig {
@@ -122,6 +133,8 @@ impl Default for PairUpLightConfig {
             seed: 0,
             num_envs: 1,
             parallel_rollouts: true,
+            max_round_retries: 2,
+            divergence_loss_limit: 1e4,
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Deterministic fault injection for exercising the fault-tolerance
+//! machinery.
+//!
+//! A [`FaultPlan`] is a list of faults to fire at specific points of a
+//! checkpointed training run: panic a rollout worker, poison the model
+//! with a non-finite parameter after an update, or abort training
+//! outright (simulating a crash/kill so resume can be tested). Each
+//! entry fires **once** and is then consumed, which is what lets the
+//! recovery path (same-seed worker retry, rollback + reseed) succeed on
+//! its next attempt — exactly like a transient real-world fault.
+//!
+//! The plan lives behind a mutex inside the learner, so concurrent
+//! rollout workers can consume entries without races; an empty plan
+//! (the default) costs one uncontended lock per query.
+
+/// A consumable schedule of injected faults, keyed by training round.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// `(round, env)` pairs whose rollout worker panics.
+    panics: Vec<(u64, usize)>,
+    /// Rounds after whose PPO update a parameter is set to NaN,
+    /// simulating a divergent (non-finite) gradient step.
+    nan_rounds: Vec<u64>,
+    /// Abort training after this round completes (checkpoint included),
+    /// simulating the process being killed.
+    abort_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules the rollout worker driving env replica `env` of
+    /// training round `round` to panic once.
+    pub fn panic_worker(mut self, round: u64, env: usize) -> Self {
+        self.panics.push((round, env));
+        self
+    }
+
+    /// Schedules the PPO update of `round` to leave a NaN parameter
+    /// behind once, as a diverged gradient step would.
+    pub fn nan_gradient(mut self, round: u64) -> Self {
+        self.nan_rounds.push(round);
+        self
+    }
+
+    /// Schedules training to stop with
+    /// [`TrainError::Aborted`](crate::TrainError::Aborted) after
+    /// `round` completes (its checkpoint, if due, is still written).
+    pub fn abort_after_round(mut self, round: u64) -> Self {
+        self.abort_after = Some(round);
+        self
+    }
+
+    /// Whether any fault is still pending.
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty() && self.nan_rounds.is_empty() && self.abort_after.is_none()
+    }
+
+    /// Consumes one pending panic for `(round, env)`; returns whether
+    /// one fired.
+    pub(crate) fn take_panic(&mut self, round: u64, env: usize) -> bool {
+        match self.panics.iter().position(|&p| p == (round, env)) {
+            Some(i) => {
+                self.panics.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes one pending NaN injection for `round`; returns whether
+    /// one fired.
+    pub(crate) fn take_nan(&mut self, round: u64) -> bool {
+        match self.nan_rounds.iter().position(|&r| r == round) {
+            Some(i) => {
+                self.nan_rounds.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes a pending abort scheduled for `round`; returns whether
+    /// it fired.
+    pub(crate) fn take_abort(&mut self, round: u64) -> bool {
+        if self.abort_after == Some(round) {
+            self.abort_after = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let mut plan = FaultPlan::new().panic_worker(2, 1).nan_gradient(3);
+        assert!(!plan.take_panic(2, 0), "wrong env does not fire");
+        assert!(plan.take_panic(2, 1));
+        assert!(!plan.take_panic(2, 1), "consumed");
+        assert!(plan.take_nan(3));
+        assert!(!plan.take_nan(3));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn repeated_entries_fire_repeatedly() {
+        // Two scheduled panics for the same point exhaust two attempts,
+        // which is how tests drive the retry budget to its limit.
+        let mut plan = FaultPlan::new().panic_worker(0, 0).panic_worker(0, 0);
+        assert!(plan.take_panic(0, 0));
+        assert!(plan.take_panic(0, 0));
+        assert!(!plan.take_panic(0, 0));
+    }
+
+    #[test]
+    fn abort_fires_only_on_its_round() {
+        let mut plan = FaultPlan::new().abort_after_round(5);
+        assert!(!plan.take_abort(4));
+        assert!(plan.take_abort(5));
+        assert!(!plan.take_abort(5));
+        assert!(plan.is_empty());
+    }
+}

@@ -47,14 +47,20 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod message;
 pub mod model;
 pub mod obs;
 pub mod pairing;
 pub mod trainer;
 
+pub use checkpoint::{Checkpoint, CheckpointManager, CheckpointPolicy};
 pub use config::{CriticMode, PairUpLightConfig, PairingMode};
+pub use error::TrainError;
+pub use fault::FaultPlan;
 pub use model::{ActorNet, ActorOut, CriticNet};
 pub use obs::{ObsEncoder, ObsNorm};
 pub use pairing::PairingTable;

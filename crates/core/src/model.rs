@@ -53,9 +53,7 @@ impl ActorNet {
             "actor.fc",
             input_dim,
             hidden,
-            Init::Orthogonal {
-                gain: 2f32.sqrt(),
-            },
+            Init::Orthogonal { gain: 2f32.sqrt() },
             rng,
         );
         let lstm = LstmCell::new(params, "actor.lstm", hidden, lstm_hidden, rng);
@@ -121,14 +119,7 @@ impl ActorNet {
             .message_head
             .as_ref()
             .map(|mh| mh.forward(g, params, h));
-        (
-            ActorOut {
-                logits,
-                message,
-                h,
-            },
-            c,
-        )
+        (ActorOut { logits, message, h }, c)
     }
 
     /// Convenience single-step forward from plain tensors: returns
@@ -176,9 +167,7 @@ impl CriticNet {
             "critic.fc",
             input_dim,
             hidden,
-            Init::Orthogonal {
-                gain: 2f32.sqrt(),
-            },
+            Init::Orthogonal { gain: 2f32.sqrt() },
             rng,
         );
         let lstm = LstmCell::new(params, "critic.lstm", hidden, lstm_hidden, rng);

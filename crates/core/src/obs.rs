@@ -208,7 +208,7 @@ mod tests {
     fn dimensions_are_fixed_across_agents() {
         let (mut sim, enc) = setup();
         for _ in 0..50 {
-            sim.step();
+            sim.step().unwrap();
         }
         let all = sim.observe_all();
         assert_eq!(enc.local_dim(), 32);
@@ -247,7 +247,7 @@ mod tests {
         let all0 = sim.observe_all();
         let before = enc.encode_critic(&all0, 7);
         for _ in 0..400 {
-            sim.step(); // queues build at defaults (phase 0 held)
+            sim.step().unwrap(); // queues build at defaults (phase 0 held)
         }
         let all1 = sim.observe_all();
         let after = enc.encode_critic(&all1, 7);
@@ -258,7 +258,7 @@ mod tests {
     fn message_target_is_bounded() {
         let (mut sim, enc) = setup();
         for _ in 0..500 {
-            sim.step();
+            sim.step().unwrap();
         }
         for o in sim.observe_all() {
             let t = enc.message_target(&o);

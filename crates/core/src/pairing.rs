@@ -154,9 +154,7 @@ mod tests {
         let (_, agents, _, table) = setup();
         // Center of a 3x3 grid (col-major index 4) has 4 signalized
         // upstream neighbors.
-        let center = agents.iter().position(|&n| {
-            n == agents[4]
-        }).unwrap();
+        let center = agents.iter().position(|&n| n == agents[4]).unwrap();
         assert_eq!(table.upstream(center).len(), 4);
     }
 

@@ -8,6 +8,9 @@
 //! trained [`PairUpLightController`] runs each intersection from local
 //! observations plus the single incoming message.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,10 +18,14 @@ use tsc_nn::{Adam, Graph, LstmState, Params, Tensor};
 use tsc_rl::buffer::{RolloutBuffer, Trajectory, Transition};
 use tsc_rl::distribution::{Categorical, LinearSchedule};
 use tsc_rl::ppo::{clipped_policy_loss, entropy_bonus, value_loss};
+use tsc_rl::sentinel::{check_finite_params, check_update, UpdateStats};
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::{Controller, EpisodeStats, IntersectionObs, SimError, TscEnv};
 
+use crate::checkpoint::{fnv1a64, Checkpoint, CheckpointManager};
 use crate::config::{CriticMode, PairUpLightConfig};
+use crate::error::TrainError;
+use crate::fault::FaultPlan;
 use crate::message::regularize;
 use crate::model::{ActorNet, CriticNet};
 use crate::obs::{ObsEncoder, ObsNorm};
@@ -56,6 +63,16 @@ impl NetBundle {
     }
 }
 
+/// An in-memory restore point: cloned weights and optimizer state plus
+/// the counters that drive every derived seed. Taken before each
+/// checkpointed round so the divergence sentinel can roll the round
+/// back without touching the filesystem.
+struct TrainerState {
+    bundles: Vec<(Params, Adam)>,
+    episodes_trained: usize,
+    rounds_trained: u64,
+}
+
 /// Everything one environment replica produces in one collection
 /// round: the on-policy trajectory (with bootstrap values) plus the
 /// episode's diagnostics. Produced by [`PairUpLight::collect_rollout`]
@@ -90,9 +107,20 @@ pub struct TrainEpisode {
     pub value_loss: f32,
     /// Mean policy entropy over the updates.
     pub entropy: f32,
+    /// Maximum pre-clip global gradient norm over the episode's
+    /// minibatch updates — the divergence sentinel's early-warning
+    /// statistic.
+    pub grad_norm: f32,
 }
 
 /// The PairUpLight learner (paper §V, Algorithm 1).
+///
+/// All randomness is derived, never free-running: exploration streams
+/// come from the rollout seed, and the minibatch-shuffle RNG is a pure
+/// function of `(cfg.seed, rounds_trained)`. That makes the counters
+/// below the *complete* RNG state, which is what lets a checkpoint
+/// (weights + Adam state + counters) resume training bit-for-bit
+/// identically to an uninterrupted run without serializing any RNG.
 #[derive(Debug)]
 pub struct PairUpLight {
     cfg: PairUpLightConfig,
@@ -102,7 +130,13 @@ pub struct PairUpLight {
     num_agents: usize,
     phases_per_agent: Vec<usize>,
     episodes_trained: usize,
-    rng: StdRng,
+    /// PPO update rounds completed over the model's lifetime (one round
+    /// merges `num_envs` episodes).
+    rounds_trained: u64,
+    /// Injected faults for exercising the recovery machinery (empty in
+    /// production). Behind a mutex so concurrent rollout workers can
+    /// consume entries.
+    faults: Mutex<FaultPlan>,
 }
 
 impl PairUpLight {
@@ -110,7 +144,12 @@ impl PairUpLight {
     pub fn new(env: &TscEnv, cfg: PairUpLightConfig) -> Self {
         let scenario = env.scenario();
         let agents = scenario.agents();
-        let encoder = ObsEncoder::new(&scenario.network, &agents, cfg.max_phases, ObsNorm::default());
+        let encoder = ObsEncoder::new(
+            &scenario.network,
+            &agents,
+            cfg.max_phases,
+            ObsNorm::default(),
+        );
         let pairing = PairingTable::new(&scenario.network, &agents, &encoder);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let critic_dim = match cfg.critic_mode {
@@ -138,7 +177,8 @@ impl PairUpLight {
             num_agents: agents.len(),
             phases_per_agent,
             episodes_trained: 0,
-            rng,
+            rounds_trained: 0,
+            faults: Mutex::new(FaultPlan::new()),
         }
     }
 
@@ -150,6 +190,18 @@ impl PairUpLight {
     /// Episodes trained so far.
     pub fn episodes_trained(&self) -> usize {
         self.episodes_trained
+    }
+
+    /// PPO update rounds completed so far (one round merges
+    /// `cfg.num_envs` episodes).
+    pub fn rounds_trained(&self) -> u64 {
+        self.rounds_trained
+    }
+
+    /// Replaces the injected-fault schedule (test instrumentation; see
+    /// [`FaultPlan`]). An empty plan — the default — injects nothing.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.faults.lock().expect("fault plan lock") = plan;
     }
 
     /// Total trainable scalars across bundles.
@@ -243,8 +295,7 @@ impl PairUpLight {
         let mut rng = StdRng::seed_from_u64(derive_rollout_seed(self.cfg.seed, seed, 0x5A17));
         let mut all_obs = env.reset(seed);
         let mut actor_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
-        let mut critic_states: Vec<LstmState> =
-            (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
+        let mut critic_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
         let mut messages: Vec<Vec<f32>> = vec![vec![0.0; bw]; n];
         let mut traj = Trajectory::new(n);
         let mut total_reward = 0.0f64;
@@ -253,9 +304,7 @@ impl PairUpLight {
 
         loop {
             let partners = match self.cfg.pairing {
-                crate::config::PairingMode::CongestedUpstream => {
-                    self.pairing.partners(&all_obs)
-                }
+                crate::config::PairingMode::CongestedUpstream => self.pairing.partners(&all_obs),
                 crate::config::PairingMode::SelfLoop => self.pairing.self_partners(),
                 crate::config::PairingMode::RandomUpstream => {
                     self.pairing.random_partners(&mut rng)
@@ -342,7 +391,7 @@ impl PairUpLight {
         }
 
         // Bootstrap values V(s_{B+1}) (Algorithm 1 line 24).
-        for a in 0..n {
+        for (a, state) in critic_states.iter().enumerate() {
             let b = self.bundle_idx(a);
             let critic_in = self.critic_input(&all_obs, a);
             let mut g = Graph::new();
@@ -350,7 +399,7 @@ impl PairUpLight {
                 &mut g,
                 &self.bundles[b].params,
                 Tensor::row_from_slice(&critic_in),
-                &critic_states[a],
+                state,
             );
             traj.last_values[a] = g.value(v).get(0, 0) * self.value_scale();
         }
@@ -401,7 +450,7 @@ impl PairUpLight {
         let mut slots: Vec<Option<Result<Rollout, SimError>>> =
             (0..set.len()).map(|_| None).collect();
         if parallel && set.len() > 1 {
-            let this = &*self;
+            let this = self;
             std::thread::scope(|scope| {
                 for ((env, &seed), slot) in
                     set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut())
@@ -410,8 +459,7 @@ impl PairUpLight {
                 }
             });
         } else {
-            for ((env, &seed), slot) in set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut())
-            {
+            for ((env, &seed), slot) in set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut()) {
                 *slot = Some(self.collect_rollout(env, seed));
             }
         }
@@ -434,7 +482,8 @@ impl PairUpLight {
         }
         let (mut buffer, last_values) = RolloutBuffer::from_trajectories(trajs);
         buffer.compute_targets(&last_values, self.cfg.ppo.gamma, self.cfg.ppo.lambda);
-        let (policy_loss, value_loss, entropy) = self.update(&buffer);
+        let (policy_loss, value_loss, entropy, grad_norm) = self.update(&buffer);
+        self.rounds_trained += 1;
         metas
             .into_iter()
             .map(|(stats, mean_message)| {
@@ -446,6 +495,7 @@ impl PairUpLight {
                     policy_loss,
                     value_loss,
                     entropy,
+                    grad_norm,
                 };
                 self.episodes_trained += 1;
                 ep
@@ -465,26 +515,38 @@ impl PairUpLight {
     }
 
     /// PPO update (Algorithm 1 line 29): K epochs over minibatches.
-    /// Returns mean (policy loss, value loss, entropy) over updates.
-    fn update(&mut self, buffer: &RolloutBuffer) -> (f32, f32, f32) {
+    /// Returns mean (policy loss, value loss, entropy) and max pre-clip
+    /// gradient norm over updates.
+    ///
+    /// The minibatch-shuffle RNG is derived fresh from
+    /// `(cfg.seed, rounds_trained)` every round rather than carried in
+    /// the learner, so the round counter alone reproduces the shuffle —
+    /// the property checkpoint resume relies on.
+    fn update(&mut self, buffer: &RolloutBuffer) -> (f32, f32, f32, f32) {
         let epochs = self.cfg.ppo.epochs;
         let minibatch = self.cfg.ppo.minibatch;
+        let mut rng = StdRng::seed_from_u64(derive_rollout_seed(
+            self.cfg.seed,
+            self.rounds_trained,
+            0x0BB5,
+        ));
         let mut acc = (0.0f32, 0.0f32, 0.0f32);
+        let mut max_grad_norm = 0.0f32;
         let mut count = 0usize;
         for _epoch in 0..epochs {
-            let batches = buffer.minibatches(minibatch, &mut self.rng);
+            let batches = buffer.minibatches(minibatch, &mut rng);
             for batch in batches {
                 if self.cfg.parameter_sharing {
                     let l = self.update_minibatch(0, buffer, &batch);
                     acc = (acc.0 + l.0, acc.1 + l.1, acc.2 + l.2);
+                    max_grad_norm = max_grad_norm.max(l.3);
                     count += 1;
                 } else {
                     // Group the minibatch by owning agent. Buffer lanes
                     // are env-major (`lane = env * num_agents + agent`),
                     // so the owning agent — and therefore the bundle —
                     // is `lane % num_agents`.
-                    let mut per_agent: Vec<Vec<(usize, usize)>> =
-                        vec![Vec::new(); self.num_agents];
+                    let mut per_agent: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.num_agents];
                     for (lane, t) in batch {
                         per_agent[lane % self.num_agents].push((lane, t));
                     }
@@ -492,6 +554,7 @@ impl PairUpLight {
                         if !items.is_empty() {
                             let l = self.update_minibatch(a, buffer, &items);
                             acc = (acc.0 + l.0, acc.1 + l.1, acc.2 + l.2);
+                            max_grad_norm = max_grad_norm.max(l.3);
                             count += 1;
                         }
                     }
@@ -499,17 +562,18 @@ impl PairUpLight {
             }
         }
         let n = count.max(1) as f32;
-        (acc.0 / n, acc.1 / n, acc.2 / n)
+        (acc.0 / n, acc.1 / n, acc.2 / n, max_grad_norm)
     }
 
     /// One gradient step of bundle `b` on the given `(agent, step)`
-    /// items. Returns (policy loss, value loss, entropy).
+    /// items. Returns (policy loss, value loss, entropy, pre-clip
+    /// gradient norm).
     fn update_minibatch(
         &mut self,
         b: usize,
         buffer: &RolloutBuffer,
         items: &[(usize, usize)],
-    ) -> (f32, f32, f32) {
+    ) -> (f32, f32, f32, f32) {
         let bw = self.cfg.bandwidth;
         let rows = items.len();
         let mut actor_in = Vec::with_capacity(rows);
@@ -585,9 +649,9 @@ impl PairUpLight {
             g.value(ent).get(0, 0),
         );
         g.backward(loss, &mut bundle.params);
-        bundle.params.clip_grad_norm(self.cfg.ppo.max_grad_norm);
+        let grad_norm = bundle.params.clip_grad_norm(self.cfg.ppo.max_grad_norm);
         bundle.opt.step(&mut bundle.params);
-        stats
+        (stats.0, stats.1, stats.2, grad_norm)
     }
 
     /// Trains for at least `episodes` episodes, invoking `on_episode`
@@ -638,6 +702,338 @@ impl PairUpLight {
                 history.push(ep);
             }
             round += 1;
+        }
+        Ok(history)
+    }
+
+    /// FNV-1a-64 over the configuration's debug representation —
+    /// written into every checkpoint so restore can refuse state from a
+    /// differently-configured learner (wrong shapes would be caught
+    /// anyway; wrong hyper-parameters would silently train the wrong
+    /// model).
+    fn config_fingerprint(&self) -> u64 {
+        fnv1a64(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    fn snapshot(&self) -> TrainerState {
+        TrainerState {
+            bundles: self
+                .bundles
+                .iter()
+                .map(|b| (b.params.clone(), b.opt.clone()))
+                .collect(),
+            episodes_trained: self.episodes_trained,
+            rounds_trained: self.rounds_trained,
+        }
+    }
+
+    fn restore(&mut self, state: &TrainerState) {
+        for (bundle, (params, opt)) in self.bundles.iter_mut().zip(&state.bundles) {
+            bundle.params.copy_from(params);
+            bundle.opt = opt.clone();
+        }
+        self.episodes_trained = state.episodes_trained;
+        self.rounds_trained = state.rounds_trained;
+    }
+
+    /// Simulates the aftermath of a non-finite gradient step by
+    /// poisoning one weight with NaN. Only reachable through
+    /// [`FaultPlan::nan_gradient`].
+    fn poison_first_parameter(&mut self) {
+        if let Some(bundle) = self.bundles.first_mut() {
+            if let Some(id) = bundle.params.ids().next() {
+                bundle.params.value_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+    }
+
+    /// Writes the full training state (weights, Adam moments and
+    /// timestep, episode/round counters, `base_seed`, config
+    /// fingerprint) to `path` atomically. See [`Checkpoint`] for the
+    /// format and the bit-identical-resume guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        base_seed: u64,
+    ) -> std::io::Result<()> {
+        let ck = Checkpoint {
+            fingerprint: self.config_fingerprint(),
+            episodes_trained: self.episodes_trained,
+            rounds_trained: self.rounds_trained,
+            base_seed,
+            bundles: self
+                .bundles
+                .iter()
+                .map(|b| (b.params.clone(), b.opt.clone()))
+                .collect(),
+        };
+        ck.write_atomic(path)
+    }
+
+    /// Restores a checkpoint written by
+    /// [`save_checkpoint`](Self::save_checkpoint) into this learner and
+    /// returns the `base_seed` of the interrupted run. All-or-nothing:
+    /// the checksum, fingerprint, and every bundle's layout are
+    /// validated before the first weight is touched, so a rejected
+    /// checkpoint leaves the learner exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Load`] for corrupt/truncated files,
+    /// fingerprint mismatches, and layout mismatches; [`TrainError::Io`]
+    /// wrapped inside [`TrainError::Load`] for filesystem failures.
+    pub fn load_checkpoint(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<u64, TrainError> {
+        let ck = Checkpoint::read(path)?;
+        if ck.fingerprint != self.config_fingerprint() {
+            return Err(TrainError::Load(tsc_nn::LoadError::Format(format!(
+                "configuration fingerprint mismatch: checkpoint {:016x}, learner {:016x}",
+                ck.fingerprint,
+                self.config_fingerprint()
+            ))));
+        }
+        if ck.bundles.len() != self.bundles.len() {
+            return Err(TrainError::Load(tsc_nn::LoadError::Format(format!(
+                "expected {} bundles, found {}",
+                self.bundles.len(),
+                ck.bundles.len()
+            ))));
+        }
+        for (bundle, (params, opt)) in self.bundles.iter().zip(&ck.bundles) {
+            Self::check_layout(&bundle.params, params)?;
+            if !opt.matches(&bundle.params) {
+                return Err(TrainError::Load(tsc_nn::LoadError::Format(
+                    "optimizer state does not match parameter layout".into(),
+                )));
+            }
+        }
+        for (bundle, (params, opt)) in self.bundles.iter_mut().zip(ck.bundles) {
+            bundle.params.copy_from(&params);
+            bundle.opt = opt;
+        }
+        self.episodes_trained = ck.episodes_trained;
+        self.rounds_trained = ck.rounds_trained;
+        Ok(ck.base_seed)
+    }
+
+    /// Reconstructs a learner from a checkpoint: builds a fresh model
+    /// for `env` with `cfg`, restores the checkpoint into it, and
+    /// returns the learner together with the interrupted run's
+    /// `base_seed`. Continuing with
+    /// [`train_checkpointed`](Self::train_checkpointed) and that seed
+    /// produces the exact byte-for-byte parameter trajectory of the run
+    /// that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint validation failures; `cfg` must match the
+    /// checkpointed configuration (enforced via fingerprint).
+    pub fn resume(
+        env: &TscEnv,
+        cfg: PairUpLightConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, u64), TrainError> {
+        let mut model = PairUpLight::new(env, cfg);
+        let base_seed = model.load_checkpoint(path)?;
+        Ok((model, base_seed))
+    }
+
+    /// Collects one round of rollouts with panic isolation: each worker
+    /// runs inside `catch_unwind`, and a panicked replica is retried
+    /// with the **same** derived seed (bounded by
+    /// `cfg.max_round_retries`). Because [`collect_rollout`]
+    /// (Self::collect_rollout) takes `&self` and starts from
+    /// `env.reset(seed)`, a retry observes no trace of the aborted
+    /// attempt — the recovered round is bit-identical to one where the
+    /// panic never happened, which is why `AssertUnwindSafe` is sound
+    /// here.
+    fn collect_round_isolated(
+        &self,
+        set: &mut RolloutSet,
+        seeds: &[u64],
+        round: u64,
+    ) -> Result<Vec<Rollout>, TrainError> {
+        assert_eq!(seeds.len(), set.len(), "one seed per replica");
+        let run = |env: &mut TscEnv, seed: u64, e: usize| {
+            catch_unwind(AssertUnwindSafe(|| {
+                if self
+                    .faults
+                    .lock()
+                    .expect("fault plan lock")
+                    .take_panic(round, e)
+                {
+                    panic!("injected rollout worker fault (round {round}, env {e})");
+                }
+                self.collect_rollout(env, seed)
+            }))
+        };
+        let run = &run;
+        let mut slots: Vec<Option<std::thread::Result<Result<Rollout, SimError>>>> =
+            (0..set.len()).map(|_| None).collect();
+        if self.cfg.parallel_rollouts && set.len() > 1 {
+            std::thread::scope(|scope| {
+                for (e, ((env, &seed), slot)) in set
+                    .envs_mut()
+                    .iter_mut()
+                    .zip(seeds)
+                    .zip(slots.iter_mut())
+                    .enumerate()
+                {
+                    scope.spawn(move || *slot = Some(run(env, seed, e)));
+                }
+            });
+        } else {
+            for (e, ((env, &seed), slot)) in set
+                .envs_mut()
+                .iter_mut()
+                .zip(seeds)
+                .zip(slots.iter_mut())
+                .enumerate()
+            {
+                *slot = Some(run(env, seed, e));
+            }
+        }
+        // Retry panicked replicas serially (panics are the rare path);
+        // healthy replicas' results are already in their slots.
+        let mut out = Vec::with_capacity(set.len());
+        for (e, (slot, env)) in slots.into_iter().zip(set.envs_mut()).enumerate() {
+            let mut result = slot.expect("every worker fills its slot");
+            let mut retries = 0u32;
+            while result.is_err() {
+                if retries >= self.cfg.max_round_retries {
+                    return Err(TrainError::WorkerPanic {
+                        round,
+                        env: e,
+                        retries,
+                    });
+                }
+                retries += 1;
+                result = run(env, seeds[e], e);
+            }
+            let Ok(rollout) = result else {
+                unreachable!("loop above exits only on success")
+            };
+            out.push(rollout?);
+        }
+        Ok(out)
+    }
+
+    /// The fault-tolerant training loop: [`train`](Self::train)'s
+    /// schedule plus panic-isolated workers, the divergence sentinel
+    /// with rollback, and periodic atomic checkpoints.
+    ///
+    /// Per round it (1) snapshots the full training state in memory,
+    /// (2) collects rollouts with panicked workers retried on the same
+    /// seed, (3) runs the PPO update, (4) checks the update statistics
+    /// and parameters for divergence — on a trip the snapshot is
+    /// restored and the round retried with a deterministically reseeded
+    /// schedule (the same seed would diverge identically), bounded by
+    /// `cfg.max_round_retries` — and (5) writes a checkpoint through
+    /// `manager` when one is due, pruning to the retention policy.
+    ///
+    /// Seeding continues from the learner's lifetime counters rather
+    /// than restarting at zero: round `r` of a resumed learner draws
+    /// the same seeds as round `r` of one that never stopped, which is
+    /// what makes resume-from-checkpoint bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Sim`] for deterministic environment failures
+    /// (never retried), [`TrainError::WorkerPanic`] /
+    /// [`TrainError::Diverged`] when a retry budget is exhausted,
+    /// [`TrainError::Io`] for checkpoint failures, and
+    /// [`TrainError::Aborted`] for an injected abort.
+    pub fn train_checkpointed(
+        &mut self,
+        env: &mut TscEnv,
+        episodes: usize,
+        base_seed: u64,
+        manager: Option<&CheckpointManager>,
+        mut on_episode: impl FnMut(&TrainEpisode),
+    ) -> Result<Vec<TrainEpisode>, TrainError> {
+        /// Salts the reseeded retry of a diverged round so it draws
+        /// fresh episodes instead of replaying the divergent ones.
+        const RETRY_SALT: u64 = 0x8E7B_11F5;
+        let k = self.cfg.num_envs.max(1);
+        let mut set = RolloutSet::new(env, k);
+        let mut history = Vec::with_capacity(episodes);
+        while history.len() < episodes {
+            let round = self.rounds_trained;
+            let restore_point = self.snapshot();
+            let mut attempt: u32 = 0;
+            let round_records = loop {
+                // Attempt 0 reproduces `train`'s nominal seed schedule
+                // (continued across resume via the lifetime counters);
+                // retries derive a fresh deterministic schedule.
+                let seeds: Vec<u64> = if k == 1 {
+                    let nominal = base_seed + self.episodes_trained as u64;
+                    vec![if attempt == 0 {
+                        nominal
+                    } else {
+                        derive_rollout_seed(nominal, u64::from(attempt), RETRY_SALT)
+                    }]
+                } else {
+                    let round_key = if attempt == 0 {
+                        round
+                    } else {
+                        derive_rollout_seed(round, u64::from(attempt), RETRY_SALT)
+                    };
+                    (0..k)
+                        .map(|e| derive_rollout_seed(base_seed, round_key, e as u64))
+                        .collect()
+                };
+                let rollouts = self.collect_round_isolated(&mut set, &seeds, round)?;
+                let records = self.update_round(rollouts);
+                if self.faults.lock().expect("fault plan lock").take_nan(round) {
+                    self.poison_first_parameter();
+                }
+                let stats = UpdateStats {
+                    policy_loss: records[0].policy_loss,
+                    value_loss: records[0].value_loss,
+                    entropy: records[0].entropy,
+                    grad_norm: records[0].grad_norm,
+                };
+                match check_update(&stats, self.cfg.divergence_loss_limit)
+                    .and_then(|()| check_finite_params(self.parameter_vector()))
+                {
+                    Ok(()) => break records,
+                    Err(diagnosis) => {
+                        self.restore(&restore_point);
+                        if attempt >= self.cfg.max_round_retries {
+                            return Err(TrainError::Diverged {
+                                round,
+                                retries: attempt,
+                                reason: diagnosis.to_string(),
+                            });
+                        }
+                        attempt += 1;
+                    }
+                }
+            };
+            for ep in round_records {
+                on_episode(&ep);
+                history.push(ep);
+            }
+            if let Some(manager) = manager {
+                if manager.due(self.rounds_trained) {
+                    self.save_checkpoint(manager.path_for(self.rounds_trained), base_seed)?;
+                    manager.prune()?;
+                }
+            }
+            if self
+                .faults
+                .lock()
+                .expect("fault plan lock")
+                .take_abort(round)
+            {
+                return Err(TrainError::Aborted { round });
+            }
         }
         Ok(history)
     }
@@ -713,14 +1109,42 @@ impl PairUpLight {
                 sections.len()
             )));
         }
-        for (bundle, section) in self.bundles.iter_mut().zip(sections) {
-            let loaded = tsc_nn::load_params(section.as_bytes())?;
-            if loaded.len() != bundle.params.len() {
-                return Err(tsc_nn::LoadError::Format(
-                    "parameter layout mismatch".into(),
-                ));
-            }
+        // Parse and validate *every* section before copying anything,
+        // so a failure in a later bundle cannot leave the learner with
+        // a half-restored (bundle 0 new, bundle 1 old) parameter set.
+        let mut parsed = Vec::with_capacity(sections.len());
+        for section in &sections {
+            parsed.push(tsc_nn::load_params(section.as_bytes())?);
+        }
+        for (bundle, loaded) in self.bundles.iter().zip(&parsed) {
+            Self::check_layout(&bundle.params, loaded)?;
+        }
+        for (bundle, loaded) in self.bundles.iter_mut().zip(parsed) {
             bundle.params.copy_from(&loaded);
+        }
+        Ok(())
+    }
+
+    /// Validates that `loaded` has exactly the tensor count and shapes
+    /// of `expected`, returning a typed error (never panicking) on
+    /// mismatch.
+    fn check_layout(expected: &Params, loaded: &Params) -> Result<(), tsc_nn::LoadError> {
+        if loaded.len() != expected.len() {
+            return Err(tsc_nn::LoadError::Format(format!(
+                "parameter layout mismatch: expected {} tensors, found {}",
+                expected.len(),
+                loaded.len()
+            )));
+        }
+        for (a, b) in expected.ids().zip(loaded.ids()) {
+            if expected.value(a).shape() != loaded.value(b).shape() {
+                return Err(tsc_nn::LoadError::Format(format!(
+                    "parameter layout mismatch: tensor {} is {:?}, expected {:?}",
+                    expected.name(a),
+                    loaded.value(b).shape(),
+                    expected.value(a).shape()
+                )));
+            }
         }
         Ok(())
     }
@@ -876,9 +1300,11 @@ mod tests {
     }
 
     fn small_cfg() -> PairUpLightConfig {
-        let mut cfg = PairUpLightConfig::default();
-        cfg.hidden = 16;
-        cfg.lstm_hidden = 16;
+        let mut cfg = PairUpLightConfig {
+            hidden: 16,
+            lstm_hidden: 16,
+            ..Default::default()
+        };
         cfg.ppo.minibatch = 32;
         cfg.ppo.epochs = 2;
         cfg
@@ -925,10 +1351,7 @@ mod tests {
         assert_eq!(history[0].policy_loss, history[1].policy_loss);
         assert_eq!(history[0].value_loss, history[1].value_loss);
         // Replicas got distinct derived seeds, so their episodes differ.
-        assert_ne!(
-            history[0].stats.total_reward,
-            history[1].stats.total_reward
-        );
+        assert_ne!(history[0].stats.total_reward, history[1].stats.total_reward);
     }
 
     #[test]

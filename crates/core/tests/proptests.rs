@@ -1,14 +1,15 @@
 //! Property-based tests for PairUpLight's observation encoding,
-//! message regularizer, and pairing rule.
+//! message regularizer, pairing rule, and fault-recovery determinism.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pairuplight::message::{bits_per_step, regularize};
-use pairuplight::{ObsEncoder, ObsNorm, PairingTable};
+use pairuplight::{FaultPlan, ObsEncoder, ObsNorm, PairUpLight, PairUpLightConfig, PairingTable};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
-use tsc_sim::{Direction, IntersectionObs, LinkId, LinkObs, NodeId};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{Direction, EnvConfig, IntersectionObs, LinkId, LinkObs, NodeId, SimConfig, TscEnv};
 
 fn grid_setup(cols: usize, rows: usize) -> (Grid, Vec<NodeId>, ObsEncoder, PairingTable) {
     let grid = Grid::build(GridConfig {
@@ -114,7 +115,7 @@ proptest! {
     /// Random pairing also stays within the upstream-or-self set.
     #[test]
     fn random_partners_are_upstream_or_self(seed in 0u64..300) {
-        let (_, agents, _, table) = grid_setup(3, 3);
+        let (_, _agents, _, table) = grid_setup(3, 3);
         let mut rng = StdRng::seed_from_u64(seed);
         let partners = table.random_partners(&mut rng);
         for (a, &p) in partners.iter().enumerate() {
@@ -138,5 +139,76 @@ proptest! {
         for a in 0..agents.len() {
             prop_assert_eq!(enc.encode_critic(&obs, a).len(), enc.critic_dim());
         }
+    }
+}
+
+fn train_env() -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .expect("grid");
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
+        .expect("scenario");
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 140,
+        },
+        0,
+    )
+    .expect("env")
+}
+
+/// Trains 2 rounds x 2 parallel replicas with the given faults and
+/// returns the final parameter bits.
+fn train_with_faults(plan: FaultPlan) -> Vec<u32> {
+    let mut cfg = PairUpLightConfig {
+        hidden: 12,
+        lstm_hidden: 12,
+        num_envs: 2,
+        ..Default::default()
+    };
+    cfg.ppo.epochs = 1;
+    cfg.ppo.minibatch = 32;
+    // Generous budget: the strategy may stack several panics on one
+    // (round, env) point, each consuming one retry.
+    cfg.max_round_retries = 5;
+    let mut env = train_env();
+    let model = PairUpLight::new(&env, cfg);
+    model.inject_faults(plan);
+    let mut model = model;
+    model
+        .train_checkpointed(&mut env, 4, 21, None, |_| {})
+        .expect("training must survive injected worker panics");
+    model
+        .parameter_vector()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Fault-recovery determinism: worker panics injected at arbitrary
+    /// (round, env) points never change the final parameters, because
+    /// a panicked replica is retried with the same derived seed against
+    /// a freshly reset environment.
+    #[test]
+    fn injected_worker_panics_never_change_final_parameters(
+        points in proptest::collection::vec(0u64..4, 1..4),
+    ) {
+        let mut plan = FaultPlan::new();
+        for &p in &points {
+            // Decode each draw into (round 0..2, env replica 0..2).
+            plan = plan.panic_worker(p / 2, (p % 2) as usize);
+        }
+        let faulted = train_with_faults(plan);
+        let clean = train_with_faults(FaultPlan::new());
+        prop_assert_eq!(faulted, clean);
     }
 }

@@ -63,7 +63,6 @@ struct ColightNet {
     out: Linear,
     head: Linear,
     embed_dim: usize,
-    obs_dim: usize,
 }
 
 impl ColightNet {
@@ -74,9 +73,7 @@ impl ColightNet {
         max_phases: usize,
         rng: &mut R,
     ) -> Self {
-        let gain = Init::Orthogonal {
-            gain: 2f32.sqrt(),
-        };
+        let gain = Init::Orthogonal { gain: 2f32.sqrt() };
         ColightNet {
             embed: Linear::new(params, "colight.embed", obs_dim, embed_dim, gain, rng),
             wq: Linear::new(params, "colight.wq", embed_dim, embed_dim, gain, rng),
@@ -92,7 +89,6 @@ impl ColightNet {
                 rng,
             ),
             embed_dim,
-            obs_dim,
         }
     }
 
@@ -216,7 +212,9 @@ impl CoLight {
     /// Splits a flattened state back into the 5×d row block and mask.
     fn unflatten(&self, flat: &[f32]) -> (Tensor, Tensor) {
         let d = self.encoder.local_dim();
-        let rows: Vec<&[f32]> = (0..=NEIGHBOR_SLOTS).map(|i| &flat[i * d..(i + 1) * d]).collect();
+        let rows: Vec<&[f32]> = (0..=NEIGHBOR_SLOTS)
+            .map(|i| &flat[i * d..(i + 1) * d])
+            .collect();
         let block = Tensor::from_rows(&rows);
         let mask = Tensor::row_from_slice(&flat[(1 + NEIGHBOR_SLOTS) * d..]);
         (block, mask)
@@ -284,7 +282,10 @@ impl CoLight {
             if self.replay.len() >= self.cfg.dqn.warmup {
                 self.learn_step();
             }
-            if self.env_steps.is_multiple_of(self.cfg.dqn.target_sync as u64) {
+            if self
+                .env_steps
+                .is_multiple_of(self.cfg.dqn.target_sync as u64)
+            {
                 self.target_params.copy_from(&self.params);
             }
             all_obs = step.obs;

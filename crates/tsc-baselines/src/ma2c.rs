@@ -102,8 +102,13 @@ impl Ma2c {
                     cfg.max_phases,
                     &mut rng,
                 );
-                let critic =
-                    CriticNet::new(&mut params, input_dim, cfg.hidden, cfg.lstm_hidden, &mut rng);
+                let critic = CriticNet::new(
+                    &mut params,
+                    input_dim,
+                    cfg.hidden,
+                    cfg.lstm_hidden,
+                    &mut rng,
+                );
                 let opt = Adam::new(&params, cfg.a2c.lr);
                 AgentNet {
                     params,
@@ -395,7 +400,7 @@ impl Controller for Ma2cController {
         }
         let mut actions = Vec::with_capacity(self.num_agents);
         let mut new_fp = self.fingerprints.clone();
-        for a in 0..self.num_agents {
+        for (a, fp) in new_fp.iter_mut().enumerate() {
             let input = self.assemble_input(obs, a);
             let (params, actor) = &self.actors[a];
             let mut g = Graph::new();
@@ -406,7 +411,7 @@ impl Controller for Ma2cController {
                 &self.states[a],
             );
             let probs = tsc_nn::softmax_rows(g.value(out.logits));
-            new_fp[a] = probs.row(0).to_vec();
+            *fp = probs.row(0).to_vec();
             let np = self.phases_per_agent[a];
             let action = probs.row(0)[..np]
                 .iter()

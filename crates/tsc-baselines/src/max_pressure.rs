@@ -115,12 +115,7 @@ mod tests {
     use super::*;
     use tsc_sim::{Direction, LinkId, LinkObs, NodeId};
 
-    fn obs(
-        ns_through: f64,
-        ns_left: f64,
-        ew_through: f64,
-        ew_left: f64,
-    ) -> IntersectionObs {
+    fn obs(ns_through: f64, ns_left: f64, ew_through: f64, ew_left: f64) -> IntersectionObs {
         IntersectionObs {
             node: NodeId(0),
             time: 0,
@@ -179,7 +174,10 @@ mod tests {
             obs(0.0, 0.0, 9.0, 0.0),
             obs(0.0, 8.0, 0.0, 0.0),
         ];
-        let phases: Vec<usize> = seq.iter().map(|o| c.decide(&[o.clone()])[0]).collect();
+        let phases: Vec<usize> = seq
+            .iter()
+            .map(|o| c.decide(std::slice::from_ref(o))[0])
+            .collect();
         assert_eq!(phases, vec![0, 2, 1]);
     }
 }

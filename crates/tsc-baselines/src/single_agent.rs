@@ -73,9 +73,11 @@ mod tests {
     #[test]
     fn constraints_are_enforced() {
         let e = env();
-        let mut custom = PairUpLightConfig::default();
-        custom.bandwidth = 3;
-        custom.parameter_sharing = false;
+        let custom = PairUpLightConfig {
+            bandwidth: 3,
+            parameter_sharing: false,
+            ..Default::default()
+        };
         let model = single_agent_with(&e, custom);
         assert_eq!(model.config().bandwidth, 0);
         assert!(model.config().parameter_sharing);

@@ -18,8 +18,7 @@ fn main() {
             rows: scale.grid,
             spacing: 200.0,
         })?;
-        let scenario =
-            patterns::grid_scenario(&grid, FlowPattern::Two, &PatternConfig::default())?;
+        let scenario = patterns::grid_scenario(&grid, FlowPattern::Two, &PatternConfig::default())?;
         let mut rows = Vec::new();
         for (name, mode) in [
             ("congested-upstream (paper)", PairingMode::CongestedUpstream),
@@ -35,13 +34,15 @@ fn main() {
                 },
                 scale.seed,
             )?;
-            let mut cfg = PairUpLightConfig::default();
-            cfg.pairing = mode;
-            cfg.hidden = scale.hidden;
-            cfg.lstm_hidden = scale.hidden;
+            let mut cfg = PairUpLightConfig {
+                pairing: mode,
+                hidden: scale.hidden,
+                lstm_hidden: scale.hidden,
+                seed: scale.seed,
+                eps_decay_episodes: (scale.episodes / 2).max(1),
+                ..Default::default()
+            };
             cfg.ppo.epochs = 2;
-            cfg.seed = scale.seed;
-            cfg.eps_decay_episodes = (scale.episodes / 2).max(1);
             let mut model = PairUpLight::new(&env, cfg);
             eprintln!("training {name} …");
             let mut best = f64::INFINITY;
@@ -51,7 +52,10 @@ fn main() {
                 best = best.min(ep.stats.avg_waiting_time);
                 last = ep.stats.avg_waiting_time;
                 if i % 10 == 0 {
-                    eprintln!("  episode {:>3}: wait {:>7.2}s", i, ep.stats.avg_waiting_time);
+                    eprintln!(
+                        "  episode {:>3}: wait {:>7.2}s",
+                        i, ep.stats.avg_waiting_time
+                    );
                 }
             }
             rows.push((name.to_string(), best, last));
@@ -61,7 +65,10 @@ fn main() {
     match run() {
         Ok(rows) => {
             println!("\nPAIRING-RULE ABLATION (Pattern 2, avg waiting time)");
-            println!("{:<30}{:>12}{:>12}", "Pairing rule", "best (s)", "final (s)");
+            println!(
+                "{:<30}{:>12}{:>12}",
+                "Pairing rule", "best (s)", "final (s)"
+            );
             let mut csv = String::from("pairing,best_wait,final_wait\n");
             for (name, best, last) in &rows {
                 println!("{name:<30}{best:>12.2}{last:>12.2}");

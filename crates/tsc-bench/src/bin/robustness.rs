@@ -6,10 +6,10 @@
 //! degradation-free floor; a robust learned policy should stay below it
 //! well past nominal conditions.
 
+use tsc_baselines::FixedTimeController;
 use tsc_bench::eval::{evaluate, EvalConfig};
 use tsc_bench::experiments::{self, ExperimentScale};
 use tsc_bench::models::{train_model, ModelKind};
-use tsc_baselines::FixedTimeController;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{DetectorConfig, EnvConfig, SimConfig, TscEnv};
@@ -23,8 +23,7 @@ fn main() {
             rows: scale.grid,
             spacing: 200.0,
         })?;
-        let scenario =
-            patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+        let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
         let mut env = TscEnv::new(
             scenario.clone(),
             SimConfig::default(),
@@ -46,7 +45,10 @@ fn main() {
         eprintln!("training PairUpLight on clean sensors …");
         let mut trained = train_model(ModelKind::PairUpLight, &mut env, &setup, |p| {
             if p.episode % 10 == 0 {
-                eprintln!("  episode {:>3}: wait {:>7.2}s", p.episode, p.avg_waiting_time);
+                eprintln!(
+                    "  episode {:>3}: wait {:>7.2}s",
+                    p.episode, p.avg_waiting_time
+                );
             }
         })?;
         let mut csv = String::from("dropout,noise,pairuplight_travel,fixedtime_travel\n");

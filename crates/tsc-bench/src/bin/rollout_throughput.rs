@@ -21,10 +21,7 @@ use tsc_sim::{EnvConfig, SimConfig, SimError, TscEnv};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let horizon: u32 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let horizon: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
     let rounds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
     if let Err(e) = run(horizon, rounds) {
         eprintln!("rollout_throughput failed: {e}");
@@ -44,14 +41,16 @@ fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
         },
         0,
     )?;
-    let mut cfg = PairUpLightConfig::default();
     // Small nets keep the bench dominated by what it measures: the
     // collection loop, not one-off weight initialization.
-    cfg.hidden = 32;
-    cfg.lstm_hidden = 32;
+    let cfg = PairUpLightConfig {
+        hidden: 32,
+        lstm_hidden: 32,
+        ..Default::default()
+    };
     let model = PairUpLight::new(&env, cfg);
-    let sim_seconds_per_episode = u64::from(env.steps_per_episode() as u32)
-        * u64::from(env.seconds_per_step());
+    let sim_seconds_per_episode =
+        u64::from(env.steps_per_episode() as u32) * u64::from(env.seconds_per_step());
 
     println!(
         "rollout throughput: 6x6 grid, horizon {horizon}s, {} decision steps/episode, \
@@ -59,7 +58,10 @@ fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
         env.steps_per_episode(),
         std::thread::available_parallelism().map_or(1, usize::from),
     );
-    println!("{:>3} {:>10} {:>14} {:>14} {:>10}", "K", "mode", "elapsed", "env-steps/s", "speedup");
+    println!(
+        "{:>3} {:>10} {:>14} {:>14} {:>10}",
+        "K", "mode", "elapsed", "env-steps/s", "speedup"
+    );
 
     let mut baseline: Option<f64> = None;
     for k in [1usize, 2, 4, 8] {

@@ -9,7 +9,10 @@ fn main() {
     match experiments::table2(&scale) {
         Ok(table) => {
             println!("\nTABLE II — EVALUATION OF AVERAGE TRAVEL TIME (SECONDS)");
-            println!("(all models trained on Pattern 1 for {} episodes)\n", scale.episodes);
+            println!(
+                "(all models trained on Pattern 1 for {} episodes)\n",
+                scale.episodes
+            );
             println!("{}", table.render());
             match experiments::write_result("table2.csv", &table.to_csv()) {
                 Ok(p) => eprintln!("wrote {}", p.display()),

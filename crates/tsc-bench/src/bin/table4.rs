@@ -13,7 +13,10 @@ fn main() {
     println!("{}", experiments::render_table4(&rows));
     let mut csv = String::from("model,bits_this_impl,bits_paper,information\n");
     for r in &rows {
-        csv.push_str(&format!("{},{},{},\"{}\"\n", r.model, r.bits, r.paper_bits, r.information));
+        csv.push_str(&format!(
+            "{},{},{},\"{}\"\n",
+            r.model, r.bits, r.paper_bits, r.information
+        ));
     }
     match experiments::write_result("table4.csv", &csv) {
         Ok(p) => eprintln!("wrote {}", p.display()),

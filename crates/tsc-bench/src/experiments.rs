@@ -499,7 +499,13 @@ mod tests {
         let p = rows.iter().find(|r| r.model == "PairUpLight").unwrap();
         for r in &rows {
             if r.model != "PairUpLight" {
-                assert!(r.bits >= 20 * p.bits, "{}: {} vs {}", r.model, r.bits, p.bits);
+                assert!(
+                    r.bits >= 20 * p.bits,
+                    "{}: {} vs {}",
+                    r.model,
+                    r.bits,
+                    p.bits
+                );
                 assert!(r.paper_bits > p.paper_bits);
             }
         }

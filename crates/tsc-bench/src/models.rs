@@ -300,8 +300,7 @@ mod tests {
         ] {
             let mut env = tiny_env();
             let mut count = 0;
-            let trained =
-                train_model(kind, &mut env, &tiny_setup(), |_| count += 1).unwrap();
+            let trained = train_model(kind, &mut env, &tiny_setup(), |_| count += 1).unwrap();
             if kind == ModelKind::FixedTime {
                 assert!(trained.curve.is_empty());
             } else {
@@ -317,7 +316,10 @@ mod tests {
     #[test]
     fn names_match_paper() {
         assert_eq!(ModelKind::Ma2c.name(), "MA2C");
-        assert_eq!(ModelKind::PairUpLightBandwidth(2).name(), "PairUpLight (bw=2)");
+        assert_eq!(
+            ModelKind::PairUpLightBandwidth(2).name(),
+            "PairUpLight (bw=2)"
+        );
         assert_eq!(ModelKind::TABLE2.len(), 5);
     }
 }

@@ -389,13 +389,17 @@ impl Graph {
                     grads[a.0].add_assign(&da);
                 }
                 Op::Relu(a) => {
-                    let da = elementwise(&g, &self.values[a.0], |gi, x| {
-                        if x > 0.0 {
-                            gi
-                        } else {
-                            0.0
-                        }
-                    });
+                    let da = elementwise(
+                        &g,
+                        &self.values[a.0],
+                        |gi, x| {
+                            if x > 0.0 {
+                                gi
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
                     grads[a.0].add_assign(&da);
                 }
                 Op::Exp(a) => {
@@ -425,10 +429,7 @@ impl Graph {
                     grads[a.0].add_assign(&da);
                 }
                 Op::GatherCols(a, cols) => {
-                    let mut da = Tensor::zeros(
-                        self.values[a.0].rows(),
-                        self.values[a.0].cols(),
-                    );
+                    let mut da = Tensor::zeros(self.values[a.0].rows(), self.values[a.0].cols());
                     for (r, &c) in cols.iter().enumerate() {
                         da.set(r, c, g.get(r, 0));
                     }
@@ -503,10 +504,7 @@ impl Graph {
                     grads[a.0].add_assign(&da);
                 }
                 Op::SliceCols(a, start) => {
-                    let mut da = Tensor::zeros(
-                        self.values[a.0].rows(),
-                        self.values[a.0].cols(),
-                    );
+                    let mut da = Tensor::zeros(self.values[a.0].rows(), self.values[a.0].cols());
                     for r in 0..g.rows() {
                         for c in 0..g.cols() {
                             da.set(r, start + c, g.get(r, c));
@@ -666,10 +664,7 @@ mod tests {
             |g, p, w| {
                 let wv = g.param(p, w);
                 let ratio = g.exp(wv);
-                let adv = g.input(Tensor::from_rows(&[
-                    &[1.0, -0.5, 0.2],
-                    &[-1.2, 0.8, 0.1],
-                ]));
+                let adv = g.input(Tensor::from_rows(&[&[1.0, -0.5, 0.2], &[-1.2, 0.8, 0.1]]));
                 let surr1 = g.mul(ratio, adv);
                 let clipped = g.clamp(ratio, 0.8, 1.2);
                 let surr2 = g.mul(clipped, adv);
@@ -747,8 +742,8 @@ mod tests {
                 let scores = g.matmul(q, wv); // 1x3
                 let sm = g.softmax(scores);
                 let ctx = g.matmul(sm, kt); // 1x2
-                let s = g.sum(ctx);
-                s
+
+                g.sum(ctx)
             },
             2,
             3,

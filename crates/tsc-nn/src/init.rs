@@ -46,7 +46,11 @@ impl Init {
 /// orthonormal (rows if `rows <= cols`, columns otherwise).
 pub fn orthogonal<R: Rng>(rows: usize, cols: usize, gain: f32, rng: &mut R) -> Tensor {
     let transpose = rows < cols;
-    let (n, m) = if transpose { (cols, rows) } else { (rows, cols) };
+    let (n, m) = if transpose {
+        (cols, rows)
+    } else {
+        (rows, cols)
+    };
     // n >= m: orthonormalize the m columns of an n x m Gaussian matrix.
     let g = Tensor::randn(n, m, 1.0, rng);
     let mut cols_v: Vec<Vec<f32>> = (0..m)
@@ -77,9 +81,9 @@ pub fn orthogonal<R: Rng>(rows: usize, cols: usize, gain: f32, rng: &mut R) -> T
         }
     }
     let mut out = Tensor::zeros(rows, cols);
-    for c in 0..m {
-        for r in 0..n {
-            let v = gain * cols_v[c][r];
+    for (c, col) in cols_v.iter().enumerate() {
+        for (r, &x) in col.iter().enumerate() {
+            let v = gain * x;
             if transpose {
                 out.set(c, r, v);
             } else {

@@ -1,4 +1,4 @@
-//! Plain-text persistence for parameter sets.
+//! Plain-text persistence for parameter sets and optimizer state.
 //!
 //! A dependency-free, human-inspectable format for saving trained
 //! weights (e.g. a trained PairUpLight policy) and reloading them later:
@@ -11,6 +11,21 @@
 //! …
 //! ```
 //!
+//! The companion optimizer stream ([`save_adam`]/[`load_adam`]) extends
+//! the same format so a checkpoint can capture the *full* training
+//! state — Adam's first/second moments **and its timestep** `t`, without
+//! which bias correction restarts and a resumed run diverges from an
+//! uninterrupted one:
+//!
+//! ```text
+//! tsc-nn-adam v1
+//! <lr> <beta1> <beta2> <eps> <t> <tensor count>
+//! <rows> <cols>
+//! <m values, space separated>
+//! <v values, space separated>
+//! …
+//! ```
+//!
 //! Values round-trip exactly (written via the shortest-precise float
 //! formatting of Rust's `{:?}`).
 
@@ -18,6 +33,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 
+use crate::optim::Adam;
 use crate::params::Params;
 use crate::tensor::Tensor;
 
@@ -137,6 +153,122 @@ pub fn load_params<R: Read>(r: R) -> Result<Params, LoadError> {
     Ok(params)
 }
 
+/// Writes the full Adam optimizer state (hyper-parameters, timestep
+/// `t`, and both moment vectors) in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn save_adam<W: Write>(opt: &Adam, mut w: W) -> std::io::Result<()> {
+    let (beta1, beta2) = opt.betas();
+    let (m, v) = opt.moments();
+    writeln!(w, "tsc-nn-adam v1")?;
+    writeln!(
+        w,
+        "{:?} {:?} {:?} {:?} {} {}",
+        opt.lr(),
+        beta1,
+        beta2,
+        opt.epsilon(),
+        opt.timestep(),
+        m.len()
+    )?;
+    let write_row = |w: &mut W, t: &Tensor| -> std::io::Result<()> {
+        let mut first = true;
+        for x in t.data() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{x:?}")?;
+            first = false;
+        }
+        writeln!(w)
+    };
+    for (mi, vi) in m.iter().zip(v) {
+        writeln!(w, "{} {}", mi.rows(), mi.cols())?;
+        write_row(&mut w, mi)?;
+        write_row(&mut w, vi)?;
+    }
+    Ok(())
+}
+
+/// Reads Adam optimizer state written by [`save_adam`].
+///
+/// # Errors
+///
+/// Returns [`LoadError::Format`] on malformed content and
+/// [`LoadError::Io`] on reader failures.
+pub fn load_adam<R: Read>(r: R) -> Result<Adam, LoadError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = || -> Result<String, LoadError> {
+        lines
+            .next()
+            .ok_or_else(|| LoadError::Format("unexpected end of file".into()))?
+            .map_err(LoadError::from)
+    };
+    let header = next()?;
+    if header.trim() != "tsc-nn-adam v1" {
+        return Err(LoadError::Format(format!("bad adam header {header:?}")));
+    }
+    let meta = next()?;
+    let mut parts = meta.split_whitespace();
+    let mut scalar = |what: &str| -> Result<f32, LoadError> {
+        parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Format(format!("bad adam {what}")))
+    };
+    let lr = scalar("lr")?;
+    let beta1 = scalar("beta1")?;
+    let beta2 = scalar("beta2")?;
+    let eps = scalar("eps")?;
+    let t: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| LoadError::Format("bad adam timestep".into()))?;
+    let count: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| LoadError::Format("bad adam tensor count".into()))?;
+    let mut m = Vec::with_capacity(count);
+    let mut v = Vec::with_capacity(count);
+    for i in 0..count {
+        let shape = next()?;
+        let mut parts = shape.split_whitespace();
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Format(format!("moment {i}: bad rows")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Format(format!("moment {i}: bad cols")))?;
+        let read_tensor = |what: &str, line: String| -> Result<Tensor, LoadError> {
+            let data: Vec<f32> = line
+                .split_whitespace()
+                .map(|s| {
+                    s.parse::<f32>().map_err(|e| {
+                        LoadError::Format(format!("moment {i} ({what}): bad value {s:?}: {e}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if data.len() != rows * cols {
+                return Err(LoadError::Format(format!(
+                    "moment {i} ({what}): expected {} values, got {}",
+                    rows * cols,
+                    data.len()
+                )));
+            }
+            Ok(Tensor::from_vec(rows, cols, data))
+        };
+        let m_line = next()?;
+        m.push(read_tensor("m", m_line)?);
+        let v_line = next()?;
+        v.push(read_tensor("v", v_line)?);
+    }
+    Adam::from_state(lr, beta1, beta2, eps, t, m, v).map_err(LoadError::Format)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,7 +280,10 @@ mod tests {
         let mut p = Params::new();
         p.add("w1", Tensor::randn(3, 4, 1.0, &mut rng));
         p.add("b1", Tensor::zeros(1, 4));
-        p.add("odd", Tensor::from_rows(&[&[f32::MIN_POSITIVE, -0.0, 1e30]]));
+        p.add(
+            "odd",
+            Tensor::from_rows(&[&[f32::MIN_POSITIVE, -0.0, 1e30]]),
+        );
         p
     }
 
@@ -195,5 +330,42 @@ mod tests {
         save_params(&p, &mut buf).unwrap();
         let q = load_params(buf.as_slice()).unwrap();
         assert!(q.is_empty());
+    }
+
+    /// Adam state round-trips exactly, including the timestep that
+    /// drives bias correction — a stepped-then-restored optimizer must
+    /// continue producing bit-identical updates.
+    #[test]
+    fn adam_round_trip_preserves_timestep_and_moments() {
+        let mut params = sample_params();
+        let mut opt = Adam::new(&params, 0.01);
+        // Take a few steps so t, m, and v are all non-trivial.
+        for id in params.ids().collect::<Vec<_>>() {
+            let g = Tensor::full(params.value(id).rows(), params.value(id).cols(), 0.5);
+            params.accumulate_grad(id, &g);
+        }
+        opt.step(&mut params);
+        let mut buf = Vec::new();
+        save_adam(&opt, &mut buf).unwrap();
+        let restored = load_adam(buf.as_slice()).unwrap();
+        assert_eq!(restored.timestep(), opt.timestep());
+        assert_eq!(restored.lr(), opt.lr());
+        assert_eq!(restored.betas(), opt.betas());
+        assert_eq!(restored.epsilon(), opt.epsilon());
+        let (m_a, v_a) = opt.moments();
+        let (m_b, v_b) = restored.moments();
+        assert_eq!(m_a, m_b);
+        assert_eq!(v_a, v_b);
+        assert!(restored.matches(&params));
+    }
+
+    #[test]
+    fn adam_truncated_stream_is_rejected() {
+        let params = sample_params();
+        let opt = Adam::new(&params, 0.01);
+        let mut buf = Vec::new();
+        save_adam(&opt, &mut buf).unwrap();
+        assert!(load_adam(&buf[..buf.len() / 2]).is_err());
+        assert!(load_adam("not an adam file\n".as_bytes()).is_err());
     }
 }

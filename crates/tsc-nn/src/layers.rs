@@ -236,7 +236,10 @@ mod tests {
         let (h, next) = cell.step(&mut g, &params, x, &state);
         assert_eq!(g.value(h).shape(), (1, 8));
         assert_ne!(next.h, state.h);
-        assert!(g.value(h).data().iter().all(|v| v.abs() <= 1.0), "h in [-1,1]");
+        assert!(
+            g.value(h).data().iter().all(|v| v.abs() <= 1.0),
+            "h in [-1,1]"
+        );
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod params;
 pub mod tensor;
 
 pub use graph::{softmax_rows, Graph, Var};
-pub use io::{load_params, save_params, LoadError};
 pub use init::{orthogonal, Init};
+pub use io::{load_adam, load_params, save_adam, save_params, LoadError};
 pub use layers::{Linear, LstmCell, LstmState};
 pub use optim::Adam;
 pub use params::{ParamId, Params};

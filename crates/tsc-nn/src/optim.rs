@@ -38,6 +38,52 @@ impl Adam {
         }
     }
 
+    /// Rebuilds an optimizer from persisted state (see
+    /// [`load_adam`](crate::io::load_adam)). The moment vectors `m` and
+    /// `v` must be pairwise shape-identical; `t` is the number of
+    /// [`step`](Self::step) calls already applied, so a restored
+    /// optimizer continues bias correction exactly where the saved one
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `m` and `v` disagree in length or shape.
+    pub fn from_state(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+        m: Vec<Tensor>,
+        v: Vec<Tensor>,
+    ) -> Result<Self, String> {
+        if m.len() != v.len() {
+            return Err(format!(
+                "moment count mismatch: {} first moments vs {} second moments",
+                m.len(),
+                v.len()
+            ));
+        }
+        for (i, (mi, vi)) in m.iter().zip(&v).enumerate() {
+            if mi.shape() != vi.shape() {
+                return Err(format!(
+                    "moment {i} shape mismatch: m is {:?}, v is {:?}",
+                    mi.shape(),
+                    vi.shape()
+                ));
+            }
+        }
+        Ok(Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        })
+    }
+
     /// Current learning rate.
     pub fn lr(&self) -> f32 {
         self.lr
@@ -46,6 +92,40 @@ impl Adam {
     /// Updates the learning rate (for schedules/annealing).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// The `(β₁, β₂)` decay rates.
+    pub fn betas(&self) -> (f32, f32) {
+        (self.beta1, self.beta2)
+    }
+
+    /// The denominator stabilizer ε.
+    pub fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    /// Number of update steps applied so far. Together with
+    /// [`moments`](Self::moments) this is the full optimizer state:
+    /// bias correction depends on `t`, so faithful checkpoint resume is
+    /// impossible without persisting it.
+    pub fn timestep(&self) -> u64 {
+        self.t
+    }
+
+    /// The first (`m`) and second (`v`) moment estimates, in parameter
+    /// registration order.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Whether this optimizer's moment tensors match `params` tensor
+    /// for tensor (count and shapes) — the precondition of
+    /// [`step`](Self::step).
+    pub fn matches(&self, params: &Params) -> bool {
+        self.m.len() == params.len()
+            && params
+                .ids()
+                .all(|id| self.m[id.index()].shape() == params.value(id).shape())
     }
 
     /// Applies one update from the gradients accumulated in `params`,

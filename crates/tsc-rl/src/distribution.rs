@@ -128,9 +128,7 @@ mod tests {
     fn entropy_is_maximal_for_uniform() {
         let uniform = [0.25f32; 4];
         let skewed = [0.97f32, 0.01, 0.01, 0.01];
-        assert!(
-            Categorical::new(&uniform).entropy() > Categorical::new(&skewed).entropy()
-        );
+        assert!(Categorical::new(&uniform).entropy() > Categorical::new(&skewed).entropy());
         assert!((Categorical::new(&uniform).entropy() - 4.0f32.ln()).abs() < 1e-5);
     }
 

@@ -11,7 +11,10 @@
 //!   baseline;
 //! * [`buffer`] — on-policy rollout storage mirroring Algorithm 1
 //!   line 20 and an off-policy replay buffer;
-//! * [`distribution`] — categorical sampling, ε-greedy, schedules.
+//! * [`distribution`] — categorical sampling, ε-greedy, schedules;
+//! * [`sentinel`] — post-update divergence checks (non-finite losses,
+//!   gradients, and parameters; loss explosion) backing the trainer's
+//!   rollback-and-retry fault tolerance.
 //!
 //! Loss builders assemble onto a [`tsc_nn::Graph`], so any network
 //! architecture plugs in its own forward pass. The integration test in
@@ -26,6 +29,7 @@ pub mod distribution;
 pub mod dqn;
 pub mod gae;
 pub mod ppo;
+pub mod sentinel;
 
 pub use a2c::A2cConfig;
 pub use buffer::{ReplayBuffer, ReplayTransition, RolloutBuffer, Target, Trajectory, Transition};
@@ -33,3 +37,4 @@ pub use distribution::{epsilon_greedy, Categorical, LinearSchedule};
 pub use dqn::DqnConfig;
 pub use gae::{gae, normalize_advantages};
 pub use ppo::PpoConfig;
+pub use sentinel::{check_finite_params, check_update, Divergence, UpdateStats};

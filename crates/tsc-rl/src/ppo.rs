@@ -105,7 +105,7 @@ pub fn entropy_bonus(g: &mut Graph, logits: Var) -> Var {
     // mean over all elements; scale by number of actions to make it the
     // per-row entropy mean.
     let actions = g.value(logits).cols() as f32;
-    
+
     g.scale(s, -actions)
 }
 

@@ -1,0 +1,206 @@
+//! Divergence sentinel: finite-value and explosion checks for PPO/A2C
+//! updates.
+//!
+//! RL training on oversaturated traffic is numerically hostile: a
+//! single NaN gradient silently poisons every parameter it touches, and
+//! from that update on the model trains on garbage without crashing.
+//! These checks run *after* each update so a trainer can detect the
+//! poisoning at the round that caused it, roll back to the last good
+//! state, and retry — instead of discovering a NaN policy hours later.
+//!
+//! The checks are deliberately cheap (a linear scan of losses, the
+//! pre-clip gradient norm, and the parameter vector) so they can run
+//! every round without measurable overhead.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an update was judged divergent.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Divergence {
+    /// A loss, entropy, or gradient-norm statistic was NaN or infinite.
+    NonFinite {
+        /// Which statistic tripped (e.g. `"policy loss"`).
+        what: &'static str,
+        /// The offending value.
+        value: f32,
+    },
+    /// A loss magnitude exceeded the configured explosion limit.
+    Explosion {
+        /// Which statistic tripped.
+        what: &'static str,
+        /// The offending value.
+        value: f32,
+        /// The configured limit.
+        limit: f32,
+    },
+    /// A parameter became NaN or infinite after the update.
+    NonFiniteParam {
+        /// Flat index of the first offending scalar.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::NonFinite { what, value } => {
+                write!(f, "{what} is non-finite ({value})")
+            }
+            Divergence::Explosion { what, value, limit } => {
+                write!(f, "{what} magnitude {value} exceeds limit {limit}")
+            }
+            Divergence::NonFiniteParam { index, value } => {
+                write!(f, "parameter {index} is non-finite ({value}) after update")
+            }
+        }
+    }
+}
+
+impl Error for Divergence {}
+
+/// Loss and gradient statistics of one optimization round, as consumed
+/// by [`check_update`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Mean clipped-surrogate policy loss.
+    pub policy_loss: f32,
+    /// Mean value loss.
+    pub value_loss: f32,
+    /// Mean policy entropy.
+    pub entropy: f32,
+    /// Maximum pre-clip global gradient norm over the round's
+    /// minibatches.
+    pub grad_norm: f32,
+}
+
+/// Checks one round's update statistics: every statistic must be
+/// finite, and loss magnitudes must stay below `loss_limit` (entropy is
+/// bounded by `ln(num_actions)` so it only gets the finiteness check;
+/// the gradient norm is clipped after measurement so it likewise only
+/// needs to be finite).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found, in field order.
+pub fn check_update(stats: &UpdateStats, loss_limit: f32) -> Result<(), Divergence> {
+    for (what, value, bounded) in [
+        ("policy loss", stats.policy_loss, true),
+        ("value loss", stats.value_loss, true),
+        ("entropy", stats.entropy, false),
+        ("gradient norm", stats.grad_norm, false),
+    ] {
+        if !value.is_finite() {
+            return Err(Divergence::NonFinite { what, value });
+        }
+        if bounded && value.abs() > loss_limit {
+            return Err(Divergence::Explosion {
+                what,
+                value,
+                limit: loss_limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scans a flat parameter stream for NaN/infinite scalars (the
+/// post-update half of the sentinel: a poisoned optimizer step can
+/// produce finite losses *this* round yet leave non-finite weights for
+/// the next).
+///
+/// # Errors
+///
+/// Returns [`Divergence::NonFiniteParam`] for the first offending
+/// scalar.
+pub fn check_finite_params<I: IntoIterator<Item = f32>>(params: I) -> Result<(), Divergence> {
+    for (index, value) in params.into_iter().enumerate() {
+        if !value.is_finite() {
+            return Err(Divergence::NonFiniteParam { index, value });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> UpdateStats {
+        UpdateStats {
+            policy_loss: -0.02,
+            value_loss: 0.5,
+            entropy: 1.2,
+            grad_norm: 3.0,
+        }
+    }
+
+    #[test]
+    fn healthy_update_passes() {
+        assert_eq!(check_update(&healthy(), 100.0), Ok(()));
+    }
+
+    #[test]
+    fn nan_loss_is_caught() {
+        let mut s = healthy();
+        s.policy_loss = f32::NAN;
+        assert!(matches!(
+            check_update(&s, 100.0),
+            Err(Divergence::NonFinite {
+                what: "policy loss",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn infinite_grad_norm_is_caught() {
+        let mut s = healthy();
+        s.grad_norm = f32::INFINITY;
+        assert!(matches!(
+            check_update(&s, 100.0),
+            Err(Divergence::NonFinite {
+                what: "gradient norm",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn loss_explosion_is_caught_but_large_entropy_is_not() {
+        let mut s = healthy();
+        s.value_loss = 1e6;
+        assert!(matches!(
+            check_update(&s, 1e4),
+            Err(Divergence::Explosion {
+                what: "value loss",
+                ..
+            })
+        ));
+        let mut s = healthy();
+        s.entropy = 1e6; // entropy is never "exploded", only non-finite
+        assert_eq!(check_update(&s, 1e4), Ok(()));
+    }
+
+    #[test]
+    fn param_scan_reports_first_bad_index() {
+        assert_eq!(check_finite_params([0.0, 1.5, -2.0]), Ok(()));
+        assert!(matches!(
+            check_finite_params([0.0, f32::NAN, f32::INFINITY]),
+            Err(Divergence::NonFiniteParam { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = Divergence::Explosion {
+            what: "value loss",
+            value: 2e4,
+            limit: 1e4,
+        };
+        assert!(d.to_string().contains("exceeds limit"));
+    }
+}

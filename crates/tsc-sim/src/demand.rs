@@ -282,9 +282,13 @@ mod tests {
         );
         let mut g = DemandGenerator::new(vec![flow], ArrivalModel::Deterministic);
         let mut rng = StdRng::seed_from_u64(0);
-        let a: usize = (0..10).map(|t| g.step(f64::from(t), 1.0, &mut rng).len()).sum();
+        let a: usize = (0..10)
+            .map(|t| g.step(f64::from(t), 1.0, &mut rng).len())
+            .sum();
         g.reset();
-        let b: usize = (0..10).map(|t| g.step(f64::from(t), 1.0, &mut rng).len()).sum();
+        let b: usize = (0..10)
+            .map(|t| g.step(f64::from(t), 1.0, &mut rng).len())
+            .sum();
         assert_eq!(a, b, "reset restores identical deterministic schedule");
     }
 

@@ -119,7 +119,10 @@ impl IntersectionObs {
     /// term of the reward (Eq. 6) and of the paper's "average waiting
     /// time" metric.
     pub fn max_wait(&self) -> f64 {
-        self.incoming.iter().map(|l| l.head_wait).fold(0.0, f64::max)
+        self.incoming
+            .iter()
+            .map(|l| l.head_wait)
+            .fold(0.0, f64::max)
     }
 
     /// The reward of Eq. 6: `-(Σ halting + max wait)`.

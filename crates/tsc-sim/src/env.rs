@@ -155,7 +155,7 @@ impl TscEnv {
             self.sim.request_phase(node, phase)?;
         }
         for _ in 0..self.seconds_per_step() {
-            self.sim.step();
+            self.sim.step()?;
         }
         let obs = self.sim.observe_all();
         let rewards = obs.iter().map(IntersectionObs::reward).collect();
@@ -315,7 +315,10 @@ mod tests {
         e.reset(1);
         assert!(matches!(
             e.step(&[0, 1]),
-            Err(SimError::ActionLengthMismatch { got: 2, expected: 9 })
+            Err(SimError::ActionLengthMismatch {
+                got: 2,
+                expected: 9
+            })
         ));
     }
 

@@ -34,6 +34,15 @@ pub enum SimError {
         /// Trip destination.
         to: NodeId,
     },
+    /// A vehicle's route contains consecutive links that are not joined
+    /// by any legal turning movement — a malformed scenario whose
+    /// routes were not produced by the router.
+    DisconnectedRoute {
+        /// The link the vehicle is on.
+        from: LinkId,
+        /// The next route link, unreachable from `from`.
+        to: LinkId,
+    },
     /// An action vector did not match the number of controlled intersections.
     ActionLengthMismatch {
         /// Actions supplied by the caller.
@@ -61,6 +70,10 @@ impl fmt::Display for SimError {
             ),
             SimError::NotSignalized(n) => write!(f, "node {n} is not signalized"),
             SimError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            SimError::DisconnectedRoute { from, to } => write!(
+                f,
+                "route links {from} and {to} are not joined by a legal turn"
+            ),
             SimError::ActionLengthMismatch { got, expected } => write!(
                 f,
                 "got {got} actions but scenario has {expected} signalized intersections"

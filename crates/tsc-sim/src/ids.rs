@@ -16,7 +16,9 @@ use std::fmt;
 /// let n = NodeId(3);
 /// assert_eq!(n.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -41,7 +43,9 @@ impl fmt::Display for NodeId {
 /// let l = LinkId(7);
 /// assert_eq!(l.index(), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -67,7 +71,9 @@ impl fmt::Display for LinkId {
 /// let v = VehicleId(42);
 /// assert_eq!(v.index(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct VehicleId(pub usize);
 
 impl VehicleId {
@@ -94,7 +100,9 @@ impl fmt::Display for VehicleId {
 /// assert_eq!(Direction::East.left_of(), Direction::North);
 /// assert_eq!(Direction::East.right_of(), Direction::South);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Direction {
     /// Travelling towards increasing `y`.
     North,

@@ -25,7 +25,9 @@ use crate::ids::{Direction, LinkId, NodeId};
 /// assert_eq!(Movement::between(Direction::East, Direction::South), Some(Movement::Right));
 /// assert_eq!(Movement::between(Direction::East, Direction::West), None); // U-turn
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Movement {
     /// Turn towards the left of the travel direction.
     Left,
@@ -378,7 +380,9 @@ impl NetworkBuilder {
             return Err(SimError::SelfLoop(from));
         }
         if lanes.is_empty() {
-            return Err(SimError::InvalidConfig("link must have at least one lane".into()));
+            return Err(SimError::InvalidConfig(
+                "link must have at least one lane".into(),
+            ));
         }
         let (x0, y0) = self.nodes[from.index()].position();
         let (x1, y1) = self.nodes[to.index()].position();

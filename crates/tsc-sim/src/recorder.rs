@@ -100,9 +100,8 @@ impl Recorder {
     /// Renders the series as CSV (aggregates first, then one column per
     /// tracked link).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "time,active,backlog,finished,mean_pressure,mean_max_wait,total_halting",
-        );
+        let mut out =
+            String::from("time,active,backlog,finished,mean_pressure,mean_max_wait,total_halting");
         for l in &self.tracked_links {
             let _ = write!(out, ",queue_{l}");
         }
@@ -165,11 +164,7 @@ mod tests {
         }
         let network = b.build().unwrap();
         let plan = SignalPlan::four_phase(&network, c).unwrap();
-        let flows = vec![OdFlow::new(
-            w,
-            e,
-            FlowProfile::constant(720.0, 0.0, 200.0),
-        )];
+        let flows = vec![OdFlow::new(w, e, FlowProfile::constant(720.0, 0.0, 200.0))];
         let scenario = Scenario::new("rec", network, vec![plan], flows).unwrap();
         Simulation::new(
             &scenario,
@@ -187,7 +182,7 @@ mod tests {
         let mut sim = tiny_sim();
         let mut rec = Recorder::new(10);
         for _ in 0..100 {
-            sim.step();
+            sim.step().unwrap();
             rec.maybe_sample(&sim);
         }
         assert_eq!(rec.samples().len(), 10);
@@ -200,7 +195,7 @@ mod tests {
         let mut rec = Recorder::new(25);
         rec.track_link(crate::ids::LinkId(6)); // w -> c entry link
         for _ in 0..200 {
-            sim.step();
+            sim.step().unwrap();
             rec.maybe_sample(&sim);
         }
         let csv = rec.to_csv();
@@ -225,14 +220,14 @@ mod tests {
         let mut rec = Recorder::new(5);
         rec.track_link(crate::ids::LinkId(6));
         for _ in 0..20 {
-            sim.step();
+            sim.step().unwrap();
             rec.maybe_sample(&sim);
         }
         rec.clear();
         assert!(rec.samples().is_empty());
-        sim.step();
+        sim.step().unwrap();
         for _ in 0..5 {
-            sim.step();
+            sim.step().unwrap();
             rec.maybe_sample(&sim);
         }
         assert!(!rec.samples().is_empty());
@@ -243,7 +238,7 @@ mod tests {
         let mut sim = tiny_sim();
         let mut rec = Recorder::new(50);
         for _ in 0..150 {
-            sim.step();
+            sim.step().unwrap();
             rec.maybe_sample(&sim);
         }
         let last = rec.samples().last().unwrap();

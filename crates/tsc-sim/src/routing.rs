@@ -47,27 +47,45 @@ impl PartialOrd for HeapEntry {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::NoRoute`] when `destination` is unreachable, and
-/// [`SimError::UnknownNode`] for out-of-range node ids.
+/// Returns [`SimError::NoRoute`] when `destination` is unreachable,
+/// [`SimError::UnknownNode`] for out-of-range node ids, and
+/// [`SimError::InvalidConfig`] for a non-positive/non-finite
+/// `free_speed` or a network with non-finite link lengths (either would
+/// otherwise poison every downstream cost comparison).
 pub fn shortest_route(
     network: &Network,
     origin: NodeId,
     destination: NodeId,
     free_speed: f64,
 ) -> Result<Vec<LinkId>, SimError> {
+    if !free_speed.is_finite() || free_speed <= 0.0 {
+        return Err(SimError::InvalidConfig(format!(
+            "free_speed must be finite and > 0, got {free_speed}"
+        )));
+    }
     if origin.index() >= network.num_nodes() {
         return Err(SimError::UnknownNode(origin));
     }
     if destination.index() >= network.num_nodes() {
         return Err(SimError::UnknownNode(destination));
     }
+    let link_cost = |l: LinkId| -> Result<f64, SimError> {
+        let cost = network.link(l).length() / free_speed;
+        if cost.is_finite() {
+            Ok(cost)
+        } else {
+            Err(SimError::InvalidConfig(format!(
+                "link {l} has non-finite travel time {cost}"
+            )))
+        }
+    };
     let n_links = network.num_links();
     let mut dist = vec![f64::INFINITY; n_links];
     let mut prev: Vec<Option<LinkId>> = vec![None; n_links];
     let mut heap = BinaryHeap::new();
 
     for &l in network.outgoing(origin) {
-        let cost = network.link(l).length() / free_speed;
+        let cost = link_cost(l)?;
         if cost < dist[l.index()] {
             dist[l.index()] = cost;
             heap.push(HeapEntry { cost, link: l });
@@ -85,11 +103,14 @@ pub fn shortest_route(
         }
         for m in Movement::ALL {
             if let Some(next) = network.turn_target(link, m) {
-                let c = cost + network.link(next).length() / free_speed;
+                let c = cost + link_cost(next)?;
                 if c < dist[next.index()] {
                     dist[next.index()] = c;
                     prev[next.index()] = Some(link);
-                    heap.push(HeapEntry { cost: c, link: next });
+                    heap.push(HeapEntry {
+                        cost: c,
+                        link: next,
+                    });
                 }
             }
         }

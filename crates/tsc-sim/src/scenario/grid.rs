@@ -7,12 +7,12 @@
 //! serves every movement. Each boundary intersection is fed by a
 //! terminal node that sources and sinks traffic.
 
+use crate::demand::OdFlow;
 use crate::error::SimError;
 use crate::ids::{Direction, NodeId};
 use crate::network::{Lane, Movement, Network, NetworkBuilder};
 use crate::scenario::Scenario;
 use crate::signal::SignalPlan;
-use crate::demand::OdFlow;
 
 /// Geometry of the synthetic grid.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -86,19 +86,16 @@ impl Grid {
             }
         }
         // Horizontal arterials between adjacent intersections.
-        for col in 0..config.cols - 1 {
-            for row in 0..config.rows {
-                let a = intersections[col][row];
-                let c = intersections[col + 1][row];
+        for cols in intersections.windows(2) {
+            for (&a, &c) in cols[0].iter().zip(&cols[1]) {
                 b.add_link(a, c, Direction::East, arterial_lanes())?;
                 b.add_link(c, a, Direction::West, arterial_lanes())?;
             }
         }
         // Vertical avenues.
-        for col in 0..config.cols {
-            for row in 0..config.rows - 1 {
-                let a = intersections[col][row];
-                let c = intersections[col][row + 1];
+        for column in &intersections {
+            for pair in column.windows(2) {
+                let (a, c) = (pair[0], pair[1]);
                 b.add_link(a, c, Direction::North, avenue_lanes())?;
                 b.add_link(c, a, Direction::South, avenue_lanes())?;
             }
@@ -106,45 +103,27 @@ impl Grid {
         // Boundary terminals.
         let mut west_terminals = Vec::with_capacity(config.rows);
         let mut east_terminals = Vec::with_capacity(config.rows);
-        for row in 0..config.rows {
+        let (first_col, last_col) = (&intersections[0], &intersections[config.cols - 1]);
+        for (row, (&wi, &ei)) in first_col.iter().zip(last_col).enumerate() {
             let w = b.add_node(-s, row as f64 * s, false);
             let e = b.add_node(config.cols as f64 * s, row as f64 * s, false);
-            b.add_link(w, intersections[0][row], Direction::East, arterial_lanes())?;
-            b.add_link(intersections[0][row], w, Direction::West, arterial_lanes())?;
-            b.add_link(
-                e,
-                intersections[config.cols - 1][row],
-                Direction::West,
-                arterial_lanes(),
-            )?;
-            b.add_link(
-                intersections[config.cols - 1][row],
-                e,
-                Direction::East,
-                arterial_lanes(),
-            )?;
+            b.add_link(w, wi, Direction::East, arterial_lanes())?;
+            b.add_link(wi, w, Direction::West, arterial_lanes())?;
+            b.add_link(e, ei, Direction::West, arterial_lanes())?;
+            b.add_link(ei, e, Direction::East, arterial_lanes())?;
             west_terminals.push(w);
             east_terminals.push(e);
         }
         let mut south_terminals = Vec::with_capacity(config.cols);
         let mut north_terminals = Vec::with_capacity(config.cols);
-        for col in 0..config.cols {
+        for (col, column) in intersections.iter().enumerate() {
+            let (&si, &ni) = (&column[0], &column[config.rows - 1]);
             let so = b.add_node(col as f64 * s, -s, false);
             let no = b.add_node(col as f64 * s, config.rows as f64 * s, false);
-            b.add_link(so, intersections[col][0], Direction::North, avenue_lanes())?;
-            b.add_link(intersections[col][0], so, Direction::South, avenue_lanes())?;
-            b.add_link(
-                no,
-                intersections[col][config.rows - 1],
-                Direction::South,
-                avenue_lanes(),
-            )?;
-            b.add_link(
-                intersections[col][config.rows - 1],
-                no,
-                Direction::North,
-                avenue_lanes(),
-            )?;
+            b.add_link(so, si, Direction::North, avenue_lanes())?;
+            b.add_link(si, so, Direction::South, avenue_lanes())?;
+            b.add_link(no, ni, Direction::South, avenue_lanes())?;
+            b.add_link(ni, no, Direction::North, avenue_lanes())?;
             south_terminals.push(so);
             north_terminals.push(no);
         }
@@ -219,7 +198,11 @@ impl Grid {
     /// # Errors
     ///
     /// Propagates scenario validation failures.
-    pub fn scenario(&self, name: impl Into<String>, flows: Vec<OdFlow>) -> Result<Scenario, SimError> {
+    pub fn scenario(
+        &self,
+        name: impl Into<String>,
+        flows: Vec<OdFlow>,
+    ) -> Result<Scenario, SimError> {
         Scenario::new(name, self.network.clone(), self.signal_plans()?, flows)
     }
 }
@@ -268,13 +251,8 @@ mod tests {
     #[test]
     fn straight_route_crosses_the_whole_grid() {
         let g = Grid::build(GridConfig::default()).unwrap();
-        let route = shortest_route(
-            g.network(),
-            g.west_terminal(2),
-            g.east_terminal(2),
-            13.89,
-        )
-        .unwrap();
+        let route =
+            shortest_route(g.network(), g.west_terminal(2), g.east_terminal(2), 13.89).unwrap();
         // Terminal link + 5 internal + exit link = 7 links.
         assert_eq!(route.len(), 7);
     }
@@ -282,13 +260,8 @@ mod tests {
     #[test]
     fn turning_route_exists() {
         let g = Grid::build(GridConfig::default()).unwrap();
-        let route = shortest_route(
-            g.network(),
-            g.west_terminal(1),
-            g.south_terminal(3),
-            13.89,
-        )
-        .unwrap();
+        let route =
+            shortest_route(g.network(), g.west_terminal(1), g.south_terminal(3), 13.89).unwrap();
         assert!(route.len() >= 2);
     }
 

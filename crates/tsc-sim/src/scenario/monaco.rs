@@ -138,43 +138,25 @@ pub fn scenario(cfg: &MonacoConfig, seed: u64) -> Result<Scenario, SimError> {
     }
     // Boundary terminals on the west/east rows and south/north columns.
     let mut terminals = Vec::new();
-    for r in 0..cfg.rows {
+    let (first_col, last_col) = (&nodes[0], &nodes[cfg.cols - 1]);
+    for (r, (&wi, &ei)) in first_col.iter().zip(last_col).enumerate() {
         let w = b.add_node(-s, r as f64 * s, false);
         let e = b.add_node(cfg.cols as f64 * s, r as f64 * s, false);
-        b.add_link(w, nodes[0][r], Direction::East, vec![Lane::all_movements()])?;
-        b.add_link(nodes[0][r], w, Direction::West, vec![Lane::all_movements()])?;
-        b.add_link(
-            e,
-            nodes[cfg.cols - 1][r],
-            Direction::West,
-            vec![Lane::all_movements()],
-        )?;
-        b.add_link(
-            nodes[cfg.cols - 1][r],
-            e,
-            Direction::East,
-            vec![Lane::all_movements()],
-        )?;
+        b.add_link(w, wi, Direction::East, vec![Lane::all_movements()])?;
+        b.add_link(wi, w, Direction::West, vec![Lane::all_movements()])?;
+        b.add_link(e, ei, Direction::West, vec![Lane::all_movements()])?;
+        b.add_link(ei, e, Direction::East, vec![Lane::all_movements()])?;
         terminals.push(w);
         terminals.push(e);
     }
-    for c in 0..cfg.cols {
+    for (c, column) in nodes.iter().enumerate() {
+        let (&si, &ni) = (&column[0], &column[cfg.rows - 1]);
         let so = b.add_node(c as f64 * s, -s, false);
         let no = b.add_node(c as f64 * s, cfg.rows as f64 * s, false);
-        b.add_link(so, nodes[c][0], Direction::North, vec![Lane::all_movements()])?;
-        b.add_link(nodes[c][0], so, Direction::South, vec![Lane::all_movements()])?;
-        b.add_link(
-            no,
-            nodes[c][cfg.rows - 1],
-            Direction::South,
-            vec![Lane::all_movements()],
-        )?;
-        b.add_link(
-            nodes[c][cfg.rows - 1],
-            no,
-            Direction::North,
-            vec![Lane::all_movements()],
-        )?;
+        b.add_link(so, si, Direction::North, vec![Lane::all_movements()])?;
+        b.add_link(si, so, Direction::South, vec![Lane::all_movements()])?;
+        b.add_link(no, ni, Direction::South, vec![Lane::all_movements()])?;
+        b.add_link(ni, no, Direction::North, vec![Lane::all_movements()])?;
         terminals.push(so);
         terminals.push(no);
     }
@@ -232,12 +214,8 @@ mod tests {
     #[test]
     fn monaco_is_heterogeneous() {
         let sc = scenario(&MonacoConfig::default(), 11).unwrap();
-        let lane_counts: std::collections::HashSet<usize> = sc
-            .network
-            .links()
-            .iter()
-            .map(|l| l.num_lanes())
-            .collect();
+        let lane_counts: std::collections::HashSet<usize> =
+            sc.network.links().iter().map(|l| l.num_lanes()).collect();
         assert!(lane_counts.len() >= 2, "mixed lane counts");
         let degrees: std::collections::HashSet<usize> = sc
             .agents()
@@ -245,11 +223,8 @@ mod tests {
             .map(|&n| sc.network.incoming(n).len())
             .collect();
         assert!(degrees.len() >= 2, "irregular intersection degree");
-        let phase_counts: std::collections::HashSet<usize> = sc
-            .signal_plans
-            .iter()
-            .map(|p| p.num_phases())
-            .collect();
+        let phase_counts: std::collections::HashSet<usize> =
+            sc.signal_plans.iter().map(|p| p.num_phases()).collect();
         assert!(phase_counts.len() >= 2, "varied phase sets");
     }
 
@@ -259,7 +234,11 @@ mod tests {
         let max_rate = sc
             .flows
             .iter()
-            .flat_map(|f| (0..3600).map(|t| f.profile.rate_at(f64::from(t))).collect::<Vec<_>>())
+            .flat_map(|f| {
+                (0..3600)
+                    .map(|t| f.profile.rate_at(f64::from(t)))
+                    .collect::<Vec<_>>()
+            })
             .fold(0.0, f64::max);
         assert!((max_rate - 975.0).abs() < 2.0, "max rate {max_rate}");
     }

@@ -119,8 +119,13 @@ pub fn flows(
     let band_r = middle_band(rows);
     let band_c = middle_band(cols);
     // Group A ramps over [0, 2*peak]; group B over [peak, 3*peak].
-    let ramp_a =
-        FlowProfile::ramp(0.0, cfg.peak_time, 2.0 * cfg.peak_time, cfg.peak_rate, cfg.base_rate);
+    let ramp_a = FlowProfile::ramp(
+        0.0,
+        cfg.peak_time,
+        2.0 * cfg.peak_time,
+        cfg.peak_rate,
+        cfg.base_rate,
+    );
     let ramp_b = FlowProfile::ramp(
         cfg.peak_time,
         2.0 * cfg.peak_time,
@@ -362,8 +367,14 @@ mod tests {
         let g = grid();
         let f = flows(&g, FlowPattern::Five, &PatternConfig::default()).unwrap();
         assert_eq!(f.len(), 12);
-        let we: Vec<_> = f.iter().filter(|o| o.profile.rate_at(100.0) == 300.0).collect();
-        let sn: Vec<_> = f.iter().filter(|o| o.profile.rate_at(100.0) == 90.0).collect();
+        let we: Vec<_> = f
+            .iter()
+            .filter(|o| o.profile.rate_at(100.0) == 300.0)
+            .collect();
+        let sn: Vec<_> = f
+            .iter()
+            .filter(|o| o.profile.rate_at(100.0) == 90.0)
+            .collect();
         assert_eq!(we.len(), 6);
         assert_eq!(sn.len(), 6);
     }

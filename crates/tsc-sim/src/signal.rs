@@ -242,7 +242,10 @@ impl SignalState {
                 self.green_elapsed += 1;
             }
             LightState::Yellow { next, remaining } => {
-                *remaining -= 1;
+                // Saturating: a zero-remaining yellow (possible only in
+                // a hand-built or deserialized state) resolves to green
+                // instead of underflowing.
+                *remaining = remaining.saturating_sub(1);
                 if *remaining == 0 {
                     self.phase = *next;
                     self.state = LightState::Green;
@@ -253,10 +256,17 @@ impl SignalState {
     }
 
     /// Whether `movement` from `link` may discharge right now (green on
-    /// a permitting phase; nothing discharges during yellow).
+    /// a permitting phase; nothing discharges during yellow). An
+    /// out-of-range phase index (impossible via [`request_phase`]
+    /// (Self::request_phase), which validates) reads as all-red rather
+    /// than panicking mid-step.
     pub fn permits(&self, link: LinkId, movement: Movement) -> bool {
         match self.state {
-            LightState::Green => self.plan.phases()[self.phase].permits(link, movement),
+            LightState::Green => self
+                .plan
+                .phases()
+                .get(self.phase)
+                .is_some_and(|p| p.permits(link, movement)),
             LightState::Yellow { .. } => false,
         }
     }

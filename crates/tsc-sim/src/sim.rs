@@ -269,7 +269,15 @@ impl Simulation {
     }
 
     /// Advances the simulation by one second.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DisconnectedRoute`] if a vehicle's route
+    /// contains an illegal turn — possible only for scenarios whose
+    /// routes were constructed by hand, since the router guarantees
+    /// turn-connected routes. The simulation state is unspecified (but
+    /// memory-safe) after an error; discard it.
+    pub fn step(&mut self) -> Result<(), SimError> {
         let t = f64::from(self.time);
         // 1. Demand: spawn new vehicles into the insertion backlog.
         let spawns = self.demand.step(t, 1.0, &mut self.rng);
@@ -279,9 +287,9 @@ impl Simulation {
         // 2. Insertion: move backlog vehicles onto entry links with space.
         self.insert_backlog();
         // 3. Discharge green queues through intersections.
-        self.discharge();
+        self.discharge()?;
         // 4. Advance running vehicles; join queues at the back.
-        self.advance_running();
+        self.advance_running()?;
         // 5. Accrue waiting time for queued vehicles.
         self.accrue_waits();
         // 6. Tick signal state machines.
@@ -292,6 +300,7 @@ impl Simulation {
         let sample = self.mean_of_max_waits();
         self.metrics.record_wait_sample(sample);
         self.time += 1;
+        Ok(())
     }
 
     fn spawn_vehicle(&mut self, flow_idx: usize) {
@@ -321,20 +330,29 @@ impl Simulation {
         }
     }
 
-    /// The movement the head vehicle needs, or `None` for a network exit.
-    fn head_step(&self, vehicle: &Vehicle) -> Option<(Movement, LinkId)> {
+    /// The movement the head vehicle needs, or `None` for a network
+    /// exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DisconnectedRoute`] when consecutive route
+    /// links are not joined by a legal turn (a malformed hand-built
+    /// scenario; router-produced routes are always turn-connected).
+    fn head_step(&self, vehicle: &Vehicle) -> Result<Option<(Movement, LinkId)>, SimError> {
         let cur = vehicle.current_link();
-        vehicle.next_link().map(|next| {
-            let m = self
-                .scenario
-                .network
-                .movement_between(cur, next)
-                .expect("route links are turn-connected");
-            (m, next)
-        })
+        match vehicle.next_link() {
+            None => Ok(None),
+            Some(next) => match self.scenario.network.movement_between(cur, next) {
+                Some(m) => Ok(Some((m, next))),
+                None => Err(SimError::DisconnectedRoute {
+                    from: cur,
+                    to: next,
+                }),
+            },
+        }
     }
 
-    fn discharge(&mut self) {
+    fn discharge(&mut self) -> Result<(), SimError> {
         let rate = 1.0 / self.config.saturation_headway;
         // Iterate links in id order for determinism.
         for link_idx in 0..self.links.len() {
@@ -359,7 +377,7 @@ impl Simulation {
                     if !budget_ok {
                         break;
                     }
-                    let step = self.head_step(&self.vehicles[head.index()]);
+                    let step = self.head_step(&self.vehicles[head.index()])?;
                     match step {
                         None => {
                             // Exit at a boundary terminal: always free.
@@ -400,9 +418,10 @@ impl Simulation {
                 }
             }
         }
+        Ok(())
     }
 
-    fn advance_running(&mut self) {
+    fn advance_running(&mut self) -> Result<(), SimError> {
         let dt = 1.0;
         let speed = self.config.free_speed;
         let gap = self.config.vehicle_gap;
@@ -412,13 +431,8 @@ impl Simulation {
             }
             let link_id = LinkId(link_idx);
             let num_lanes = self.links[link_idx].lanes.len();
-            let lanes_meta: Vec<&crate::network::Lane> = self
-                .scenario
-                .network
-                .link(link_id)
-                .lanes()
-                .iter()
-                .collect();
+            let lanes_meta: Vec<&crate::network::Lane> =
+                self.scenario.network.link(link_id).lanes().iter().collect();
             // Process in arrival order so earlier vehicles queue first.
             let mut still_running = Vec::new();
             let running = std::mem::take(&mut self.links[link_idx].running);
@@ -428,7 +442,7 @@ impl Simulation {
                     let VehiclePosition::Running { distance } = v.position() else {
                         continue;
                     };
-                    (distance - speed * dt, self.head_step(v).map(|s| s.0))
+                    (distance - speed * dt, self.head_step(v)?.map(|s| s.0))
                 };
                 // Candidate lanes: those permitting the needed movement
                 // (any lane for an exiting vehicle).
@@ -438,8 +452,7 @@ impl Simulation {
                 // A route always uses legal turns, so a candidate lane
                 // exists; fall back to lane 0 defensively.
                 let lane_idx = candidate.unwrap_or(0);
-                let queue_back =
-                    self.links[link_idx].lanes[lane_idx].vehicles.len() as f64 * gap;
+                let queue_back = self.links[link_idx].lanes[lane_idx].vehicles.len() as f64 * gap;
                 if new_pos <= queue_back {
                     self.links[link_idx].lanes[lane_idx].vehicles.push_back(id);
                     self.vehicles[id.index()].set_queued(lane_idx);
@@ -450,6 +463,7 @@ impl Simulation {
             }
             self.links[link_idx].running = still_running;
         }
+        Ok(())
     }
 
     fn accrue_waits(&mut self) {
@@ -504,22 +518,24 @@ impl Simulation {
                         count += 1.0;
                         halting += 1.0;
                         // Attribute the vehicle to the movement it is
-                        // queued for (exits count as through).
+                        // queued for (exits — and, defensively, broken
+                        // routes, which only the step path reports —
+                        // count as through).
                         let m = self
                             .head_step(&self.vehicles[id.index()])
+                            .ok()
+                            .flatten()
                             .map(|(m, _)| m)
                             .unwrap_or(Movement::Through);
                         halting_by_movement[m.index()] += 1.0;
                         if pos_idx == 0 {
-                            head_wait =
-                                head_wait.max(self.vehicles[id.index()].current_wait());
+                            head_wait = head_wait.max(self.vehicles[id.index()].current_wait());
                         }
                     }
                 }
             }
             for &id in &state.running {
-                if let VehiclePosition::Running { distance } =
-                    self.vehicles[id.index()].position()
+                if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position()
                 {
                     if distance <= range {
                         count += 1.0;
@@ -544,8 +560,7 @@ impl Simulation {
             let length = network.link(l).length();
             let mut count = 0.0;
             for &id in &state.running {
-                if let VehiclePosition::Running { distance } =
-                    self.vehicles[id.index()].position()
+                if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position()
                 {
                     if length - distance <= range {
                         count += 1.0;
@@ -553,16 +568,17 @@ impl Simulation {
                 }
             }
             if length <= range {
-                count += state.lanes.iter().map(|q| q.vehicles.len() as f64).sum::<f64>();
+                count += state
+                    .lanes
+                    .iter()
+                    .map(|q| q.vehicles.len() as f64)
+                    .sum::<f64>();
             }
             outgoing_counts.push(count);
             outgoing_links.push(l);
         }
         let (current_phase, num_phases) = match self.signal_index.get(&node) {
-            Some(&i) => (
-                self.signals[i].phase(),
-                self.signals[i].plan().num_phases(),
-            ),
+            Some(&i) => (self.signals[i].phase(), self.signals[i].plan().num_phases()),
             None => (0, 1),
         };
         IntersectionObs {
@@ -611,7 +627,10 @@ impl Simulation {
 
     /// Observes every signalized intersection, in agent order.
     pub fn observe_all(&self) -> Vec<IntersectionObs> {
-        self.signals.iter().map(|s| self.observe(s.node())).collect()
+        self.signals
+            .iter()
+            .map(|s| self.observe(s.node()))
+            .collect()
     }
 
     /// Iterates over every vehicle ever spawned this run (finished and
@@ -684,7 +703,7 @@ mod tests {
         // Hold the east-west through phase (index 2 in the 4-phase plan).
         s.request_phase(NodeId(0), 2).unwrap();
         for _ in 0..600 {
-            s.step();
+            s.step().unwrap();
         }
         assert!(s.metrics().finished() > 0, "vehicles complete trips");
         // 360 veh/h for 600 s = 60 vehicles; most should finish.
@@ -701,7 +720,7 @@ mod tests {
         // Hold a north-south phase: the west approach stays red.
         s.request_phase(NodeId(0), 0).unwrap();
         for _ in 0..300 {
-            s.step();
+            s.step().unwrap();
         }
         assert_eq!(s.metrics().finished(), 0, "nothing crosses on red");
         let obs = s.observe(NodeId(0));
@@ -719,14 +738,14 @@ mod tests {
         let mut s = sim(1800.0);
         s.request_phase(NodeId(0), 0).unwrap(); // red for the flow
         for _ in 0..200 {
-            s.step();
+            s.step().unwrap();
         }
         assert!(s.link_queue(LinkId(6)) > 10); // w -> c queue built up
         let downstream_before = s.link_occupancy(LinkId(3)); // c -> e
         let finished_before = s.metrics().finished();
         s.request_phase(NodeId(0), 2).unwrap(); // green
         for _ in 0..20 {
-            s.step();
+            s.step().unwrap();
         }
         // Everything that crossed the stop line is now on c -> e or done.
         let crossed = s.link_occupancy(LinkId(3)) - downstream_before
@@ -744,7 +763,7 @@ mod tests {
             let _ = seed;
             s.request_phase(NodeId(0), 2).unwrap();
             for _ in 0..400 {
-                s.step();
+                s.step().unwrap();
             }
             (
                 s.metrics().finished(),
@@ -760,7 +779,7 @@ mod tests {
         let mut s = sim(1200.0);
         s.request_phase(NodeId(0), 2).unwrap();
         for _ in 0..500 {
-            s.step();
+            s.step().unwrap();
             assert_eq!(
                 s.metrics().spawned(),
                 s.active_vehicles() + s.metrics().finished(),
@@ -777,7 +796,7 @@ mod tests {
         let mut s = sim(3600.0);
         s.request_phase(NodeId(0), 0).unwrap();
         for _ in 0..120 {
-            s.step();
+            s.step().unwrap();
         }
         assert!(s.backlog_vehicles() > 0, "backlog forms once link is full");
         assert!(s.link_occupancy(LinkId(6)) <= 26);
@@ -788,7 +807,7 @@ mod tests {
         let mut s = sim(1800.0);
         s.request_phase(NodeId(0), 0).unwrap();
         for _ in 0..240 {
-            s.step();
+            s.step().unwrap();
         }
         let obs = s.observe(NodeId(0));
         let west = obs
@@ -809,8 +828,8 @@ mod tests {
         let mut flowing = sim(720.0);
         flowing.request_phase(NodeId(0), 2).unwrap();
         for _ in 0..400 {
-            blocked.step();
-            flowing.step();
+            blocked.step().unwrap();
+            flowing.step().unwrap();
         }
         assert!(blocked.avg_travel_time() > 2.0 * flowing.avg_travel_time());
     }

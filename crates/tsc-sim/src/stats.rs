@@ -87,11 +87,7 @@ impl TripStats {
             all.push(tt);
             if v.is_finished() {
                 done.push(tt);
-                let origin = sim
-                    .scenario()
-                    .network
-                    .link(v.route()[0])
-                    .from();
+                let origin = sim.scenario().network.link(v.route()[0]).from();
                 per_origin.entry(origin).or_default().push(tt);
             }
         }
@@ -168,11 +164,7 @@ mod tests {
         }
         let network = b.build().unwrap();
         let plan = SignalPlan::four_phase(&network, c).unwrap();
-        let flows = vec![OdFlow::new(
-            w,
-            e,
-            FlowProfile::constant(360.0, 0.0, 300.0),
-        )];
+        let flows = vec![OdFlow::new(w, e, FlowProfile::constant(360.0, 0.0, 300.0))];
         let scenario = Scenario::new("stats", network, vec![plan], flows).unwrap();
         let cfg = SimConfig {
             arrival_model: ArrivalModel::Deterministic,
@@ -181,7 +173,7 @@ mod tests {
         let mut sim = crate::sim::Simulation::new(&scenario, cfg, 0).unwrap();
         sim.request_phase(c, 2).unwrap();
         for _ in 0..500 {
-            sim.step();
+            sim.step().unwrap();
         }
         let stats = TripStats::collect(&sim);
         assert!(stats.finished.count > 20);

@@ -43,17 +43,22 @@ fn shared_lane_scenario(through_rate: f64, left_rate: f64) -> (Scenario, LinkId)
     let plan = SignalPlan::new(
         c,
         vec![
-            Phase::new([
-                (west_in, Movement::Through),
-                (west_in, Movement::Right),
-            ]),
+            Phase::new([(west_in, Movement::Through), (west_in, Movement::Right)]),
             Phase::new([(west_in, Movement::Left)]),
         ],
     )
     .expect("plan");
     let flows = vec![
-        OdFlow::new(NodeId(4), NodeId(2), FlowProfile::constant(through_rate, 0.0, 600.0)),
-        OdFlow::new(NodeId(4), NodeId(1), FlowProfile::constant(left_rate, 0.0, 600.0)),
+        OdFlow::new(
+            NodeId(4),
+            NodeId(2),
+            FlowProfile::constant(through_rate, 0.0, 600.0),
+        ),
+        OdFlow::new(
+            NodeId(4),
+            NodeId(1),
+            FlowProfile::constant(left_rate, 0.0, 600.0),
+        ),
     ];
     let scenario = Scenario::new("shared-lane", network, vec![plan], flows).expect("scenario");
     (scenario, west_in)
@@ -78,7 +83,7 @@ fn left_turner_blocks_shared_lane_through_traffic() {
     // Hold the through-only phase forever: left-turners can never go.
     s.request_phase(NodeId(0), 0).expect("phase");
     for _ in 0..600 {
-        s.step();
+        s.step().unwrap();
     }
     // The queue grows without bound because each left-turner at the
     // head blocks everything behind it.
@@ -133,14 +138,22 @@ fn dedicated_left_lane_removes_hol_blocking() {
     )
     .expect("plan");
     let flows = vec![
-        OdFlow::new(NodeId(4), NodeId(2), FlowProfile::constant(600.0, 0.0, 600.0)),
-        OdFlow::new(NodeId(4), NodeId(1), FlowProfile::constant(120.0, 0.0, 600.0)),
+        OdFlow::new(
+            NodeId(4),
+            NodeId(2),
+            FlowProfile::constant(600.0, 0.0, 600.0),
+        ),
+        OdFlow::new(
+            NodeId(4),
+            NodeId(1),
+            FlowProfile::constant(120.0, 0.0, 600.0),
+        ),
     ];
     let scenario = Scenario::new("dedicated", network, vec![plan], flows).expect("scenario");
     let mut s = sim(&scenario);
     s.request_phase(NodeId(0), 0).expect("phase");
     for _ in 0..700 {
-        s.step();
+        s.step().unwrap();
     }
     // Through demand over 600 s = 100 vehicles; nearly all must finish
     // because left-turners wait in their own lane.
@@ -202,14 +215,14 @@ fn full_downstream_link_blocks_discharge() {
     s.request_phase(a, pa).expect("a green");
     s.request_phase(b_n, pb_ns).expect("b red");
     for _ in 0..900 {
-        s.step();
+        s.step().unwrap();
     }
     // ab holds at most 150/7.5 = 20 vehicles.
     assert_eq!(s.link_occupancy(ab), 20, "downstream link saturated");
     // And it stays saturated: a cannot push more through its green.
     let before = s.metrics().finished();
     for _ in 0..60 {
-        s.step();
+        s.step().unwrap();
     }
     assert_eq!(s.metrics().finished(), before, "corridor is fully blocked");
 }
@@ -232,7 +245,7 @@ fn sensor_degradation_is_deterministic_and_bounded() {
         let mut s = Simulation::new(&scenario, cfg, 9).expect("sim");
         s.request_phase(NodeId(0), 0).expect("phase");
         for _ in 0..300 {
-            s.step();
+            s.step().unwrap();
         }
         s.observe_all()
     };
@@ -267,7 +280,7 @@ fn network_drains_after_demand_ends() {
     let mut s = sim(&scenario);
     s.request_phase(NodeId(0), 0).expect("green");
     for _ in 0..1200 {
-        s.step();
+        s.step().unwrap();
         if s.metrics().spawned() > 0 && s.active_vehicles() == 0 {
             break;
         }

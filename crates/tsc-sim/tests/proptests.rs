@@ -51,7 +51,7 @@ proptest! {
                     sim.request_phase(a, phase).unwrap();
                 }
             }
-            sim.step();
+            sim.step().unwrap();
             prop_assert_eq!(
                 sim.metrics().spawned(),
                 sim.active_vehicles() + sim.metrics().finished()
@@ -68,7 +68,7 @@ proptest! {
         let mut sim = small_sim(rate_scale, seed, true);
         // 150 m, 7.5 m gap => 20 per lane.
         for _ in 0..400 {
-            sim.step();
+            sim.step().unwrap();
             for link in sim.scenario().network.links() {
                 let cap = (link.length() / 7.5).floor().max(1.0) as usize * link.num_lanes();
                 prop_assert!(sim.link_occupancy(link.id()) <= cap);
@@ -85,7 +85,7 @@ proptest! {
                 sim.request_phase(a, 2).unwrap();
             }
             for _ in 0..300 {
-                sim.step();
+                sim.step().unwrap();
             }
             (
                 sim.metrics().spawned(),
@@ -108,7 +108,7 @@ proptest! {
                 sim.request_phase(a, phase).unwrap();
             }
             for _ in 0..400 {
-                sim.step();
+                sim.step().unwrap();
             }
             sim.metrics().avg_waiting_time()
         };
@@ -144,7 +144,7 @@ proptest! {
         let scenario = grid.scenario("prop-backlog", f).expect("scenario");
         let mut sim = Simulation::new(&scenario, SimConfig::default(), seed).expect("sim");
         for t in 0..400usize {
-            sim.step();
+            sim.step().unwrap();
             let backlog = sim.backlog_vehicles();
             let on_network = sim.active_vehicles() - backlog;
             prop_assert_eq!(
@@ -179,7 +179,7 @@ proptest! {
         // Let the initial yellow clearance (2 s by default) elapse so
         // the held phase is actually showing.
         for _ in 0..5 {
-            sim.step();
+            sim.step().unwrap();
         }
         let network = sim.scenario().network.clone();
         for _ in 0..200usize {
@@ -199,7 +199,7 @@ proptest! {
                     }
                 }
             }
-            sim.step();
+            sim.step().unwrap();
             for (link, before) in red_queues {
                 let after = sim.link_queue(link);
                 prop_assert!(
@@ -223,7 +223,7 @@ proptest! {
         let mut sim = small_sim(rate_scale, seed, true);
         let max_per_lane = (50.0 / 7.5_f64).floor() + 1.0;
         for _ in 0..300 {
-            sim.step();
+            sim.step().unwrap();
         }
         for obs in sim.observe_all() {
             for link in &obs.incoming {

@@ -26,10 +26,14 @@ fn main() -> Result<(), tsc_sim::SimError> {
     println!("pairing evolution on a congesting 3x3 grid (agent -> partner):");
     for checkpoint in [60u32, 600, 1200] {
         while sim.time() < checkpoint {
-            sim.step();
+            sim.step().unwrap();
         }
         let partners = pairing.partners(&sim.observe_all());
-        let self_paired = partners.iter().enumerate().filter(|&(a, &p)| a == p).count();
+        let self_paired = partners
+            .iter()
+            .enumerate()
+            .filter(|&(a, &p)| a == p)
+            .count();
         println!(
             "  t={:>5}s partners={:?} ({} self-paired)",
             checkpoint, partners, self_paired
@@ -54,11 +58,13 @@ fn main() -> Result<(), tsc_sim::SimError> {
             },
             5,
         )?;
-        let mut cfg = PairUpLightConfig::default();
-        cfg.bandwidth = bandwidth;
-        cfg.hidden = 24;
-        cfg.lstm_hidden = 24;
-        cfg.eps_decay_episodes = 8;
+        let cfg = PairUpLightConfig {
+            bandwidth,
+            hidden: 24,
+            lstm_hidden: 24,
+            eps_decay_episodes: 8,
+            ..Default::default()
+        };
         let mut model = PairUpLight::new(&env, cfg);
         let mut final_wait = 0.0;
         for i in 0..15 {

@@ -34,8 +34,7 @@ fn profile<C: Controller>(
         obs = step.obs;
         let t = env.sim().time();
         if t % 450 < 7 {
-            let pressure: f64 =
-                obs.iter().map(|o| o.pressure()).sum::<f64>() / obs.len() as f64;
+            let pressure: f64 = obs.iter().map(|o| o.pressure()).sum::<f64>() / obs.len() as f64;
             println!(
                 "  t={:>5}s  active={:>5}  backlog={:>4}  pressure={:>6.2}",
                 t,
@@ -90,22 +89,37 @@ fn main() -> Result<(), tsc_sim::SimError> {
     let train_scenario =
         patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
     let mut train_env = TscEnv::new(train_scenario, SimConfig::default(), env_cfg, 7)?;
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 32;
-    cfg.lstm_hidden = 32;
+    let mut cfg = PairUpLightConfig {
+        hidden: 32,
+        lstm_hidden: 32,
+        eps_decay_episodes: episodes / 2,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 2;
-    cfg.eps_decay_episodes = episodes / 2;
     let mut model = PairUpLight::new(&train_env, cfg);
     eprintln!("training PairUpLight on Pattern 1 for {episodes} episodes …");
     for i in 0..episodes {
         let ep = model.train_episode(&mut train_env, i as u64)?;
         if i % 10 == 0 {
-            eprintln!("  episode {:>3}: wait {:>7.2}s", i, ep.stats.avg_waiting_time);
+            eprintln!(
+                "  episode {:>3}: wait {:>7.2}s",
+                i, ep.stats.avg_waiting_time
+            );
         }
     }
 
-    profile("FixedTime", &mut env, &mut FixedTimeController::default(), 99)?;
+    profile(
+        "FixedTime",
+        &mut env,
+        &mut FixedTimeController::default(),
+        99,
+    )?;
     let mut trained = model.controller();
-    profile("PairUpLight (trained on Pattern 1)", &mut env, &mut trained, 99)?;
+    profile(
+        "PairUpLight (trained on Pattern 1)",
+        &mut env,
+        &mut trained,
+        99,
+    )?;
     Ok(())
 }

@@ -47,17 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train PairUpLight, save it, and reload it into a fresh learner —
     // the evaluated controller comes from the *reloaded* model.
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 32;
-    cfg.lstm_hidden = 32;
+    let mut cfg = PairUpLightConfig {
+        hidden: 32,
+        lstm_hidden: 32,
+        eps_decay_episodes: episodes / 2,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 2;
-    cfg.eps_decay_episodes = episodes / 2;
     let mut model = PairUpLight::new(&env, cfg);
     eprintln!("training PairUpLight for {episodes} episodes …");
     for i in 0..episodes {
         let ep = model.train_episode(&mut env, i as u64)?;
         if i % 10 == 0 {
-            eprintln!("  episode {:>3}: wait {:>7.2}s", i, ep.stats.avg_waiting_time);
+            eprintln!(
+                "  episode {:>3}: wait {:>7.2}s",
+                i, ep.stats.avg_waiting_time
+            );
         }
     }
     let path = std::env::temp_dir().join("pairuplight_zoo_model.txt");
@@ -69,8 +74,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("controller                         avg wait     avg travel    completed");
     evaluate("FixedTime", &mut env, &mut FixedTimeController::default())?;
-    evaluate("Actuated (gap-out)", &mut env, &mut ActuatedController::default())?;
-    evaluate("MaxPressure", &mut env, &mut MaxPressureController::default())?;
+    evaluate(
+        "Actuated (gap-out)",
+        &mut env,
+        &mut ActuatedController::default(),
+    )?;
+    evaluate(
+        "MaxPressure",
+        &mut env,
+        &mut MaxPressureController::default(),
+    )?;
     let mut rl = reloaded.controller();
     evaluate("PairUpLight (reloaded)", &mut env, &mut rl)?;
     Ok(())

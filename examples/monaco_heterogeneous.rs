@@ -44,12 +44,14 @@ fn main() -> Result<(), tsc_sim::SimError> {
     )?;
 
     // No parameter sharing: every intersection owns its actor/critic.
-    let mut cfg = PairUpLightConfig::default();
-    cfg.parameter_sharing = false;
-    cfg.hidden = 24;
-    cfg.lstm_hidden = 24;
+    let mut cfg = PairUpLightConfig {
+        parameter_sharing: false,
+        hidden: 24,
+        lstm_hidden: 24,
+        eps_decay_episodes: episodes / 2,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 2;
-    cfg.eps_decay_episodes = episodes / 2;
     let mut model = PairUpLight::new(&env, cfg);
     println!(
         "training {} per-agent parameters for {episodes} episodes …",
@@ -72,7 +74,13 @@ fn main() -> Result<(), tsc_sim::SimError> {
     let mut fixed = FixedTimeController::default();
     let ft = env.run_episode(&mut fixed, 777)?;
     println!("\n              avg waiting   avg travel");
-    println!("PairUpLight {:>10.2}s {:>11.2}s", rl.avg_waiting_time, rl.avg_travel_time);
-    println!("FixedTime   {:>10.2}s {:>11.2}s", ft.avg_waiting_time, ft.avg_travel_time);
+    println!(
+        "PairUpLight {:>10.2}s {:>11.2}s",
+        rl.avg_waiting_time, rl.avg_travel_time
+    );
+    println!(
+        "FixedTime   {:>10.2}s {:>11.2}s",
+        ft.avg_waiting_time, ft.avg_travel_time
+    );
     Ok(())
 }

@@ -37,10 +37,12 @@ fn main() -> Result<(), tsc_sim::SimError> {
 
     // Train the paper's model: PPO + GAE backbone, one 32-bit message
     // from the most congested upstream neighbor, centralized critic.
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 32;
-    cfg.lstm_hidden = 32;
-    cfg.eps_decay_episodes = 10;
+    let cfg = PairUpLightConfig {
+        hidden: 32,
+        lstm_hidden: 32,
+        eps_decay_episodes: 10,
+        ..Default::default()
+    };
     let mut model = PairUpLight::new(&env, cfg);
     println!("training {} parameters …", model.num_parameters());
     for episode in 0..20 {

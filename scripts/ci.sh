@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints with warnings denied, release build,
+# and the tier-1 test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q (tier 1)"
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,282 @@
+//! Fault-tolerance integration tests: checkpoint/resume bit-identity,
+//! panic-isolated rollout workers, and divergence rollback — the
+//! acceptance criteria of the fault-tolerant training stack.
+
+use std::path::PathBuf;
+
+use pairuplight::{
+    CheckpointManager, CheckpointPolicy, FaultPlan, PairUpLight, PairUpLightConfig, TrainError,
+};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn tiny_env() -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .expect("grid");
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
+        .expect("scenario");
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 140,
+        },
+        0,
+    )
+    .expect("env")
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    let mut cfg = PairUpLightConfig {
+        hidden: 12,
+        lstm_hidden: 12,
+        ..Default::default()
+    };
+    cfg.ppo.epochs = 2;
+    cfg.ppo.minibatch = 32;
+    cfg
+}
+
+fn param_bits(model: &PairUpLight) -> Vec<u32> {
+    model
+        .parameter_vector()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+fn reward_bits(history: &[pairuplight::TrainEpisode]) -> Vec<u64> {
+    history
+        .iter()
+        .map(|e| e.stats.total_reward.to_bits())
+        .collect()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pairuplight_ft_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline guarantee: kill training mid-run (via an injected
+/// abort, after the due checkpoint is written), resume from the latest
+/// checkpoint into a *fresh* learner, finish the schedule — and end
+/// with exactly the parameters and episode returns of a run that was
+/// never interrupted. Exercised with multi-env parallel rollouts so
+/// the whole stack (derived seeds, env-index merge, derived shuffle
+/// RNG, Adam timestep) is covered.
+#[test]
+fn resume_is_bit_identical_to_uninterrupted_run() {
+    let mut cfg = small_cfg();
+    cfg.num_envs = 2;
+    const EPISODES: usize = 8; // 4 rounds of 2 replicas
+    const BASE_SEED: u64 = 42;
+
+    // Reference: uninterrupted run through the same loop.
+    let mut env = tiny_env();
+    let mut reference = PairUpLight::new(&env, cfg);
+    let ref_history = reference
+        .train_checkpointed(&mut env, EPISODES, BASE_SEED, None, |_| {})
+        .expect("reference run");
+
+    // Victim: checkpoints every round, killed after round 1 (= 4
+    // episodes done).
+    let dir = scratch_dir("resume");
+    let manager = CheckpointManager::new(
+        &dir,
+        CheckpointPolicy {
+            every_rounds: 1,
+            keep_last: 3,
+        },
+    )
+    .expect("manager");
+    let mut env = tiny_env();
+    let victim = PairUpLight::new(&env, cfg);
+    victim.inject_faults(FaultPlan::new().abort_after_round(1));
+    let mut victim = victim;
+    let err = victim
+        .train_checkpointed(&mut env, EPISODES, BASE_SEED, Some(&manager), |_| {})
+        .expect_err("abort fault must fire");
+    assert!(matches!(err, TrainError::Aborted { round: 1 }), "{err}");
+
+    // Resume from the newest checkpoint into a fresh learner.
+    let (_, latest) = manager.latest().expect("list").expect("checkpoint exists");
+    let (mut resumed, base_seed) = PairUpLight::resume(&env, cfg, &latest).expect("resume");
+    assert_eq!(base_seed, BASE_SEED, "checkpoint preserves the base seed");
+    assert_eq!(resumed.episodes_trained(), 4, "2 rounds x 2 envs done");
+    let remaining = EPISODES - resumed.episodes_trained();
+    let tail_history = resumed
+        .train_checkpointed(&mut env, remaining, base_seed, Some(&manager), |_| {})
+        .expect("resumed run");
+
+    assert_eq!(
+        reward_bits(&tail_history),
+        reward_bits(&ref_history[EPISODES - remaining..]),
+        "resumed episode returns must match the uninterrupted run bit-for-bit"
+    );
+    assert_eq!(
+        param_bits(&resumed),
+        param_bits(&reference),
+        "resumed parameters must match the uninterrupted run bit-for-bit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected rollout-worker panic is caught, the replica is retried
+/// with the same derived seed, and the final model is bit-identical to
+/// a run where the panic never happened — a worker crash costs one
+/// retry, not determinism.
+#[test]
+fn worker_panic_recovery_is_bit_identical_to_faultless_run() {
+    let mut cfg = small_cfg();
+    cfg.num_envs = 2;
+    let run = |faults: Option<FaultPlan>| {
+        let mut env = tiny_env();
+        let model = PairUpLight::new(&env, cfg);
+        if let Some(plan) = faults {
+            model.inject_faults(plan);
+        }
+        let mut model = model;
+        let history = model
+            .train_checkpointed(&mut env, 4, 7, None, |_| {})
+            .expect("training survives injected panics");
+        (reward_bits(&history), param_bits(&model))
+    };
+    let clean = run(None);
+    let faulted = run(Some(FaultPlan::new().panic_worker(0, 1).panic_worker(1, 0)));
+    assert_eq!(clean.0, faulted.0, "returns unchanged by worker panics");
+    assert_eq!(clean.1, faulted.1, "parameters unchanged by worker panics");
+}
+
+/// An injected non-finite parameter (the aftermath of a NaN gradient)
+/// trips the divergence sentinel: the round is rolled back to the
+/// pre-round snapshot, reseeded, and training completes with finite
+/// parameters — no abort, no poisoned model.
+#[test]
+fn nan_gradient_is_rolled_back_and_training_completes() {
+    let cfg = small_cfg();
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, cfg);
+    model.inject_faults(FaultPlan::new().nan_gradient(1));
+    let mut model = model;
+    let history = model
+        .train_checkpointed(&mut env, 3, 11, None, |_| {})
+        .expect("sentinel rollback must recover the round");
+    assert_eq!(history.len(), 3);
+    assert_eq!(model.rounds_trained(), 3);
+    assert!(
+        model.parameter_vector().iter().all(|p| p.is_finite()),
+        "no NaN survives the rollback"
+    );
+}
+
+/// When a worker keeps panicking past the retry budget, training fails
+/// with a typed error naming the round and replica instead of crashing.
+#[test]
+fn exhausted_panic_retries_produce_a_typed_error() {
+    let mut cfg = small_cfg();
+    cfg.max_round_retries = 1;
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, cfg);
+    // First attempt + the single retry both panic.
+    model.inject_faults(FaultPlan::new().panic_worker(0, 0).panic_worker(0, 0));
+    let mut model = model;
+    let err = model
+        .train_checkpointed(&mut env, 2, 3, None, |_| {})
+        .expect_err("retry budget is exhausted");
+    assert!(
+        matches!(
+            err,
+            TrainError::WorkerPanic {
+                round: 0,
+                env: 0,
+                retries: 1,
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// A corrupted or truncated checkpoint is rejected up front — and the
+/// rejection leaves the learner's weights untouched (all-or-nothing
+/// restore). A checkpoint from a different configuration is likewise
+/// refused via the fingerprint.
+#[test]
+fn damaged_or_mismatched_checkpoints_are_rejected_without_side_effects() {
+    let cfg = small_cfg();
+    let mut env = tiny_env();
+    let mut model = PairUpLight::new(&env, cfg);
+    model.train_episode(&mut env, 1).expect("episode");
+    let dir = scratch_dir("reject");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ck.txt");
+    model.save_checkpoint(&path, 0).expect("save");
+
+    let mut other_cfg = small_cfg();
+    other_cfg.seed = 5;
+    let mut victim = PairUpLight::new(&env, other_cfg);
+    victim.train_episode(&mut env, 2).expect("episode");
+    let before = param_bits(&victim);
+
+    // Fingerprint mismatch (different seed ⇒ different config).
+    let err = victim.load_checkpoint(&path).expect_err("wrong config");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    assert_eq!(param_bits(&victim), before, "reject leaves weights alone");
+
+    // Corruption: flip a digit somewhere inside the body.
+    let text = std::fs::read_to_string(&path).expect("read");
+    let corrupted = text.replacen("0.9", "0.8", 1);
+    assert_ne!(corrupted, text, "corruption target must exist");
+    std::fs::write(&path, corrupted).expect("write");
+    let mut same_cfg_model = PairUpLight::new(&env, cfg);
+    let before = param_bits(&same_cfg_model);
+    let err = same_cfg_model
+        .load_checkpoint(&path)
+        .expect_err("corrupt checkpoint");
+    assert!(err.to_string().contains("checksum"), "{err}");
+    assert_eq!(param_bits(&same_cfg_model), before);
+
+    // Truncation.
+    std::fs::write(&path, &text[..text.len() / 2]).expect("write");
+    assert!(same_cfg_model.load_checkpoint(&path).is_err());
+    assert_eq!(param_bits(&same_cfg_model), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Periodic checkpointing honors the retention policy: only the newest
+/// `keep_last` files survive, and the newest is loadable.
+#[test]
+fn retention_keeps_only_the_newest_checkpoints() {
+    let cfg = small_cfg();
+    let dir = scratch_dir("retention");
+    let manager = CheckpointManager::new(
+        &dir,
+        CheckpointPolicy {
+            every_rounds: 1,
+            keep_last: 2,
+        },
+    )
+    .expect("manager");
+    let mut env = tiny_env();
+    let mut model = PairUpLight::new(&env, cfg);
+    model
+        .train_checkpointed(&mut env, 5, 0, Some(&manager), |_| {})
+        .expect("train");
+    let kept: Vec<u64> = manager
+        .list()
+        .expect("list")
+        .into_iter()
+        .map(|(round, _)| round)
+        .collect();
+    assert_eq!(kept, vec![4, 5], "only the two newest rounds survive");
+    let (_, latest) = manager.latest().expect("list").expect("exists");
+    let (resumed, _) = PairUpLight::resume(&env, cfg, &latest).expect("resume");
+    assert_eq!(resumed.episodes_trained(), 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,17 +49,18 @@ fn parallel_matches_serial() {
             spacing: 150.0,
         })
         .expect("grid");
-        let scenario =
-            patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
-                .expect("scenario");
+        let scenario = patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
+            .expect("scenario");
         let mut env = env_for(scenario, 250);
-        let mut cfg = PairUpLightConfig::default();
-        cfg.hidden = 12;
-        cfg.lstm_hidden = 12;
+        let mut cfg = PairUpLightConfig {
+            hidden: 12,
+            lstm_hidden: 12,
+            num_envs: 4,
+            parallel_rollouts: parallel,
+            ..Default::default()
+        };
         cfg.ppo.epochs = 2;
         cfg.ppo.minibatch = 32;
-        cfg.num_envs = 4;
-        cfg.parallel_rollouts = parallel;
         let mut model = PairUpLight::new(&env, cfg);
         // 8 episodes = 2 rounds of 4 replicas each.
         let history = model.train(&mut env, 8, 42, |_| {}).expect("train");
@@ -77,8 +78,14 @@ fn parallel_matches_serial() {
     let threaded = run(true);
     let serial = run(false);
     assert_eq!(threaded.0, 8, "2 rounds x 4 envs");
-    assert_eq!(threaded.1, serial.1, "episode returns must match bit-for-bit");
-    assert_eq!(threaded.2, serial.2, "network parameters must match bit-for-bit");
+    assert_eq!(
+        threaded.1, serial.1,
+        "episode returns must match bit-for-bit"
+    );
+    assert_eq!(
+        threaded.2, serial.2,
+        "network parameters must match bit-for-bit"
+    );
 }
 
 /// The headline property: a briefly-trained PairUpLight must beat
@@ -92,11 +99,13 @@ fn parallel_matches_serial() {
 fn trained_pairuplight_beats_fixed_time_on_light_traffic() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 1200);
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 24;
-    cfg.lstm_hidden = 24;
+    let mut cfg = PairUpLightConfig {
+        hidden: 24,
+        lstm_hidden: 24,
+        eps_decay_episodes: 8,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 2;
-    cfg.eps_decay_episodes = 8;
     let mut model = PairUpLight::new(&env, cfg);
     for i in 0..15 {
         model.train_episode(&mut env, i).expect("episode");
@@ -130,11 +139,13 @@ fn trained_pairuplight_beats_fixed_time_on_light_traffic() {
 fn pairuplight_smoke_end_to_end() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 400);
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 12;
-    cfg.lstm_hidden = 12;
+    let mut cfg = PairUpLightConfig {
+        hidden: 12,
+        lstm_hidden: 12,
+        num_envs: 2,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 1;
-    cfg.num_envs = 2;
     let mut model = PairUpLight::new(&env, cfg);
     let history = model.train(&mut env, 4, 7, |_| {}).expect("train");
     assert_eq!(history.len(), 4);
@@ -164,11 +175,13 @@ fn pairuplight_smoke_end_to_end() {
 fn pairuplight_training_improves_over_episodes() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario, 1200);
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 24;
-    cfg.lstm_hidden = 24;
+    let mut cfg = PairUpLightConfig {
+        hidden: 24,
+        lstm_hidden: 24,
+        eps_decay_episodes: 8,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 2;
-    cfg.eps_decay_episodes = 8;
     let mut model = PairUpLight::new(&env, cfg);
     let mut waits = Vec::new();
     for i in 0..14 {
@@ -239,10 +252,12 @@ fn heterogeneous_monaco_trains_without_sharing() {
     };
     let scenario = monaco::scenario(&cfg, 2).expect("monaco");
     let mut env = env_for(scenario, 400);
-    let mut pcfg = PairUpLightConfig::default();
-    pcfg.parameter_sharing = false;
-    pcfg.hidden = 8;
-    pcfg.lstm_hidden = 8;
+    let mut pcfg = PairUpLightConfig {
+        parameter_sharing: false,
+        hidden: 8,
+        lstm_hidden: 8,
+        ..Default::default()
+    };
     pcfg.ppo.epochs = 1;
     let mut model = PairUpLight::new(&env, pcfg);
     let ep = model.train_episode(&mut env, 0).expect("episode");
@@ -264,12 +279,18 @@ fn full_stack_determinism() {
     let run = || {
         let scenario = small_grid_scenario(FlowPattern::One);
         let mut env = env_for(scenario, 400);
-        let mut cfg = PairUpLightConfig::default();
-        cfg.hidden = 8;
-        cfg.lstm_hidden = 8;
+        let mut cfg = PairUpLightConfig {
+            hidden: 8,
+            lstm_hidden: 8,
+            ..Default::default()
+        };
         cfg.ppo.epochs = 1;
         let mut model = PairUpLight::new(&env, cfg);
-        let a = model.train_episode(&mut env, 0).expect("ep").stats.total_reward;
+        let a = model
+            .train_episode(&mut env, 0)
+            .expect("ep")
+            .stats
+            .total_reward;
         let ccfg = CoLightConfig {
             embed: 8,
             ..CoLightConfig::default()
@@ -291,11 +312,13 @@ fn full_stack_determinism() {
 fn trained_policy_survives_sensor_degradation() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 1000);
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 16;
-    cfg.lstm_hidden = 16;
+    let mut cfg = PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        eps_decay_episodes: 6,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 1;
-    cfg.eps_decay_episodes = 6;
     let mut model = PairUpLight::new(&env, cfg);
     for i in 0..10 {
         model.train_episode(&mut env, i).expect("episode");
@@ -331,9 +354,11 @@ fn trained_policy_survives_sensor_degradation() {
 fn degraded_sensors_smoke() {
     let scenario = small_grid_scenario(FlowPattern::Five);
     let mut env = env_for(scenario.clone(), 400);
-    let mut cfg = PairUpLightConfig::default();
-    cfg.hidden = 12;
-    cfg.lstm_hidden = 12;
+    let mut cfg = PairUpLightConfig {
+        hidden: 12,
+        lstm_hidden: 12,
+        ..Default::default()
+    };
     cfg.ppo.epochs = 1;
     let mut model = PairUpLight::new(&env, cfg);
     for i in 0..2 {
@@ -374,12 +399,13 @@ fn no_nan_under_oversaturation() {
         base_rate: 1000.0,
         ..PatternConfig::default()
     };
-    let scenario =
-        patterns::grid_scenario(&grid, FlowPattern::Two, &cfg).expect("scenario");
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::Two, &cfg).expect("scenario");
     let mut env = env_for(scenario, 900);
-    let mut pcfg = PairUpLightConfig::default();
-    pcfg.hidden = 8;
-    pcfg.lstm_hidden = 8;
+    let mut pcfg = PairUpLightConfig {
+        hidden: 8,
+        lstm_hidden: 8,
+        ..Default::default()
+    };
     pcfg.ppo.epochs = 1;
     let mut model = PairUpLight::new(&env, pcfg);
     let ep = model.train_episode(&mut env, 1).expect("episode");

@@ -71,11 +71,7 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Runs `f` as a named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             iters_done: 0,
             elapsed: Duration::ZERO,
@@ -109,11 +105,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs `f` as `group/name`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
         self.criterion.bench_function(&full, f);
         self
@@ -168,7 +160,8 @@ mod tests {
             target: Duration::from_millis(2),
         };
         let mut g = c.benchmark_group("g");
-        g.sample_size(10).bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.sample_size(10)
+            .bench_function("one", |b| b.iter(|| black_box(1 + 1)));
         g.finish();
     }
 }

@@ -121,8 +121,8 @@ pub fn case_rng(case: u64) -> StdRng {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
     };
 }
 
@@ -288,8 +288,12 @@ mod tests {
     #[test]
     fn cases_are_deterministic() {
         let s = 0.0f64..1.0;
-        let a: Vec<f64> = (0..5).map(|c| s.generate(&mut crate::case_rng(c))).collect();
-        let b: Vec<f64> = (0..5).map(|c| s.generate(&mut crate::case_rng(c))).collect();
+        let a: Vec<f64> = (0..5)
+            .map(|c| s.generate(&mut crate::case_rng(c)))
+            .collect();
+        let b: Vec<f64> = (0..5)
+            .map(|c| s.generate(&mut crate::case_rng(c)))
+            .collect();
         assert_eq!(a, b);
     }
 }
