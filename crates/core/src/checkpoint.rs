@@ -49,6 +49,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The configuration fingerprint written into every checkpoint
+/// (FNV-1a-64 over the configuration's debug representation). Public
+/// so checkpoint *consumers* — the serving runtime, diagnostics — can
+/// validate compatibility the same way the trainer does.
+pub fn config_fingerprint(cfg: &crate::config::PairUpLightConfig) -> u64 {
+    fnv1a64(format!("{cfg:?}").as_bytes())
+}
+
 /// The serializable full training state of one learner.
 #[derive(Debug)]
 pub struct Checkpoint {

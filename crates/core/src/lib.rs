@@ -55,13 +55,15 @@ pub mod message;
 pub mod model;
 pub mod obs;
 pub mod pairing;
+pub mod policy;
 pub mod trainer;
 
-pub use checkpoint::{Checkpoint, CheckpointManager, CheckpointPolicy};
+pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointManager, CheckpointPolicy};
 pub use config::{CriticMode, PairUpLightConfig, PairingMode};
 pub use error::TrainError;
 pub use fault::FaultPlan;
-pub use model::{ActorNet, ActorOut, CriticNet};
+pub use model::{ActorBuffers, ActorNet, ActorOut, CriticBuffers, CriticNet};
 pub use obs::{ObsEncoder, ObsNorm};
 pub use pairing::PairingTable;
+pub use policy::PolicySnapshot;
 pub use trainer::{PairUpLight, PairUpLightController, Rollout, TrainEpisode};

@@ -12,16 +12,29 @@ use rand::Rng;
 ///
 /// With `sigma = 0` this is a plain logistic squash (evaluation mode).
 pub fn regularize<R: Rng>(raw: &[f32], sigma: f32, rng: &mut R) -> Vec<f32> {
-    raw.iter()
-        .map(|&m| {
-            let noisy = if sigma > 0.0 {
-                m + gaussian(rng) * sigma
-            } else {
-                m
-            };
-            logistic(noisy)
-        })
-        .collect()
+    let mut out = vec![0.0; raw.len()];
+    regularize_into(raw, sigma, rng, &mut out);
+    out
+}
+
+/// Applies the regularizer into a caller-owned slice (fully
+/// overwritten), drawing exactly the same noise sequence as
+/// [`regularize`] — the allocation-free variant used by the rollout
+/// collection hot loop.
+///
+/// # Panics
+///
+/// Panics if `out.len() != raw.len()`.
+pub fn regularize_into<R: Rng>(raw: &[f32], sigma: f32, rng: &mut R, out: &mut [f32]) {
+    assert_eq!(out.len(), raw.len(), "regularize_into length");
+    for (o, &m) in out.iter_mut().zip(raw) {
+        let noisy = if sigma > 0.0 {
+            m + gaussian(rng) * sigma
+        } else {
+            m
+        };
+        *o = logistic(noisy);
+    }
 }
 
 /// The logistic function `1 / (1 + e^{-x})`.

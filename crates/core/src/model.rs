@@ -10,7 +10,96 @@
 
 use rand::Rng;
 
-use tsc_nn::{Graph, Init, Linear, LstmCell, LstmState, Params, Tensor, Var};
+use tsc_nn::{Graph, Init, Linear, LstmCell, LstmScratch, LstmState, Params, Tensor, Var};
+
+/// Reusable activation buffers for the tape-free actor forward pass
+/// ([`ActorNet::infer`]). All tensors are sized on first use and then
+/// reused allocation-free; [`alloc_events`](Self::alloc_events) counts
+/// (re)allocations so tests can assert a zero-allocation steady state.
+#[derive(Debug, Clone)]
+pub struct ActorBuffers {
+    fc: Tensor,
+    scratch: LstmScratch,
+    /// Next LSTM hidden output `h'` (`batch × lstm_hidden`).
+    pub h: Tensor,
+    /// Next LSTM cell state `c'` (`batch × lstm_hidden`).
+    pub c: Tensor,
+    /// Policy logits (`batch × max_phases`).
+    pub logits: Tensor,
+    /// Raw outgoing messages (`batch × bandwidth`; left `0 × 0` when
+    /// the communication module is ablated).
+    pub message: Tensor,
+    allocs: u64,
+}
+
+impl ActorBuffers {
+    /// Empty buffers, sized lazily by the first [`ActorNet::infer`].
+    pub fn new() -> Self {
+        ActorBuffers {
+            fc: Tensor::zeros(0, 0),
+            scratch: LstmScratch::new(),
+            h: Tensor::zeros(0, 0),
+            c: Tensor::zeros(0, 0),
+            logits: Tensor::zeros(0, 0),
+            message: Tensor::zeros(0, 0),
+            allocs: 0,
+        }
+    }
+
+    /// Cumulative buffer (re)allocation count. Constant across steps
+    /// once shapes have stabilized — the inference path's allocation
+    /// probe.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+}
+
+impl Default for ActorBuffers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable activation buffers for [`CriticNet::infer`]; see
+/// [`ActorBuffers`].
+#[derive(Debug, Clone)]
+pub struct CriticBuffers {
+    fc: Tensor,
+    scratch: LstmScratch,
+    /// Next LSTM hidden output (`batch × lstm_hidden`).
+    pub h: Tensor,
+    /// Next LSTM cell state (`batch × lstm_hidden`).
+    pub c: Tensor,
+    /// State values (`batch × 1`).
+    pub value: Tensor,
+    allocs: u64,
+}
+
+impl CriticBuffers {
+    /// Empty buffers, sized lazily by the first [`CriticNet::infer`].
+    pub fn new() -> Self {
+        CriticBuffers {
+            fc: Tensor::zeros(0, 0),
+            scratch: LstmScratch::new(),
+            h: Tensor::zeros(0, 0),
+            c: Tensor::zeros(0, 0),
+            value: Tensor::zeros(0, 0),
+            allocs: 0,
+        }
+    }
+
+    /// Cumulative buffer (re)allocation count (see
+    /// [`ActorBuffers::alloc_events`]).
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+}
+
+impl Default for CriticBuffers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The coordinated actor: `FC → LSTM → {policy head, message head}`.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -120,6 +209,42 @@ impl ActorNet {
             .as_ref()
             .map(|mh| mh.forward(g, params, h));
         (ActorOut { logits, message, h }, c)
+    }
+
+    /// Tape-free forward pass, bit-identical to
+    /// [`forward`](Self::forward) on the same inputs: `x` is the
+    /// assembled `batch × (obs_dim + bandwidth)` input, `h_prev` /
+    /// `c_prev` the previous LSTM state, and all activations land in
+    /// `buf` (logits, raw message, next `h` / `c`). Records no autograd
+    /// tape and allocates nothing once `buf`'s shapes have stabilized,
+    /// which is what makes the serving hot loop and rollout collection
+    /// cheap.
+    pub fn infer(
+        &self,
+        params: &Params,
+        x: &Tensor,
+        h_prev: &Tensor,
+        c_prev: &Tensor,
+        buf: &mut ActorBuffers,
+    ) {
+        let mut allocs = self.fc.infer_into(params, x, &mut buf.fc);
+        for v in buf.fc.data_mut() {
+            *v = v.max(0.0);
+        }
+        allocs += self.lstm.infer_into(
+            params,
+            &buf.fc,
+            h_prev,
+            c_prev,
+            &mut buf.scratch,
+            &mut buf.h,
+            &mut buf.c,
+        );
+        allocs += self.policy_head.infer_into(params, &buf.h, &mut buf.logits);
+        if let Some(mh) = &self.message_head {
+            allocs += mh.infer_into(params, &buf.h, &mut buf.message);
+        }
+        buf.allocs += allocs;
     }
 
     /// Convenience single-step forward from plain tensors: returns
@@ -232,6 +357,33 @@ impl CriticNet {
         };
         (v, next)
     }
+
+    /// Tape-free forward pass, bit-identical to
+    /// [`forward`](Self::forward); see [`ActorNet::infer`].
+    pub fn infer(
+        &self,
+        params: &Params,
+        x: &Tensor,
+        h_prev: &Tensor,
+        c_prev: &Tensor,
+        buf: &mut CriticBuffers,
+    ) {
+        let mut allocs = self.fc.infer_into(params, x, &mut buf.fc);
+        for v in buf.fc.data_mut() {
+            *v = v.max(0.0);
+        }
+        allocs += self.lstm.infer_into(
+            params,
+            &buf.fc,
+            h_prev,
+            c_prev,
+            &mut buf.scratch,
+            &mut buf.h,
+            &mut buf.c,
+        );
+        allocs += self.value_head.infer_into(params, &buf.h, &mut buf.value);
+        buf.allocs += allocs;
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +451,54 @@ mod tests {
         );
         assert_eq!(g.value(v).shape(), (5, 1));
         assert_eq!(next.c.shape(), (5, 32));
+    }
+
+    #[test]
+    fn actor_infer_is_bit_identical_to_graph_step() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = Params::new();
+        let actor = ActorNet::new(&mut params, 8, 2, 16, 16, 4, &mut rng);
+        let x = Tensor::randn(3, 10, 1.0, &mut rng);
+        let state = LstmState {
+            h: Tensor::randn(3, 16, 0.3, &mut rng),
+            c: Tensor::randn(3, 16, 0.3, &mut rng),
+        };
+        let mut g = Graph::new();
+        let (out, next) = actor.step(&mut g, &params, x.clone(), &state);
+        let mut buf = ActorBuffers::new();
+        actor.infer(&params, &x, &state.h, &state.c, &mut buf);
+        assert_eq!(&buf.logits, g.value(out.logits));
+        assert_eq!(&buf.message, g.value(out.message.unwrap()));
+        assert_eq!(buf.h, next.h);
+        assert_eq!(buf.c, next.c);
+        // Steady state: repeating the same step allocates nothing.
+        let after_first = buf.alloc_events();
+        for _ in 0..10 {
+            actor.infer(&params, &x, &state.h, &state.c, &mut buf);
+        }
+        assert_eq!(buf.alloc_events(), after_first);
+    }
+
+    #[test]
+    fn critic_infer_is_bit_identical_to_graph_step() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = Params::new();
+        let critic = CriticNet::new(&mut params, 12, 16, 16, &mut rng);
+        let x = Tensor::randn(2, 12, 1.0, &mut rng);
+        let state = LstmState {
+            h: Tensor::randn(2, 16, 0.3, &mut rng),
+            c: Tensor::randn(2, 16, 0.3, &mut rng),
+        };
+        let mut g = Graph::new();
+        let (v, next) = critic.step(&mut g, &params, x.clone(), &state);
+        let mut buf = CriticBuffers::new();
+        critic.infer(&params, &x, &state.h, &state.c, &mut buf);
+        assert_eq!(&buf.value, g.value(v));
+        assert_eq!(buf.h, next.h);
+        assert_eq!(buf.c, next.c);
+        let after_first = buf.alloc_events();
+        critic.infer(&params, &x, &state.h, &state.c, &mut buf);
+        assert_eq!(buf.alloc_events(), after_first);
     }
 
     #[test]

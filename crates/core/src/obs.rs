@@ -125,6 +125,21 @@ impl ObsEncoder {
     /// Encodes the local observation (Eq. 5 plus the current phase).
     pub fn encode_local(&self, obs: &IntersectionObs) -> Vec<f32> {
         let mut v = vec![0.0f32; self.local_dim()];
+        self.encode_local_into(obs, &mut v);
+        v
+    }
+
+    /// Encodes the local observation into a caller-owned slice of
+    /// length [`local_dim`](Self::local_dim), fully overwriting it —
+    /// the allocation-free variant the serving/rollout hot loops reuse
+    /// across steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.local_dim()`.
+    pub fn encode_local_into(&self, obs: &IntersectionObs, v: &mut [f32]) {
+        assert_eq!(v.len(), self.local_dim(), "encode_local_into length");
+        v.fill(0.0);
         for link in &obs.incoming {
             let d = link.direction.index();
             v[d * IN_FEATURES] = link.count as f32 / self.norm.count;
@@ -144,7 +159,6 @@ impl ObsEncoder {
         if obs.current_phase < self.max_phases {
             v[phase_base + obs.current_phase] = 1.0;
         }
-        v
     }
 
     /// Congestion summary `[pressure, max_wait]` (normalized) of one
@@ -159,23 +173,39 @@ impl ObsEncoder {
     /// Encodes the centralized critic input for `agent` given the joint
     /// observation (one `IntersectionObs` per agent, in agent order).
     pub fn encode_critic(&self, all: &[IntersectionObs], agent: usize) -> Vec<f32> {
-        let mut v = self.encode_local(&all[agent]);
+        let mut v = vec![0.0f32; self.critic_dim()];
+        self.encode_critic_into(all, agent, &mut v);
+        v
+    }
+
+    /// Encodes the centralized critic input into a caller-owned slice
+    /// of length [`critic_dim`](Self::critic_dim), fully overwriting it
+    /// (see [`encode_local_into`](Self::encode_local_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.critic_dim()`.
+    pub fn encode_critic_into(&self, all: &[IntersectionObs], agent: usize, v: &mut [f32]) {
+        assert_eq!(v.len(), self.critic_dim(), "encode_critic_into length");
+        let local = self.local_dim();
+        self.encode_local_into(&all[agent], &mut v[..local]);
         for slot in 0..ONE_HOP_SLOTS {
+            let at = local + slot * NEIGHBOR_FEATURES;
             match self.one_hop[agent].get(slot) {
                 Some(&n) => {
                     let s = self.congestion_summary(&all[n]);
-                    v.extend_from_slice(&s);
+                    v[at..at + NEIGHBOR_FEATURES].copy_from_slice(&s);
                 }
-                None => v.extend_from_slice(&[0.0, 0.0]),
+                None => v[at..at + NEIGHBOR_FEATURES].fill(0.0),
             }
         }
+        let two_base = local + ONE_HOP_SLOTS * NEIGHBOR_FEATURES;
         for slot in 0..TWO_HOP_SLOTS {
-            match self.two_hop[agent].get(slot) {
-                Some(&n) => v.push(self.congestion_summary(&all[n])[0]),
-                None => v.push(0.0),
-            }
+            v[two_base + slot] = match self.two_hop[agent].get(slot) {
+                Some(&n) => self.congestion_summary(&all[n])[0],
+                None => 0.0,
+            };
         }
-        v
     }
 
     /// The message head's auxiliary target: the agent's own normalized
@@ -252,6 +282,23 @@ mod tests {
         let all1 = sim.observe_all();
         let after = enc.encode_critic(&all1, 7);
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn encode_into_overwrites_dirty_buffers_bit_identically() {
+        let (mut sim, enc) = setup();
+        for _ in 0..120 {
+            sim.step().unwrap();
+        }
+        let all = sim.observe_all();
+        for (i, o) in all.iter().enumerate() {
+            let mut local = vec![f32::NAN; enc.local_dim()];
+            enc.encode_local_into(o, &mut local);
+            assert_eq!(local, enc.encode_local(o));
+            let mut critic = vec![f32::NAN; enc.critic_dim()];
+            enc.encode_critic_into(&all, i, &mut critic);
+            assert_eq!(critic, enc.encode_critic(&all, i));
+        }
     }
 
     #[test]

@@ -22,12 +22,12 @@ use tsc_rl::sentinel::{check_finite_params, check_update, UpdateStats};
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::{Controller, EpisodeStats, IntersectionObs, SimError, TscEnv};
 
-use crate::checkpoint::{fnv1a64, Checkpoint, CheckpointManager};
+use crate::checkpoint::{Checkpoint, CheckpointManager};
 use crate::config::{CriticMode, PairUpLightConfig};
 use crate::error::TrainError;
 use crate::fault::FaultPlan;
-use crate::message::regularize;
-use crate::model::{ActorNet, CriticNet};
+use crate::message::regularize_into;
+use crate::model::{ActorBuffers, ActorNet, CriticBuffers, CriticNet};
 use crate::obs::{ObsEncoder, ObsNorm};
 use crate::pairing::PairingTable;
 
@@ -297,6 +297,21 @@ impl PairUpLight {
         let mut actor_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
         let mut critic_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
         let mut messages: Vec<Vec<f32>> = vec![vec![0.0; bw]; n];
+        // Double-buffered outgoing messages plus tape-free inference
+        // scratch, all allocated once per episode and reused every
+        // step: the per-step hot loop builds no autograd tape and
+        // allocates only the vectors stored in the trajectory itself.
+        let mut next_messages: Vec<Vec<f32>> = vec![vec![0.0; bw]; n];
+        let mut abuf = ActorBuffers::new();
+        let mut cbuf = CriticBuffers::new();
+        let mut x = Tensor::zeros(1, self.encoder.local_dim() + bw);
+        let critic_dim = match self.cfg.critic_mode {
+            CriticMode::Local => self.encoder.local_dim(),
+            CriticMode::Centralized => self.encoder.critic_dim(),
+        };
+        let mut cx = Tensor::zeros(1, critic_dim);
+        let mut probs = Tensor::zeros(1, self.cfg.max_phases);
+        let mut actions = vec![0usize; n];
         let mut traj = Trajectory::new(n);
         let mut total_reward = 0.0f64;
         let mut msg_abs_sum = 0.0f32;
@@ -310,9 +325,7 @@ impl PairUpLight {
                     self.pairing.random_partners(&mut rng)
                 }
             };
-            let mut actions = vec![0usize; n];
             let mut step_transitions: Vec<Transition> = Vec::with_capacity(n);
-            let mut next_messages = vec![vec![0.0f32; bw]; n];
             for a in 0..n {
                 let local = self.encoder.encode_local(&all_obs[a]);
                 let msg_in: Vec<f32> = if bw > 0 {
@@ -320,39 +333,41 @@ impl PairUpLight {
                 } else {
                     Vec::new()
                 };
-                let mut input = local.clone();
-                input.extend_from_slice(&msg_in);
+                {
+                    let row = x.row_mut(0);
+                    row[..local.len()].copy_from_slice(&local);
+                    row[local.len()..].copy_from_slice(&msg_in);
+                }
                 let b = self.bundle_idx(a);
-                // Actor forward.
-                let mut g = Graph::new();
-                let (out, next_state) = self.bundles[b].actor.step(
-                    &mut g,
-                    &self.bundles[b].params,
-                    Tensor::row_from_slice(&input),
-                    &actor_states[a],
+                let bundle = &self.bundles[b];
+                // Actor forward (tape-free, bit-identical to the graph
+                // path — see `ActorNet::infer`).
+                bundle.actor.infer(
+                    &bundle.params,
+                    &x,
+                    &actor_states[a].h,
+                    &actor_states[a].c,
+                    &mut abuf,
                 );
-                let probs = tsc_nn::softmax_rows(g.value(out.logits));
-                let raw_msg: Vec<f32> = out
-                    .message
-                    .map(|m| g.value(m).row(0).to_vec())
-                    .unwrap_or_default();
+                tsc_nn::softmax_rows_into(&abuf.logits, &mut probs);
                 // Critic forward.
                 let critic_in = self.critic_input(&all_obs, a);
-                let mut gc = Graph::new();
-                let (v, next_cstate) = self.bundles[b].critic.step(
-                    &mut gc,
-                    &self.bundles[b].params,
-                    Tensor::row_from_slice(&critic_in),
-                    &critic_states[a],
+                cx.row_mut(0).copy_from_slice(&critic_in);
+                bundle.critic.infer(
+                    &bundle.params,
+                    &cx,
+                    &critic_states[a].h,
+                    &critic_states[a].c,
+                    &mut cbuf,
                 );
-                let value = gc.value(v).get(0, 0) * self.value_scale();
+                let value = cbuf.value.get(0, 0) * self.value_scale();
                 let (action, log_prob) = self.sample_action(probs.row(0), a, epsilon, &mut rng);
                 actions[a] = action;
                 if bw > 0 {
-                    let m_hat = regularize(&raw_msg, self.cfg.sigma, &mut rng);
+                    let m_hat = &mut next_messages[a];
+                    regularize_into(abuf.message.row(0), self.cfg.sigma, &mut rng, m_hat);
                     msg_abs_sum += m_hat.iter().map(|x| x.abs()).sum::<f32>();
                     msg_count += m_hat.len();
-                    next_messages[a] = m_hat;
                 }
                 step_transitions.push(Transition {
                     obs: local,
@@ -372,8 +387,10 @@ impl PairUpLight {
                     message_in: msg_in,
                     aux: Vec::new(), // filled after env.step
                 });
-                actor_states[a] = next_state;
-                critic_states[a] = next_cstate;
+                actor_states[a].h.copy_from(&abuf.h);
+                actor_states[a].c.copy_from(&abuf.c);
+                critic_states[a].h.copy_from(&cbuf.h);
+                critic_states[a].c.copy_from(&cbuf.c);
             }
             let step = env.step(&actions)?;
             for (a, mut t) in step_transitions.into_iter().enumerate() {
@@ -383,7 +400,9 @@ impl PairUpLight {
                 t.aux = vec![self.encoder.message_target(&step.obs[a])];
                 traj.push(a, t);
             }
-            messages = next_messages;
+            // Swap rather than reallocate; when `bw > 0` every slot was
+            // overwritten above, and when `bw == 0` both are empty.
+            std::mem::swap(&mut messages, &mut next_messages);
             all_obs = step.obs;
             if step.done {
                 break;
@@ -394,14 +413,15 @@ impl PairUpLight {
         for (a, state) in critic_states.iter().enumerate() {
             let b = self.bundle_idx(a);
             let critic_in = self.critic_input(&all_obs, a);
-            let mut g = Graph::new();
-            let (v, _) = self.bundles[b].critic.step(
-                &mut g,
+            cx.row_mut(0).copy_from_slice(&critic_in);
+            self.bundles[b].critic.infer(
                 &self.bundles[b].params,
-                Tensor::row_from_slice(&critic_in),
-                state,
+                &cx,
+                &state.h,
+                &state.c,
+                &mut cbuf,
             );
-            traj.last_values[a] = g.value(v).get(0, 0) * self.value_scale();
+            traj.last_values[a] = cbuf.value.get(0, 0) * self.value_scale();
         }
 
         let stats = EpisodeStats {
@@ -710,9 +730,10 @@ impl PairUpLight {
     /// written into every checkpoint so restore can refuse state from a
     /// differently-configured learner (wrong shapes would be caught
     /// anyway; wrong hyper-parameters would silently train the wrong
-    /// model).
+    /// model). Shared with checkpoint consumers as
+    /// [`crate::checkpoint::config_fingerprint`].
     fn config_fingerprint(&self) -> u64 {
-        fnv1a64(format!("{:?}", self.cfg).as_bytes())
+        crate::checkpoint::config_fingerprint(&self.cfg)
     }
 
     fn snapshot(&self) -> TrainerState {
@@ -1127,8 +1148,13 @@ impl PairUpLight {
 
     /// Validates that `loaded` has exactly the tensor count and shapes
     /// of `expected`, returning a typed error (never panicking) on
-    /// mismatch.
-    fn check_layout(expected: &Params, loaded: &Params) -> Result<(), tsc_nn::LoadError> {
+    /// mismatch. Crate-visible so
+    /// [`PolicySnapshot`](crate::policy::PolicySnapshot) hot-reload
+    /// validates checkpoints with the same rules.
+    pub(crate) fn check_layout(
+        expected: &Params,
+        loaded: &Params,
+    ) -> Result<(), tsc_nn::LoadError> {
         if loaded.len() != expected.len() {
             return Err(tsc_nn::LoadError::Format(format!(
                 "parameter layout mismatch: expected {} tensors, found {}",
@@ -1147,6 +1173,23 @@ impl PairUpLight {
             }
         }
         Ok(())
+    }
+
+    /// Snapshots the deployable policy state (actor weights, encoder,
+    /// pairing, phase counts) for a serving runtime. See
+    /// [`PolicySnapshot`](crate::policy::PolicySnapshot).
+    pub fn policy_snapshot(&self) -> crate::policy::PolicySnapshot {
+        crate::policy::PolicySnapshot::new(
+            self.cfg,
+            self.encoder.clone(),
+            self.pairing.clone(),
+            self.bundles
+                .iter()
+                .map(|b| (b.params.clone(), b.actor.clone()))
+                .collect(),
+            self.phases_per_agent.clone(),
+            self.num_agents,
+        )
     }
 
     /// Snapshots the current policy as a decentralized execution
@@ -1363,6 +1406,141 @@ mod tests {
         assert_eq!(a.stats.total_reward, b.stats.total_reward);
         assert_eq!(a.trajectory.last_values, b.trajectory.last_values);
         assert_eq!(a.trajectory.total(), b.trajectory.total());
+    }
+
+    /// The pre-buffer-reuse collection loop: every forward pass builds
+    /// an autograd tape and every step reallocates its scratch. Kept as
+    /// the reference implementation for the bit-identity test below.
+    fn collect_rollout_tape_reference(
+        model: &PairUpLight,
+        env: &mut TscEnv,
+        seed: u64,
+    ) -> Trajectory {
+        let epsilon = model.epsilon();
+        let n = model.num_agents;
+        let lstm = model.cfg.lstm_hidden;
+        let bw = model.cfg.bandwidth;
+        let mut rng = StdRng::seed_from_u64(derive_rollout_seed(model.cfg.seed, seed, 0x5A17));
+        let mut all_obs = env.reset(seed);
+        let mut actor_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
+        let mut critic_states: Vec<LstmState> = (0..n).map(|_| LstmState::zeros(1, lstm)).collect();
+        let mut messages: Vec<Vec<f32>> = vec![vec![0.0; bw]; n];
+        let mut traj = Trajectory::new(n);
+        loop {
+            let partners = match model.cfg.pairing {
+                crate::config::PairingMode::CongestedUpstream => model.pairing.partners(&all_obs),
+                crate::config::PairingMode::SelfLoop => model.pairing.self_partners(),
+                crate::config::PairingMode::RandomUpstream => {
+                    model.pairing.random_partners(&mut rng)
+                }
+            };
+            let mut actions = vec![0usize; n];
+            let mut step_transitions: Vec<Transition> = Vec::with_capacity(n);
+            let mut next_messages = vec![vec![0.0f32; bw]; n];
+            for a in 0..n {
+                let local = model.encoder.encode_local(&all_obs[a]);
+                let msg_in: Vec<f32> = if bw > 0 {
+                    messages[partners[a]].clone()
+                } else {
+                    Vec::new()
+                };
+                let mut input = local.clone();
+                input.extend_from_slice(&msg_in);
+                let b = model.bundle_idx(a);
+                let mut g = Graph::new();
+                let (out, next_state) = model.bundles[b].actor.step(
+                    &mut g,
+                    &model.bundles[b].params,
+                    Tensor::row_from_slice(&input),
+                    &actor_states[a],
+                );
+                let probs = tsc_nn::softmax_rows(g.value(out.logits));
+                let raw_msg: Vec<f32> = out
+                    .message
+                    .map(|m| g.value(m).row(0).to_vec())
+                    .unwrap_or_default();
+                let critic_in = model.critic_input(&all_obs, a);
+                let mut gc = Graph::new();
+                let (v, next_cstate) = model.bundles[b].critic.step(
+                    &mut gc,
+                    &model.bundles[b].params,
+                    Tensor::row_from_slice(&critic_in),
+                    &critic_states[a],
+                );
+                let value = gc.value(v).get(0, 0) * model.value_scale();
+                let (action, log_prob) = model.sample_action(probs.row(0), a, epsilon, &mut rng);
+                actions[a] = action;
+                if bw > 0 {
+                    next_messages[a] =
+                        crate::message::regularize(&raw_msg, model.cfg.sigma, &mut rng);
+                }
+                step_transitions.push(Transition {
+                    obs: local,
+                    critic_obs: critic_in,
+                    action,
+                    reward: 0.0,
+                    value,
+                    log_prob,
+                    actor_h: (
+                        actor_states[a].h.row(0).to_vec(),
+                        actor_states[a].c.row(0).to_vec(),
+                    ),
+                    critic_h: (
+                        critic_states[a].h.row(0).to_vec(),
+                        critic_states[a].c.row(0).to_vec(),
+                    ),
+                    message_in: msg_in,
+                    aux: Vec::new(),
+                });
+                actor_states[a] = next_state;
+                critic_states[a] = next_cstate;
+            }
+            let step = env.step(&actions).unwrap();
+            for (a, mut t) in step_transitions.into_iter().enumerate() {
+                t.reward = ((step.rewards[a] as f32) * model.cfg.reward_scale)
+                    .clamp(-model.cfg.reward_clip, 0.0);
+                t.aux = vec![model.encoder.message_target(&step.obs[a])];
+                traj.push(a, t);
+            }
+            messages = next_messages;
+            all_obs = step.obs;
+            if step.done {
+                break;
+            }
+        }
+        for (a, state) in critic_states.iter().enumerate() {
+            let b = model.bundle_idx(a);
+            let critic_in = model.critic_input(&all_obs, a);
+            let mut g = Graph::new();
+            let (v, _) = model.bundles[b].critic.step(
+                &mut g,
+                &model.bundles[b].params,
+                Tensor::row_from_slice(&critic_in),
+                state,
+            );
+            traj.last_values[a] = g.value(v).get(0, 0) * model.value_scale();
+        }
+        traj
+    }
+
+    #[test]
+    fn buffer_reusing_rollout_is_bit_identical_to_tape_reference() {
+        let mut env = tiny_env(140);
+        let model = PairUpLight::new(&env, small_cfg());
+        let fast = model.collect_rollout(&mut env, 3).unwrap().trajectory;
+        let reference = collect_rollout_tape_reference(&model, &mut env, 3);
+        assert_eq!(fast.last_values, reference.last_values);
+        assert_eq!(fast.agents, reference.agents);
+    }
+
+    #[test]
+    fn buffer_reusing_rollout_matches_reference_without_communication() {
+        let mut env = tiny_env(140);
+        let model = PairUpLight::new(&env, small_cfg().without_communication());
+        let fast = model.collect_rollout(&mut env, 9).unwrap().trajectory;
+        let reference = collect_rollout_tape_reference(&model, &mut env, 9);
+        assert_eq!(fast.agents, reference.agents);
+        assert_eq!(fast.last_values, reference.last_values);
     }
 
     #[test]

@@ -8,32 +8,40 @@
 //! initialized model, and every restore is verified to reproduce the
 //! saved parameters bit-for-bit before its timing is reported.
 //!
-//! Usage: `checkpoint_overhead [reps]` (default: 5).
+//! Usage: `checkpoint_overhead [--json] [reps]` (default: 5; `--json`
+//! also writes `BENCH_checkpoint.json` at the repo root).
 
 use std::time::Instant;
 
-use pairuplight::{PairUpLight, PairUpLightConfig, TrainError};
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_bench::report::{write_report, Json};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
-    let reps: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
-    if let Err(e) = run(reps) {
+    let mut json = false;
+    let mut reps: u32 = 5;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if let Ok(n) = arg.parse() {
+            reps = n;
+        }
+    }
+    if let Err(e) = run(reps, json) {
         eprintln!("checkpoint_overhead failed: {e}");
         std::process::exit(1);
     }
 }
 
-fn run(reps: u32) -> Result<(), TrainError> {
+fn run(reps: u32, json: bool) -> Result<(), Box<dyn std::error::Error>> {
     println!("checkpoint overhead ({reps} reps per cell)");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "model", "params", "size", "save", "resume"
     );
+    let mut rows_out = Vec::new();
     // Shared-parameter models serialize one bundle regardless of grid
     // size; the per-agent row shows how checkpoints scale when every
     // intersection owns its networks (the Monaco configuration).
@@ -78,14 +86,21 @@ fn run(reps: u32) -> Result<(), TrainError> {
             );
         }
         let size = std::fs::metadata(&path)?.len();
+        let label = format!("{cols}x{rows}{}", if sharing { "" } else { " per-agent" });
+        let save_ms = save_ns as f64 / f64::from(reps) / 1e6;
+        let resume_ms = resume_ns as f64 / f64::from(reps) / 1e6;
         println!(
-            "{:<16} {:>12} {:>11.1}K {:>10.2}ms {:>10.2}ms",
-            format!("{cols}x{rows}{}", if sharing { "" } else { " per-agent" }),
+            "{label:<16} {:>12} {:>11.1}K {save_ms:>10.2}ms {resume_ms:>10.2}ms",
             model.num_parameters(),
             size as f64 / 1024.0,
-            save_ns as f64 / f64::from(reps) / 1e6,
-            resume_ns as f64 / f64::from(reps) / 1e6,
         );
+        rows_out.push(Json::obj([
+            ("model", Json::str(label)),
+            ("params", Json::num(model.num_parameters() as f64)),
+            ("size_bytes", Json::num(size as f64)),
+            ("save_ms", Json::num(save_ms)),
+            ("resume_ms", Json::num(resume_ms)),
+        ]));
         let _ = std::fs::remove_dir_all(&dir);
     }
     println!();
@@ -94,5 +109,14 @@ fn run(reps: u32) -> Result<(), TrainError> {
          file parsing; the checkpoint text format trades size for dependency-free\n\
          inspectability (see DESIGN.md, Fault tolerance)."
     );
+    if json {
+        let report = Json::obj([
+            ("bench", Json::str("checkpoint_overhead")),
+            ("reps", Json::num(f64::from(reps))),
+            ("cells", Json::Arr(rows_out)),
+        ]);
+        let path = write_report("BENCH_checkpoint.json", &report)?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }

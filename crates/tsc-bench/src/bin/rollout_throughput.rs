@@ -8,28 +8,41 @@
 //! to serial throughput (minus negligible thread overhead), which is
 //! expected and does not affect determinism.
 //!
-//! Usage: `rollout_throughput [horizon_seconds] [rounds]`
-//! (defaults: 300, 2).
+//! Usage: `rollout_throughput [--json] [horizon_seconds] [rounds]`
+//! (defaults: 300, 2; `--json` also writes `BENCH_rollout.json` at the
+//! repo root).
 
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_bench::report::{write_report, Json};
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
-use tsc_sim::{EnvConfig, SimConfig, SimError, TscEnv};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let horizon: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
-    let rounds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
-    if let Err(e) = run(horizon, rounds) {
+    let mut json = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let horizon: u32 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let rounds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    if let Err(e) = run(horizon, rounds, json) {
         eprintln!("rollout_throughput failed: {e}");
         std::process::exit(1);
     }
 }
 
-fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
+fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::build(GridConfig::default())?;
     let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
     let env = TscEnv::new(
@@ -64,6 +77,7 @@ fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
     );
 
     let mut baseline: Option<f64> = None;
+    let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8] {
         for parallel in [false, true] {
             let mut set = RolloutSet::new(&env, k);
@@ -89,11 +103,36 @@ fn run(horizon: u32, rounds: u64) -> Result<(), SimError> {
                 if parallel { "threads" } else { "serial" },
                 elapsed,
             );
+            rows.push(Json::obj([
+                ("replicas", Json::num(k as f64)),
+                (
+                    "mode",
+                    Json::str(if parallel { "threads" } else { "serial" }),
+                ),
+                ("elapsed_s", Json::num(elapsed.as_secs_f64())),
+                ("env_steps_per_sec", Json::num(steps_per_sec)),
+                ("speedup", Json::num(speedup)),
+            ]));
         }
     }
     println!(
         "(each episode simulates {sim_seconds_per_episode}s of traffic; \
          decision steps = episodes x steps/episode)"
     );
+    if json {
+        let report = Json::obj([
+            ("bench", Json::str("rollout_throughput")),
+            ("grid", Json::str("6x6")),
+            ("horizon_s", Json::num(f64::from(horizon))),
+            ("rounds", Json::num(rounds as f64)),
+            (
+                "host_cores",
+                Json::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
+            ),
+            ("cells", Json::Arr(rows)),
+        ]);
+        let path = write_report("BENCH_rollout.json", &report)?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -1,0 +1,133 @@
+//! Serving throughput and latency of the `tsc-serve` runtime.
+//!
+//! Drives the paper's 6×6 grid under all five flow patterns with the
+//! batched tape-free serving path: one checkpoint is written and
+//! loaded through the full `ServeRuntime::from_checkpoint` pipeline,
+//! then each pattern runs one complete episode and reports decisions
+//! per second, latency p50/p95/p99 (streaming histogram), and the
+//! fallback rate (0 unless a deadline is set). Weights are freshly
+//! initialized — serving cost does not depend on their values.
+//!
+//! Usage: `serve_grid [--json] [--smoke] [horizon_seconds]`
+//! (default horizon: 300; `--smoke` shrinks the nets and horizon for
+//! CI; `--json` also writes `BENCH_serve.json` at the repo root).
+
+use std::time::Instant;
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_bench::report::{write_report, Json};
+use tsc_serve::{ServeConfig, ServeRuntime};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn main() {
+    let mut json = false;
+    let mut smoke = false;
+    let mut horizon: Option<u32> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => horizon = other.parse().ok().or(horizon),
+        }
+    }
+    let horizon = horizon.unwrap_or(if smoke { 60 } else { 300 });
+    if let Err(e) = run(horizon, smoke, json) {
+        eprintln!("serve_grid failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::build(GridConfig::default())?;
+    let env_cfg = EnvConfig {
+        decision_interval: 5,
+        episode_horizon: horizon,
+    };
+    let cfg = if smoke {
+        PairUpLightConfig {
+            hidden: 16,
+            lstm_hidden: 16,
+            ..Default::default()
+        }
+    } else {
+        PairUpLightConfig::default()
+    };
+
+    // One checkpoint through the full load path; per-pattern runtimes
+    // are built from the validated snapshot.
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let env = TscEnv::new(scenario, SimConfig::default(), env_cfg, 0)?;
+    let model = PairUpLight::new(&env, cfg);
+    let ck = std::env::temp_dir().join("tsc_serve_grid_bench.ckpt");
+    model.save_checkpoint(&ck, 0)?;
+    let t = Instant::now();
+    let loaded = ServeRuntime::from_checkpoint(&env, cfg, ServeConfig::default(), &ck)?;
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snapshot = loaded.policy().clone();
+    std::fs::remove_file(&ck).ok();
+
+    println!(
+        "serve_grid: 6x6 grid ({} agents), horizon {horizon}s, {} decision steps/pattern, \
+         batched={}, checkpoint load {load_ms:.1}ms",
+        env.num_agents(),
+        env.steps_per_episode(),
+        snapshot.shared(),
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "pattern", "steps", "decisions/s", "p50 us", "p95 us", "p99 us", "fallback"
+    );
+
+    let mut rows = Vec::new();
+    for pattern in FlowPattern::ALL {
+        let scenario = patterns::grid_scenario(&grid, pattern, &PatternConfig::default())?;
+        let mut env = TscEnv::new(scenario, SimConfig::default(), env_cfg, 0)?;
+        let mut serve = ServeRuntime::new(snapshot.clone(), ServeConfig::default());
+        env.run_episode(&mut serve, 0)?;
+        let t = serve.telemetry();
+        println!(
+            "{:<10} {:>7} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.1}%",
+            format!("{pattern:?}"),
+            t.steps(),
+            t.decisions_per_sec(),
+            t.p50_us(),
+            t.p95_us(),
+            t.p99_us(),
+            t.fallback_rate() * 100.0,
+        );
+        rows.push(Json::obj([
+            ("pattern", Json::str(format!("{pattern:?}"))),
+            ("steps", Json::num(t.steps() as f64)),
+            ("decisions", Json::num(t.decisions() as f64)),
+            ("decisions_per_sec", Json::num(t.decisions_per_sec())),
+            ("p50_us", Json::num(t.p50_us())),
+            ("p95_us", Json::num(t.p95_us())),
+            ("p99_us", Json::num(t.p99_us())),
+            ("mean_us", Json::num(t.mean_us())),
+            ("max_us", Json::num(t.max_us())),
+            ("fallback_rate", Json::num(t.fallback_rate())),
+        ]));
+    }
+
+    if json {
+        let report = Json::obj([
+            ("bench", Json::str("serve_grid")),
+            ("grid", Json::str("6x6")),
+            ("agents", Json::num(env.num_agents() as f64)),
+            ("horizon_s", Json::num(f64::from(horizon))),
+            (
+                "steps_per_pattern",
+                Json::num(env.steps_per_episode() as f64),
+            ),
+            ("batched", Json::Bool(snapshot.shared())),
+            ("smoke", Json::Bool(smoke)),
+            ("checkpoint_load_ms", Json::num(load_ms)),
+            ("patterns", Json::Arr(rows)),
+        ]);
+        let path = write_report("BENCH_serve.json", &report)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

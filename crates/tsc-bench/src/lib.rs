@@ -15,6 +15,10 @@
 //! Every binary accepts `--episodes`, `--horizon`, `--eval-horizon`,
 //! `--hidden`, `--seed` and `--grid` to trade fidelity for wall-clock
 //! time; results are printed and written under `results/`.
+//!
+//! Performance bins (`rollout_throughput`, `checkpoint_overhead`,
+//! `serve_grid`) additionally accept `--json`, writing `BENCH_*.json`
+//! at the repository root via [`report`].
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,7 +26,9 @@
 pub mod eval;
 pub mod experiments;
 pub mod models;
+pub mod report;
 
 pub use eval::{evaluate, evaluate_seeds, EvalConfig, EvalResult};
 pub use experiments::{ExperimentScale, TravelTimeTable};
 pub use models::{train_model, ModelKind, TrainSetup, TrainedModel};
+pub use report::{repo_root, write_report, Json};

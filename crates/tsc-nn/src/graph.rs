@@ -521,19 +521,31 @@ impl Graph {
 /// inference-time action sampling without a tape).
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let mut v = x.clone();
+    softmax_rows_into(x, &mut v);
+    v
+}
+
+/// Row-wise softmax written into a pre-sized `out` (fully overwritten),
+/// bit-identical to [`softmax_rows`]. Lets the tape-free serving hot
+/// loop reuse one probability buffer across steps.
+///
+/// # Panics
+///
+/// Panics if `out`'s shape differs from `x`'s.
+pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
+    assert_eq!(out.shape(), x.shape(), "softmax_rows_into out");
     for r in 0..x.rows() {
         let max = x.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for c in 0..x.cols() {
             let e = (x.get(r, c) - max).exp();
-            v.set(r, c, e);
+            out.set(r, c, e);
             sum += e;
         }
         for c in 0..x.cols() {
-            v.set(r, c, v.get(r, c) / sum);
+            out.set(r, c, out.get(r, c) / sum);
         }
     }
-    v
 }
 
 fn elementwise(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {

@@ -58,6 +58,24 @@ impl Linear {
         let xw = g.matmul(x, w);
         g.add_row(xw, b)
     }
+
+    /// Tape-free forward: writes `x W + b` into `out`, resizing it only
+    /// on shape change. Bit-identical to [`forward`](Self::forward) on
+    /// the same inputs — same matmul kernel, same `+ bias` expression —
+    /// but records no tape ops and allocates nothing in steady state.
+    /// Returns the number of buffer (re)allocations performed (0 once
+    /// shapes have stabilized).
+    pub fn infer_into(&self, params: &Params, x: &Tensor, out: &mut Tensor) -> u64 {
+        let allocs = u64::from(out.ensure_shape(x.rows(), self.out_dim));
+        x.matmul_into(params.value(self.w), out);
+        let b = params.value(self.b);
+        for r in 0..out.rows() {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(b.row(0)) {
+                *o += bv;
+            }
+        }
+        allocs
+    }
 }
 
 /// One LSTM cell (single step; hidden state threaded by the caller).
@@ -89,6 +107,31 @@ impl LstmState {
             h: Tensor::zeros(batch, hidden),
             c: Tensor::zeros(batch, hidden),
         }
+    }
+}
+
+/// Reusable scratch buffers for [`LstmCell::infer_into`]: the gate
+/// pre-activations and the recurrent matmul term. Starts empty and is
+/// sized on first use, then reused allocation-free across steps.
+#[derive(Debug, Clone)]
+pub struct LstmScratch {
+    gates: Tensor,
+    hterm: Tensor,
+}
+
+impl LstmScratch {
+    /// An empty scratch, sized lazily by the first inference step.
+    pub fn new() -> Self {
+        LstmScratch {
+            gates: Tensor::zeros(0, 0),
+            hterm: Tensor::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for LstmScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -160,6 +203,65 @@ impl LstmCell {
         let tc = g.tanh(c_new);
         let h_new = g.mul(o, tc);
         (h_new, c_new)
+    }
+
+    /// Tape-free LSTM step, bit-identical to
+    /// [`forward`](Self::forward): writes `h'` / `c'` into
+    /// `h_out` / `c_out`, using `scratch` for the gate pre-activations.
+    /// Every buffer is resized only on shape change, so the steady-state
+    /// step loop does zero allocation and zero tape bookkeeping. The
+    /// per-element expressions replicate the graph ops exactly
+    /// (`gates = (xW_x + hW_h) + b`, `c' = (f·c) + (i·g)`,
+    /// `h' = o · tanh(c')`, sigmoid as `1/(1+e^{-x})`), which is what
+    /// makes serving-vs-training action parity exact rather than
+    /// approximate. Returns the number of buffer (re)allocations
+    /// performed (0 once shapes have stabilized).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatches (via the matmul kernels).
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_into(
+        &self,
+        params: &Params,
+        x: &Tensor,
+        h_prev: &Tensor,
+        c_prev: &Tensor,
+        scratch: &mut LstmScratch,
+        h_out: &mut Tensor,
+        c_out: &mut Tensor,
+    ) -> u64 {
+        let batch = x.rows();
+        let hsz = self.hidden;
+        let mut allocs = u64::from(scratch.gates.ensure_shape(batch, 4 * hsz));
+        allocs += u64::from(scratch.hterm.ensure_shape(batch, 4 * hsz));
+        allocs += u64::from(h_out.ensure_shape(batch, hsz));
+        allocs += u64::from(c_out.ensure_shape(batch, hsz));
+        let LstmScratch { gates, hterm } = scratch;
+        x.matmul_into(params.value(self.wx), gates);
+        h_prev.matmul_into(params.value(self.wh), hterm);
+        let b = params.value(self.b).row(0);
+        for r in 0..batch {
+            let ht = hterm.row(r);
+            let gr = gates.row_mut(r);
+            for c in 0..4 * hsz {
+                gr[c] = (gr[c] + ht[c]) + b[c];
+            }
+        }
+        for r in 0..batch {
+            let g = gates.row(r);
+            let cp = c_prev.row(r);
+            for j in 0..hsz {
+                let i = 1.0 / (1.0 + (-g[j]).exp());
+                let f = 1.0 / (1.0 + (-g[hsz + j]).exp());
+                let gg = g[2 * hsz + j].tanh();
+                let o = 1.0 / (1.0 + (-g[3 * hsz + j]).exp());
+                let c_new = (f * cp[j]) + (i * gg);
+                c_out.set(r, j, c_new);
+                h_out.set(r, j, o * c_new.tanh());
+            }
+        }
+        allocs
     }
 
     /// Convenience: one step from a plain [`LstmState`], returning the
@@ -262,6 +364,70 @@ mod tests {
         let z3 = g3.input(Tensor::zeros(1, 2));
         let (h_cold, _) = cell.step(&mut g3, &params, z3, &zero_state);
         assert_ne!(g2.value(h_with_memory), g3.value(h_cold));
+    }
+
+    #[test]
+    fn linear_infer_is_bit_identical_to_graph_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = Params::new();
+        let l = Linear::new(
+            &mut params,
+            "fc",
+            5,
+            3,
+            Init::Orthogonal { gain: 1.0 },
+            &mut rng,
+        );
+        let x = Tensor::randn(4, 5, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let y = l.forward(&mut g, &params, xv);
+        // Dirty, correctly-shaped buffer: second call must not allocate.
+        let mut out = Tensor::full(4, 3, f32::NAN);
+        assert_eq!(l.infer_into(&params, &x, &mut out), 0);
+        assert_eq!(&out, g.value(y));
+    }
+
+    #[test]
+    fn lstm_infer_is_bit_identical_to_graph_step() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = Params::new();
+        let cell = LstmCell::new(&mut params, "lstm", 4, 6, &mut rng);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        let state = LstmState {
+            h: Tensor::randn(3, 6, 0.5, &mut rng),
+            c: Tensor::randn(3, 6, 0.5, &mut rng),
+        };
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let (hv, next) = cell.step(&mut g, &params, xv, &state);
+        let mut scratch = LstmScratch::new();
+        let mut h_out = Tensor::zeros(0, 0);
+        let mut c_out = Tensor::zeros(0, 0);
+        let first = cell.infer_into(
+            &params,
+            &x,
+            &state.h,
+            &state.c,
+            &mut scratch,
+            &mut h_out,
+            &mut c_out,
+        );
+        assert_eq!(first, 4, "all four buffers sized on first use");
+        assert_eq!(&h_out, g.value(hv));
+        assert_eq!(c_out, next.c);
+        // Steady state: same shapes, zero allocations, same result.
+        let again = cell.infer_into(
+            &params,
+            &x,
+            &state.h,
+            &state.c,
+            &mut scratch,
+            &mut h_out,
+            &mut c_out,
+        );
+        assert_eq!(again, 0);
+        assert_eq!(&h_out, g.value(hv));
     }
 
     #[test]

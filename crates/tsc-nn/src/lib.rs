@@ -42,10 +42,10 @@ pub mod optim;
 pub mod params;
 pub mod tensor;
 
-pub use graph::{softmax_rows, Graph, Var};
+pub use graph::{softmax_rows, softmax_rows_into, Graph, Var};
 pub use init::{orthogonal, Init};
 pub use io::{load_adam, load_params, save_adam, save_params, LoadError};
-pub use layers::{Linear, LstmCell, LstmState};
+pub use layers::{Linear, LstmCell, LstmScratch, LstmState};
 pub use optim::Adam;
 pub use params::{ParamId, Params};
 pub use tensor::Tensor;

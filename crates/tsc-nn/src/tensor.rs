@@ -158,14 +158,59 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `other`'s elements into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shapes");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Ensures `self` is `rows × cols`, reallocating only on shape
+    /// change. Returns `true` when a fresh allocation was required —
+    /// this is the hook the inference path's allocation probes count
+    /// (steady state: always `false`). Contents are unspecified after
+    /// the call; callers are expected to overwrite every element.
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) -> bool {
+        if self.rows == rows && self.cols == cols {
+            return false;
+        }
+        *self = Tensor::zeros(rows, cols);
+        true
+    }
+
     /// Matrix product `self @ other`.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols());
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self @ other` written into a pre-sized `out`
+    /// (fully overwritten). This is the same kernel as
+    /// [`matmul`](Self::matmul) — identical loop structure and
+    /// accumulation order — so results are bit-identical; it only skips
+    /// the output allocation, which is what the tape-free inference
+    /// path reuses across steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or a mis-sized `out`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.cols, other.rows, "matmul inner dims");
-        let mut out = Tensor::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_into out");
+        out.fill_zero();
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -179,7 +224,6 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// Transpose.
@@ -306,5 +350,36 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Tensor::zeros(1, 1).to_string().is_empty());
+    }
+
+    #[test]
+    fn matmul_into_is_bit_identical_to_matmul() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn(5, 7, 1.0, &mut rng);
+        let b = Tensor::randn(7, 4, 1.0, &mut rng);
+        let fresh = a.matmul(&b);
+        // Reused, dirty output buffer: must be fully overwritten.
+        let mut out = Tensor::full(5, 4, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn ensure_shape_reallocates_only_on_change() {
+        let mut t = Tensor::zeros(2, 3);
+        assert!(!t.ensure_shape(2, 3));
+        assert!(t.ensure_shape(4, 3));
+        assert_eq!(t.shape(), (4, 3));
+        assert!(!t.ensure_shape(4, 3));
+    }
+
+    #[test]
+    fn copy_from_and_row_mut() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Tensor::zeros(2, 2);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.row_mut(1).copy_from_slice(&[9.0, 8.0]);
+        assert_eq!(dst.row(1), &[9.0, 8.0]);
     }
 }

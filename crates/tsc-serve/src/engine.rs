@@ -1,0 +1,447 @@
+//! The serving runtime: batched tape-free inference with deadlines,
+//! graceful degradation, and atomic checkpoint hot reload.
+//!
+//! ## Exactness of the batched path
+//!
+//! Under parameter sharing every intersection runs the same actor, so
+//! the runtime stacks all `N` agent inputs into one `N × D` matrix and
+//! does a single forward per step. Every kernel on that path (matmul,
+//! bias add, LSTM gates, softmax) is row-independent, so the batched
+//! forward is **bit-identical** to `N` separate `1 × D` forwards — the
+//! tier-1 parity test in `tests/parity.rs` pins this against the
+//! training stack's [`PairUpLightController`]
+//! (pairuplight::PairUpLightController).
+//!
+//! ## Degradation model
+//!
+//! A [`MaxPressureController`] runs warm-standby: it is advanced every
+//! step (so its min-hold counters stay continuous) and its actions are
+//! used whenever the policy cannot answer — the per-step deadline was
+//! overrun, or a checkpoint reload is staged but not yet committed.
+//! Deadline semantics differ by path: the batched forward is
+//! all-or-nothing, so an overrun discards the whole step's policy
+//! actions (recurrent state still advances, keeping the policy warm);
+//! the per-agent path checks the deadline before each agent and only
+//! the agents after the overrun fall back, carrying their previous
+//! message and LSTM state forward unchanged.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use pairuplight::message::logistic;
+use pairuplight::{
+    Checkpoint, PairUpLight, PairUpLightConfig, PairingMode, PolicySnapshot, TrainError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsc_baselines::MaxPressureController;
+use tsc_nn::{LstmState, Tensor};
+use tsc_rl::distribution::Categorical;
+use tsc_sim::{Controller, IntersectionObs, TscEnv};
+
+use crate::error::ServeError;
+use crate::telemetry::ServeTelemetry;
+
+/// Serving-time knobs (independent of the trained policy's config).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Per-step latency budget. When a step exceeds it, affected
+    /// intersections fall back to MaxPressure instead of blocking the
+    /// signal plan. `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Minimum phase hold (decision steps) for the fallback
+    /// controller; clamped to at least 1.
+    pub fallback_min_hold: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            deadline: None,
+            fallback_min_hold: 2,
+        }
+    }
+}
+
+/// Why a step (or part of it) was served by the fallback controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The per-step latency budget was exceeded.
+    DeadlineOverrun,
+    /// A checkpoint reload is staged but not yet committed.
+    ReloadInFlight,
+}
+
+/// The outcome of one served decision step.
+#[derive(Debug, Clone)]
+pub struct ServeStep {
+    /// Chosen phase per agent, in agent order.
+    pub actions: Vec<usize>,
+    /// Which agents were answered by the fallback controller.
+    pub fell_back: Vec<bool>,
+    /// Wall-clock time spent in [`ServeRuntime::serve_step`].
+    pub latency: Duration,
+    /// Set when any agent fell back this step.
+    pub degraded: Option<DegradeReason>,
+}
+
+/// A deployed PairUpLight policy serving a live grid: tape-free
+/// batched inference, per-step deadlines with MaxPressure fallback,
+/// streaming telemetry, and atomic checkpoint hot reload.
+///
+/// Execution is always greedy (argmax), matching
+/// [`PairUpLightController::set_greedy`]
+/// (pairuplight::PairUpLightController::set_greedy).
+#[derive(Debug)]
+pub struct ServeRuntime {
+    policy: PolicySnapshot,
+    cfg: ServeConfig,
+    fallback: MaxPressureController,
+    /// Recurrent state: one `N × H` entry when parameters are shared
+    /// (batched path), else one `1 × H` entry per agent.
+    states: Vec<LstmState>,
+    /// Double-buffered PairUpLight message channel (`N × bandwidth`).
+    messages: Vec<Vec<f32>>,
+    next_messages: Vec<Vec<f32>>,
+    /// Assembled network input (persistent across steps).
+    x: Tensor,
+    bufs: pairuplight::ActorBuffers,
+    probs: Tensor,
+    masked: Vec<f32>,
+    staged: Option<PolicySnapshot>,
+    telemetry: ServeTelemetry,
+    injected_delay: Option<Duration>,
+    rng: StdRng,
+    extra_allocs: u64,
+}
+
+impl ServeRuntime {
+    /// Wraps a policy snapshot for serving.
+    pub fn new(policy: PolicySnapshot, cfg: ServeConfig) -> Self {
+        let num_agents = policy.num_agents();
+        let seed = policy.config().seed ^ 0xC0FFEE;
+        let mut rt = ServeRuntime {
+            fallback: MaxPressureController::new(cfg.fallback_min_hold.max(1)),
+            policy,
+            cfg,
+            states: Vec::new(),
+            messages: Vec::new(),
+            next_messages: Vec::new(),
+            x: Tensor::zeros(0, 0),
+            bufs: pairuplight::ActorBuffers::default(),
+            probs: Tensor::zeros(0, 0),
+            masked: Vec::new(),
+            staged: None,
+            telemetry: ServeTelemetry::new(num_agents),
+            injected_delay: None,
+            rng: StdRng::seed_from_u64(seed),
+            extra_allocs: 0,
+        };
+        rt.reset_state();
+        rt
+    }
+
+    /// Loads a `pairuplight-checkpoint v1` bundle and builds a serving
+    /// runtime for `env` from it — the training stack stays out of the
+    /// hot loop; it is only used here to validate and restore the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Load`] for truncated/corrupt files,
+    /// fingerprint mismatches, and layout mismatches; the error is
+    /// typed, nothing is partially loaded.
+    pub fn from_checkpoint(
+        env: &TscEnv,
+        cfg: PairUpLightConfig,
+        serve_cfg: ServeConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, ServeError> {
+        let (model, _base_seed) = PairUpLight::resume(env, cfg, path)?;
+        Ok(ServeRuntime::new(model.policy_snapshot(), serve_cfg))
+    }
+
+    /// Zeroes recurrent state and messages, resets the fallback
+    /// controller, and reseeds the runtime RNG (reproducible episodes).
+    fn reset_state(&mut self) {
+        let n = self.policy.num_agents();
+        let h = self.policy.config().lstm_hidden;
+        let bw = self.policy.config().bandwidth;
+        self.states = if self.policy.shared() {
+            vec![LstmState::zeros(n, h)]
+        } else {
+            (0..n).map(|_| LstmState::zeros(1, h)).collect()
+        };
+        self.messages = vec![vec![0.0; bw]; n];
+        self.next_messages = vec![vec![0.0; bw]; n];
+        self.fallback.reset();
+        self.rng = StdRng::seed_from_u64(self.policy.config().seed ^ 0xC0FFEE);
+    }
+
+    /// The serving-time configuration.
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The currently live policy.
+    pub fn policy(&self) -> &PolicySnapshot {
+        &self.policy
+    }
+
+    /// Accumulated serving metrics.
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
+    /// Total tensor (re)allocation events in the inference hot path so
+    /// far. Constant across steps in steady state — the allocation
+    /// probe test pins this.
+    pub fn alloc_events(&self) -> u64 {
+        self.bufs.alloc_events() + self.extra_allocs
+    }
+
+    /// Test/chaos hook: sleep this long inside the policy path of every
+    /// step (per agent on the per-agent path), making deadline overruns
+    /// deterministic. `None` clears the injection.
+    pub fn inject_delay(&mut self, delay: Option<Duration>) {
+        self.injected_delay = delay;
+    }
+
+    /// Whether a reload is staged but not yet committed.
+    pub fn reload_in_flight(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Stage a checkpoint for hot reload: read, checksum-verify, and
+    /// layout-check `path`, holding the new weights aside. Serving
+    /// continues (on the fallback controller) until
+    /// [`commit_reload`](Self::commit_reload); the live policy is not
+    /// touched, and on error nothing is staged.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ReloadInFlight`] when a reload is already staged;
+    /// [`ServeError::Load`] when the checkpoint is truncated, corrupt,
+    /// or does not match the live policy's configuration/layout.
+    pub fn begin_reload(&mut self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        if self.staged.is_some() {
+            return Err(ServeError::ReloadInFlight);
+        }
+        let ck = Checkpoint::read(path).map_err(TrainError::from)?;
+        let next = self.policy.with_checkpoint(&ck)?;
+        self.staged = Some(next);
+        Ok(())
+    }
+
+    /// Swap the staged weights in atomically (between steps) and reset
+    /// recurrent state, messages, and the fallback controller — the new
+    /// policy starts from a clean episode state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoReloadPending`] when nothing is staged.
+    pub fn commit_reload(&mut self) -> Result<(), ServeError> {
+        let next = self.staged.take().ok_or(ServeError::NoReloadPending)?;
+        self.policy = next;
+        self.reset_state();
+        Ok(())
+    }
+
+    /// Drop a staged reload, if any. Returns whether one was dropped.
+    pub fn abort_reload(&mut self) -> bool {
+        self.staged.take().is_some()
+    }
+
+    /// Serve one decision step: one phase choice per intersection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::AgentCountMismatch`] when `obs` does not match the
+    /// policy's agent count.
+    pub fn serve_step(&mut self, obs: &[IntersectionObs]) -> Result<ServeStep, ServeError> {
+        let n = self.policy.num_agents();
+        if obs.len() != n {
+            return Err(ServeError::AgentCountMismatch {
+                got: obs.len(),
+                expected: n,
+            });
+        }
+        let t0 = Instant::now();
+        // Warm standby: the fallback decides every step even when
+        // unused, so its min-hold counters track the live grid and a
+        // degraded step starts from a sane phase, not a cold reset.
+        let fb_actions = self.fallback.decide(obs);
+        let (actions, fell_back, degraded) = if self.staged.is_some() {
+            // Reload in flight: policy weights are about to be
+            // swapped; recurrent state is left untouched (it is reset
+            // at commit anyway) and every agent falls back.
+            (
+                fb_actions,
+                vec![true; n],
+                Some(DegradeReason::ReloadInFlight),
+            )
+        } else if self.policy.shared() {
+            self.step_batched(obs, fb_actions, t0)
+        } else {
+            self.step_per_agent(obs, fb_actions, t0)
+        };
+        let latency = t0.elapsed();
+        self.telemetry
+            .record(latency, &fell_back, degraded.is_some());
+        Ok(ServeStep {
+            actions,
+            fell_back,
+            latency,
+            degraded,
+        })
+    }
+
+    fn partners(&mut self, obs: &[IntersectionObs]) -> Vec<usize> {
+        match self.policy.config().pairing {
+            PairingMode::CongestedUpstream => self.policy.pairing().partners(obs),
+            PairingMode::SelfLoop => self.policy.pairing().self_partners(),
+            PairingMode::RandomUpstream => self.policy.pairing().random_partners(&mut self.rng),
+        }
+    }
+
+    /// Greedy action for row `r` of `self.probs`, replicating the
+    /// training controller's mask + renormalize + argmax exactly.
+    fn greedy_action(&mut self, r: usize, num_phases: usize) -> usize {
+        self.masked.clear();
+        self.masked
+            .extend_from_slice(&self.probs.row(r)[..num_phases]);
+        let sum: f32 = self.masked.iter().sum();
+        for p in &mut self.masked {
+            *p /= sum.max(1e-8);
+        }
+        Categorical::new(&self.masked).argmax()
+    }
+
+    /// Shared-parameter path: all agents in one `N × D` forward.
+    fn step_batched(
+        &mut self,
+        obs: &[IntersectionObs],
+        fb_actions: Vec<usize>,
+        t0: Instant,
+    ) -> (Vec<usize>, Vec<bool>, Option<DegradeReason>) {
+        let n = self.policy.num_agents();
+        let cfg = *self.policy.config();
+        let local_dim = self.policy.encoder().local_dim();
+        let partners = self.partners(obs);
+        self.extra_allocs += self.x.ensure_shape(n, local_dim + cfg.bandwidth) as u64;
+        for a in 0..n {
+            let (local, msg) = self.x.row_mut(a).split_at_mut(local_dim);
+            self.policy.encoder().encode_local_into(&obs[a], local);
+            msg.copy_from_slice(&self.messages[partners[a]]);
+        }
+        if let Some(delay) = self.injected_delay {
+            std::thread::sleep(delay);
+        }
+        let (params, actor) = &self.policy.actors()[0];
+        let state = &self.states[0];
+        actor.infer(params, &self.x, &state.h, &state.c, &mut self.bufs);
+        self.extra_allocs += self.probs.ensure_shape(n, cfg.max_phases) as u64;
+        tsc_nn::softmax_rows_into(&self.bufs.logits, &mut self.probs);
+        let actions: Vec<usize> = (0..n)
+            .map(|a| self.greedy_action(a, self.policy.phases_per_agent()[a]))
+            .collect();
+        if cfg.bandwidth > 0 {
+            for a in 0..n {
+                for (dst, &raw) in self.next_messages[a]
+                    .iter_mut()
+                    .zip(self.bufs.message.row(a))
+                {
+                    *dst = logistic(raw);
+                }
+            }
+        }
+        // Commit recurrent state and messages even on overrun: the
+        // forward already ran, and keeping the policy's state warm
+        // means recovery after a slow step needs no re-warmup.
+        let state = &mut self.states[0];
+        state.h.copy_from(&self.bufs.h);
+        state.c.copy_from(&self.bufs.c);
+        std::mem::swap(&mut self.messages, &mut self.next_messages);
+        match self.cfg.deadline {
+            // The batch is all-or-nothing: an overrun degrades every
+            // agent for this step.
+            Some(deadline) if t0.elapsed() > deadline => (
+                fb_actions,
+                vec![true; n],
+                Some(DegradeReason::DeadlineOverrun),
+            ),
+            _ => (actions, vec![false; n], None),
+        }
+    }
+
+    /// Independent-parameter path: one `1 × D` forward per agent, with
+    /// the deadline checked before each agent.
+    fn step_per_agent(
+        &mut self,
+        obs: &[IntersectionObs],
+        fb_actions: Vec<usize>,
+        t0: Instant,
+    ) -> (Vec<usize>, Vec<bool>, Option<DegradeReason>) {
+        let n = self.policy.num_agents();
+        let cfg = *self.policy.config();
+        let local_dim = self.policy.encoder().local_dim();
+        let partners = self.partners(obs);
+        let mut actions = fb_actions;
+        let mut fell_back = vec![false; n];
+        let mut degraded = None;
+        for a in 0..n {
+            if let Some(deadline) = self.cfg.deadline {
+                if t0.elapsed() > deadline {
+                    // Budget exhausted: the rest of the grid keeps its
+                    // fallback actions and carries message + LSTM
+                    // state forward unchanged.
+                    for (b, fb) in fell_back.iter_mut().enumerate().skip(a) {
+                        *fb = true;
+                        let (dst, src) = (&mut self.next_messages[b], &self.messages[b]);
+                        dst.copy_from_slice(src);
+                    }
+                    degraded = Some(DegradeReason::DeadlineOverrun);
+                    break;
+                }
+            }
+            if let Some(delay) = self.injected_delay {
+                std::thread::sleep(delay);
+            }
+            self.extra_allocs += self.x.ensure_shape(1, local_dim + cfg.bandwidth) as u64;
+            let (local, msg) = self.x.row_mut(0).split_at_mut(local_dim);
+            self.policy.encoder().encode_local_into(&obs[a], local);
+            msg.copy_from_slice(&self.messages[partners[a]]);
+            let (params, actor) = &self.policy.actors()[a];
+            let state = &self.states[a];
+            actor.infer(params, &self.x, &state.h, &state.c, &mut self.bufs);
+            self.extra_allocs += self.probs.ensure_shape(1, cfg.max_phases) as u64;
+            tsc_nn::softmax_rows_into(&self.bufs.logits, &mut self.probs);
+            actions[a] = self.greedy_action(0, self.policy.phases_per_agent()[a]);
+            if cfg.bandwidth > 0 {
+                for (dst, &raw) in self.next_messages[a]
+                    .iter_mut()
+                    .zip(self.bufs.message.row(0))
+                {
+                    *dst = logistic(raw);
+                }
+            }
+            let state = &mut self.states[a];
+            state.h.copy_from(&self.bufs.h);
+            state.c.copy_from(&self.bufs.c);
+        }
+        std::mem::swap(&mut self.messages, &mut self.next_messages);
+        (actions, fell_back, degraded)
+    }
+}
+
+impl Controller for ServeRuntime {
+    fn reset(&mut self) {
+        self.reset_state();
+    }
+
+    fn decide(&mut self, obs: &[IntersectionObs]) -> Vec<usize> {
+        self.serve_step(obs)
+            .expect("environment agent count matches the served policy")
+            .actions
+    }
+}

@@ -1,0 +1,61 @@
+//! Typed serving errors.
+
+use std::fmt;
+
+use pairuplight::TrainError;
+use tsc_sim::SimError;
+
+/// Everything that can go wrong while serving a policy.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A checkpoint could not be loaded or failed validation
+    /// (truncated file, corrupted checksum trailer, configuration
+    /// fingerprint mismatch, layout mismatch). The in-memory policy is
+    /// untouched when this is returned.
+    Load(TrainError),
+    /// The driven environment failed.
+    Sim(SimError),
+    /// `begin_reload` was called while another reload was already
+    /// staged.
+    ReloadInFlight,
+    /// `commit_reload` was called with no reload staged.
+    NoReloadPending,
+    /// The joint observation does not match the policy's agent count.
+    AgentCountMismatch {
+        /// Observations supplied.
+        got: usize,
+        /// Agents the policy controls.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Load(e) => write!(f, "checkpoint load failed: {e}"),
+            ServeError::Sim(e) => write!(f, "environment failure: {e}"),
+            ServeError::ReloadInFlight => write!(f, "a checkpoint reload is already staged"),
+            ServeError::NoReloadPending => write!(f, "no staged checkpoint reload to commit"),
+            ServeError::AgentCountMismatch { got, expected } => {
+                write!(
+                    f,
+                    "joint observation has {got} agents, policy controls {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TrainError> for ServeError {
+    fn from(e: TrainError) -> Self {
+        ServeError::Load(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}

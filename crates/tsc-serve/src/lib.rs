@@ -1,0 +1,62 @@
+//! # tsc-serve — deadline-aware PairUpLight policy serving
+//!
+//! Loads a `pairuplight-checkpoint v1` bundle and drives a live
+//! [`tsc_sim::TscEnv`] grid **without the training stack**: no autograd
+//! tape, no optimizer state, near-zero allocation in the hot loop.
+//!
+//! * **Tape-free inference** — forwards run through the `*_into`
+//!   kernels in `tsc-nn` into persistent, pre-sized activation
+//!   buffers; [`ServeRuntime::alloc_events`] exposes the allocation
+//!   probe that pins "no allocation in steady state".
+//! * **Batched multi-agent inference** — under parameter sharing, all
+//!   intersections' observations and incoming messages are stacked
+//!   into one matrix per step; row independence of every kernel makes
+//!   this bit-identical to per-agent forwards (pinned by the tier-1
+//!   parity test against the training controller).
+//! * **Deadline + graceful degradation** — a configurable per-step
+//!   latency budget; on overrun or while a checkpoint reload is in
+//!   flight, affected intersections fall back to a warm-standby
+//!   MaxPressure controller, with typed [`ServeError`]s and per-agent
+//!   fallback accounting.
+//! * **Serving telemetry** — decisions/sec, latency p50/p95/p99 from a
+//!   streaming log-bucket histogram, fallback rate
+//!   ([`ServeTelemetry`]).
+//! * **Hot reload** — [`ServeRuntime::begin_reload`] stages and fully
+//!   validates a new checkpoint while serving continues degraded;
+//!   [`ServeRuntime::commit_reload`] swaps it in atomically between
+//!   steps.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use pairuplight::PairUpLightConfig;
+//! use tsc_serve::{ServeConfig, ServeRuntime};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let env: tsc_sim::TscEnv = unimplemented!();
+//! let mut rt = ServeRuntime::from_checkpoint(
+//!     &env,
+//!     PairUpLightConfig::default(),
+//!     ServeConfig::default(),
+//!     "model.ckpt",
+//! )?;
+//! let obs = env.clone().reset(0);
+//! let step = rt.serve_step(&obs)?;
+//! println!(
+//!     "{} actions, p95 {:.1} µs",
+//!     step.actions.len(),
+//!     rt.telemetry().p95_us()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod telemetry;
+
+pub use engine::{DegradeReason, ServeConfig, ServeRuntime, ServeStep};
+pub use error::ServeError;
+pub use telemetry::ServeTelemetry;

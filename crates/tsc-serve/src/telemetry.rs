@@ -1,0 +1,234 @@
+//! Serving telemetry: decision throughput, latency percentiles, and
+//! fallback accounting — all recorded with zero per-step allocation.
+//!
+//! Latencies go into a fixed array of log-spaced buckets (a streaming
+//! histogram); percentiles are read off the cumulative bucket counts,
+//! so `record` is a handful of integer operations no matter how long
+//! the runtime serves.
+
+use std::time::Duration;
+
+/// Number of log-spaced latency buckets.
+const BUCKETS: usize = 64;
+/// Lower edge of the first bucket, nanoseconds (1 µs).
+const BASE_NS: f64 = 1_000.0;
+/// Geometric ratio between bucket edges. 64 buckets at ×1.25 span
+/// 1 µs … ≈ 1.2 s, far beyond any sane per-step deadline.
+const RATIO: f64 = 1.25;
+
+/// Streaming serving metrics. Create with [`ServeTelemetry::new`],
+/// feed with [`record`](ServeTelemetry::record) once per served step.
+#[derive(Debug, Clone)]
+pub struct ServeTelemetry {
+    buckets: [u64; BUCKETS],
+    steps: u64,
+    decisions: u64,
+    fallback_decisions: u64,
+    degraded_steps: u64,
+    per_agent_fallbacks: Vec<u64>,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl ServeTelemetry {
+    /// Empty telemetry for a grid of `num_agents` intersections.
+    pub fn new(num_agents: usize) -> Self {
+        ServeTelemetry {
+            buckets: [0; BUCKETS],
+            steps: 0,
+            decisions: 0,
+            fallback_decisions: 0,
+            degraded_steps: 0,
+            per_agent_fallbacks: vec![0; num_agents],
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        if (ns as f64) <= BASE_NS {
+            return 0;
+        }
+        let idx = ((ns as f64) / BASE_NS).ln() / RATIO.ln();
+        (idx.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i` in microseconds.
+    fn bucket_edge_us(i: usize) -> f64 {
+        BASE_NS * RATIO.powi(i as i32) / 1_000.0
+    }
+
+    /// Records one served step: its wall-clock latency, which agents
+    /// fell back to the degraded controller, and whether the step as a
+    /// whole was degraded. Allocation-free.
+    pub fn record(&mut self, latency: Duration, fell_back: &[bool], degraded: bool) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_for(ns)] += 1;
+        self.steps += 1;
+        self.decisions += fell_back.len() as u64;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        if degraded {
+            self.degraded_steps += 1;
+        }
+        for (a, &fb) in fell_back.iter().enumerate() {
+            if fb {
+                self.fallback_decisions += 1;
+                if let Some(slot) = self.per_agent_fallbacks.get_mut(a) {
+                    *slot += 1;
+                }
+            }
+        }
+    }
+
+    /// Steps served so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Per-agent decisions issued so far (steps × agents).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Decisions answered by the degraded (MaxPressure) controller.
+    pub fn fallback_decisions(&self) -> u64 {
+        self.fallback_decisions
+    }
+
+    /// Steps where at least the degradation path was engaged.
+    pub fn degraded_steps(&self) -> u64 {
+        self.degraded_steps
+    }
+
+    /// Fallback decision count per agent, in agent order.
+    pub fn per_agent_fallbacks(&self) -> &[u64] {
+        &self.per_agent_fallbacks
+    }
+
+    /// Fraction of decisions served by the fallback controller.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.fallback_decisions as f64 / self.decisions as f64
+        }
+    }
+
+    /// Per-agent decisions per wall-clock second of serving.
+    pub fn decisions_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.decisions as f64 / (self.total_ns as f64 / 1e9)
+        }
+    }
+
+    /// Latency at quantile `q` in microseconds (upper edge of the
+    /// histogram bucket containing it), or 0 when nothing was recorded.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.steps as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cum += count;
+            if cum >= rank {
+                return Self::bucket_edge_us(i);
+            }
+        }
+        Self::bucket_edge_us(BUCKETS - 1)
+    }
+
+    /// Median step latency in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.percentile_us(0.50)
+    }
+
+    /// 95th-percentile step latency in microseconds.
+    pub fn p95_us(&self) -> f64 {
+        self.percentile_us(0.95)
+    }
+
+    /// 99th-percentile step latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.percentile_us(0.99)
+    }
+
+    /// Mean step latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.steps as f64 / 1_000.0
+        }
+    }
+
+    /// Fastest recorded step in microseconds (0 when empty).
+    pub fn min_us(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.min_ns as f64 / 1_000.0
+        }
+    }
+
+    /// Slowest recorded step in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_telemetry_reads_zero() {
+        let t = ServeTelemetry::new(4);
+        assert_eq!(t.steps(), 0);
+        assert_eq!(t.p50_us(), 0.0);
+        assert_eq!(t.fallback_rate(), 0.0);
+        assert_eq!(t.decisions_per_sec(), 0.0);
+        assert_eq!(t.min_us(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_data() {
+        let mut t = ServeTelemetry::new(2);
+        for i in 1..=100u64 {
+            t.record(Duration::from_micros(i * 10), &[false, false], false);
+        }
+        let (p50, p95, p99) = (t.p50_us(), t.p95_us(), t.p99_us());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Bucket upper edges overestimate by at most one ratio step.
+        assert!((500.0..=500.0 * RATIO).contains(&p50), "{p50}");
+        assert!((990.0..=990.0 * RATIO).contains(&p99), "{p99}");
+        assert_eq!(t.decisions(), 200);
+        assert!(t.max_us() >= 1000.0);
+        assert_eq!(t.min_us(), 10.0); // min/max are exact, not bucketed
+    }
+
+    #[test]
+    fn fallback_accounting_is_per_agent() {
+        let mut t = ServeTelemetry::new(3);
+        t.record(Duration::from_micros(5), &[true, false, true], true);
+        t.record(Duration::from_micros(5), &[false, false, true], true);
+        t.record(Duration::from_micros(5), &[false, false, false], false);
+        assert_eq!(t.fallback_decisions(), 3);
+        assert_eq!(t.per_agent_fallbacks(), &[1, 0, 2]);
+        assert_eq!(t.degraded_steps(), 2);
+        assert!((t.fallback_rate() - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_land_in_the_first_bucket() {
+        let mut t = ServeTelemetry::new(1);
+        t.record(Duration::from_nanos(10), &[false], false);
+        assert_eq!(t.p50_us(), 1.0);
+    }
+}

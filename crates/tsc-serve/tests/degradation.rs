@@ -1,0 +1,210 @@
+//! Graceful degradation and the steady-state allocation probe:
+//! deadline overruns (injected delays, so deterministic) and in-flight
+//! hot reloads must hand affected intersections to MaxPressure without
+//! panicking, and the tape-free hot loop must stop allocating once its
+//! buffers have warmed up.
+
+use std::time::Duration;
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_baselines::MaxPressureController;
+use tsc_serve::{DegradeReason, ServeConfig, ServeError, ServeRuntime};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{Controller, EnvConfig, SimConfig, TscEnv};
+
+fn tiny_env(horizon: u32) -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("serve-degrade", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn deadline_overrun_falls_back_to_max_pressure_and_recovers() {
+    let mut env = tiny_env(700);
+    let model = PairUpLight::new(&env, small_cfg());
+    let mut serve = ServeRuntime::new(
+        model.policy_snapshot(),
+        ServeConfig {
+            deadline: Some(Duration::from_millis(50)),
+            fallback_min_hold: 2,
+        },
+    );
+    // Mirror of the runtime's internal warm-standby fallback: fed the
+    // same observation sequence, it must predict the degraded actions.
+    let mut mirror = MaxPressureController::new(2);
+    mirror.reset();
+
+    let mut obs = env.reset(7);
+
+    // Healthy step: within budget, policy answers.
+    let healthy = serve.serve_step(&obs).unwrap();
+    let _ = mirror.decide(&obs);
+    assert!(healthy.degraded.is_none());
+    assert!(healthy.fell_back.iter().all(|&f| !f));
+    obs = env.step(&healthy.actions).unwrap().obs;
+
+    // Injected 100 ms delay against a 50 ms budget: every agent must
+    // fall back to exactly the MaxPressure actions, without panicking.
+    serve.inject_delay(Some(Duration::from_millis(100)));
+    let degraded = serve.serve_step(&obs).unwrap();
+    let want = mirror.decide(&obs);
+    assert_eq!(degraded.degraded, Some(DegradeReason::DeadlineOverrun));
+    assert!(degraded.fell_back.iter().all(|&f| f));
+    assert_eq!(degraded.actions, want, "fallback must equal MaxPressure");
+    assert!(degraded.latency >= Duration::from_millis(100));
+    obs = env.step(&degraded.actions).unwrap().obs;
+
+    // Clearing the injection recovers the policy path immediately.
+    serve.inject_delay(None);
+    let recovered = serve.serve_step(&obs).unwrap();
+    let _ = mirror.decide(&obs);
+    assert!(recovered.degraded.is_none());
+    assert!(recovered.fell_back.iter().all(|&f| !f));
+
+    let t = serve.telemetry();
+    assert_eq!(t.steps(), 3);
+    assert_eq!(t.degraded_steps(), 1);
+    assert_eq!(t.fallback_decisions(), env.num_agents() as u64);
+    assert!(t.per_agent_fallbacks().iter().all(|&c| c == 1));
+    assert!((t.fallback_rate() - 1.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn per_agent_deadline_degrades_only_the_late_agents() {
+    let cfg = PairUpLightConfig {
+        parameter_sharing: false,
+        ..small_cfg()
+    };
+    let env = tiny_env(700);
+    let model = PairUpLight::new(&env, cfg);
+    let mut serve = ServeRuntime::new(
+        model.policy_snapshot(),
+        ServeConfig {
+            deadline: Some(Duration::from_millis(50)),
+            fallback_min_hold: 2,
+        },
+    );
+    let obs = env.clone().reset(7);
+    // 100 ms per-agent delay against a 50 ms budget: agent 0 clears the
+    // pre-check and computes; the budget is spent by its sleep, so
+    // agents 1.. fall back with per-agent accounting.
+    serve.inject_delay(Some(Duration::from_millis(100)));
+    let step = serve.serve_step(&obs).unwrap();
+    assert_eq!(step.degraded, Some(DegradeReason::DeadlineOverrun));
+    assert!(!step.fell_back[0], "agent 0 was within budget");
+    assert!(step.fell_back[1..].iter().all(|&f| f));
+    let t = serve.telemetry();
+    assert_eq!(t.fallback_decisions(), env.num_agents() as u64 - 1);
+    assert_eq!(t.per_agent_fallbacks()[0], 0);
+    assert!(t.per_agent_fallbacks()[1..].iter().all(|&c| c == 1));
+}
+
+#[test]
+fn reload_in_flight_serves_fallback_then_commit_resumes_the_policy() {
+    let mut env = tiny_env(700);
+    let model = PairUpLight::new(&env, small_cfg());
+    let path = std::env::temp_dir().join("tsc_serve_degrade_reload.ckpt");
+    model.save_checkpoint(&path, 0).unwrap();
+
+    let mut serve =
+        ServeRuntime::from_checkpoint(&env, small_cfg(), ServeConfig::default(), &path).unwrap();
+    let mut mirror = MaxPressureController::new(2);
+    mirror.reset();
+
+    let mut obs = env.reset(11);
+    let before = serve.serve_step(&obs).unwrap();
+    let _ = mirror.decide(&obs);
+    assert!(before.degraded.is_none());
+    obs = env.step(&before.actions).unwrap().obs;
+
+    // Stage a reload mid-run: serving continues on MaxPressure.
+    serve.begin_reload(&path).unwrap();
+    assert!(serve.reload_in_flight());
+    let during = serve.serve_step(&obs).unwrap();
+    let want = mirror.decide(&obs);
+    assert_eq!(during.degraded, Some(DegradeReason::ReloadInFlight));
+    assert!(during.fell_back.iter().all(|&f| f));
+    assert_eq!(during.actions, want);
+    obs = env.step(&during.actions).unwrap().obs;
+
+    // Committing swaps the weights in and resets recurrent state: the
+    // next step must match a fresh runtime on the same weights.
+    serve.commit_reload().unwrap();
+    assert!(!serve.reload_in_flight());
+    let after = serve.serve_step(&obs).unwrap();
+    assert!(after.degraded.is_none());
+    let mut fresh = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    assert_eq!(after.actions, fresh.serve_step(&obs).unwrap().actions);
+
+    // Reload bookkeeping errors are typed.
+    assert!(matches!(
+        serve.commit_reload(),
+        Err(ServeError::NoReloadPending)
+    ));
+    serve.begin_reload(&path).unwrap();
+    assert!(matches!(
+        serve.begin_reload(&path),
+        Err(ServeError::ReloadInFlight)
+    ));
+    assert!(serve.abort_reload());
+    assert!(!serve.reload_in_flight());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn steady_state_serving_does_not_allocate() {
+    let mut env = tiny_env(1400);
+    let model = PairUpLight::new(&env, small_cfg());
+    let mut serve = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let mut obs = env.reset(3);
+    // Warm-up: first steps size the activation buffers.
+    for _ in 0..3 {
+        let step = serve.serve_step(&obs).unwrap();
+        obs = env.step(&step.actions).unwrap().obs;
+    }
+    let baseline = serve.alloc_events();
+    for _ in 0..100 {
+        let step = serve.serve_step(&obs).unwrap();
+        obs = env.step(&step.actions).unwrap().obs;
+    }
+    assert_eq!(
+        serve.alloc_events(),
+        baseline,
+        "tape-free hot loop must not allocate tensors in steady state"
+    );
+    assert_eq!(serve.telemetry().steps(), 103);
+}
+
+#[test]
+fn controller_impl_runs_a_full_episode() {
+    let mut env = tiny_env(700);
+    let model = PairUpLight::new(&env, small_cfg());
+    let mut serve = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let stats = env.run_episode(&mut serve, 5).unwrap();
+    assert!(stats.spawned > 0);
+    assert_eq!(serve.telemetry().steps(), 100);
+}

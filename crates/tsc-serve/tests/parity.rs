@@ -1,0 +1,135 @@
+//! Tier-1 serving parity: a fixed checkpoint plus a fixed seed must
+//! make the batched tape-free serving path produce **exactly** the
+//! greedy action sequence of the training stack's controller, step by
+//! step, over a full 200-decision episode.
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_serve::{ServeConfig, ServeRuntime};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{Controller, EnvConfig, SimConfig, TscEnv};
+
+fn tiny_env(horizon: u32) -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("serve-parity", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    let mut cfg = PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    };
+    cfg.ppo.minibatch = 32;
+    cfg.ppo.epochs = 2;
+    cfg
+}
+
+/// Drives `env` for a full episode, asserting at every step that the
+/// serving runtime and the reference controller pick identical actions.
+/// Returns the number of decision steps taken.
+fn assert_lockstep_parity(
+    env: &mut TscEnv,
+    serve: &mut ServeRuntime,
+    reference: &mut pairuplight::PairUpLightController,
+    seed: u64,
+) -> usize {
+    let mut obs = env.reset(seed);
+    reference.reset();
+    Controller::reset(serve);
+    let mut steps = 0usize;
+    loop {
+        let want = reference.decide(&obs);
+        let step = serve.serve_step(&obs).unwrap();
+        assert_eq!(step.actions, want, "action divergence at step {steps}");
+        assert!(
+            step.fell_back.iter().all(|&f| !f),
+            "unexpected fallback at step {steps}"
+        );
+        assert!(step.degraded.is_none());
+        let r = env.step(&want).unwrap();
+        obs = r.obs;
+        steps += 1;
+        if r.done {
+            return steps;
+        }
+    }
+}
+
+#[test]
+fn batched_serving_matches_training_stack_over_200_steps() {
+    let mut train_env = tiny_env(210);
+    let mut model = PairUpLight::new(&train_env, small_cfg());
+    model.train_episode(&mut train_env, 0).unwrap();
+    let path = std::env::temp_dir().join("tsc_serve_parity_shared.ckpt");
+    model.save_checkpoint(&path, 0).unwrap();
+
+    let mut env = tiny_env(1400);
+    assert_eq!(env.steps_per_episode(), 200);
+    let mut serve =
+        ServeRuntime::from_checkpoint(&env, small_cfg(), ServeConfig::default(), &path).unwrap();
+    assert!(serve.policy().shared(), "2x2 default cfg shares parameters");
+    let mut reference = model.controller();
+    reference.set_greedy();
+
+    let steps = assert_lockstep_parity(&mut env, &mut serve, &mut reference, 42);
+    assert_eq!(steps, 200);
+    assert_eq!(serve.telemetry().steps(), 200);
+    assert_eq!(serve.telemetry().decisions(), 200 * env.num_agents() as u64);
+    assert_eq!(serve.telemetry().fallback_decisions(), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn per_agent_serving_matches_training_stack_without_parameter_sharing() {
+    let cfg = PairUpLightConfig {
+        parameter_sharing: false,
+        ..small_cfg()
+    };
+    let env0 = tiny_env(420);
+    let model = PairUpLight::new(&env0, cfg);
+    let path = std::env::temp_dir().join("tsc_serve_parity_unshared.ckpt");
+    model.save_checkpoint(&path, 0).unwrap();
+
+    let mut env = tiny_env(420);
+    let mut serve =
+        ServeRuntime::from_checkpoint(&env, cfg, ServeConfig::default(), &path).unwrap();
+    assert!(!serve.policy().shared());
+    let mut reference = model.controller();
+    reference.set_greedy();
+
+    let steps = assert_lockstep_parity(&mut env, &mut serve, &mut reference, 7);
+    assert_eq!(steps, 60);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn agent_count_mismatch_is_a_typed_error() {
+    let env = tiny_env(140);
+    let model = PairUpLight::new(&env, small_cfg());
+    let mut serve = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let obs = env.clone().reset(0);
+    match serve.serve_step(&obs[..1]) {
+        Err(tsc_serve::ServeError::AgentCountMismatch { got, expected }) => {
+            assert_eq!(got, 1);
+            assert_eq!(expected, env.num_agents());
+        }
+        other => panic!("expected AgentCountMismatch, got {other:?}"),
+    }
+}

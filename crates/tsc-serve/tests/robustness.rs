@@ -1,0 +1,147 @@
+//! Checkpoint robustness at load time: truncated files, corrupted
+//! checksum trailers, and configuration-fingerprint mismatches must
+//! all surface as **typed** errors — through the tsc-serve loader, the
+//! training stack's `load_checkpoint`, and the hot-reload path — and
+//! must leave the in-memory model bit-for-bit untouched.
+
+use std::path::{Path, PathBuf};
+
+use pairuplight::{PairUpLight, PairUpLightConfig, TrainError};
+use tsc_serve::{ServeConfig, ServeError, ServeRuntime};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn tiny_env() -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("serve-robust", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 140,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    }
+}
+
+fn good_checkpoint(env: &TscEnv, cfg: PairUpLightConfig, name: &str) -> (PairUpLight, PathBuf) {
+    let model = PairUpLight::new(env, cfg);
+    let path = std::env::temp_dir().join(name);
+    model.save_checkpoint(&path, 0).unwrap();
+    (model, path)
+}
+
+/// Truncates `src` to 60% of its length.
+fn truncated_copy(src: &Path, name: &str) -> PathBuf {
+    let bytes = std::fs::read(src).unwrap();
+    let dst = std::env::temp_dir().join(name);
+    std::fs::write(&dst, &bytes[..bytes.len() * 6 / 10]).unwrap();
+    dst
+}
+
+/// Flips one digit inside the checksummed body of `src`.
+fn corrupted_copy(src: &Path, name: &str) -> PathBuf {
+    let text = std::fs::read_to_string(src).unwrap();
+    let body_end = text.rfind("\nchecksum ").unwrap();
+    let mut bytes = text.into_bytes();
+    let idx = (body_end / 2..body_end)
+        .find(|&i| bytes[i].is_ascii_digit() && bytes[i] != b'9')
+        .expect("weight text contains digits");
+    bytes[idx] += 1;
+    let dst = std::env::temp_dir().join(name);
+    std::fs::write(&dst, &bytes).unwrap();
+    dst
+}
+
+/// Asserts all three load paths reject `bad` with a typed Load error
+/// whose message contains `expect_msg`, leaving weights untouched and
+/// serving live.
+fn assert_rejected_everywhere(env: &TscEnv, good: &Path, bad: &Path, expect_msg: &str) {
+    // 1. tsc-serve's own loader.
+    let err = ServeRuntime::from_checkpoint(env, small_cfg(), ServeConfig::default(), bad)
+        .map(|_| ())
+        .expect_err("bad checkpoint must be rejected");
+    assert!(matches!(err, ServeError::Load(_)), "got {err:?}");
+    assert!(
+        format!("{err}").contains(expect_msg),
+        "error {err} should mention {expect_msg:?}"
+    );
+
+    // 2. The training stack's load_checkpoint: typed error, weights
+    //    bit-for-bit untouched.
+    let mut model = PairUpLight::new(env, small_cfg());
+    let before = model.policy_snapshot().parameter_vector();
+    let err = model.load_checkpoint(bad).expect_err("must be rejected");
+    assert!(matches!(err, TrainError::Load(_)), "got {err:?}");
+    assert_eq!(
+        model.policy_snapshot().parameter_vector(),
+        before,
+        "failed load must not touch the learner"
+    );
+
+    // 3. Hot reload on a live runtime: typed error, nothing staged,
+    //    live policy untouched, serving continues.
+    let mut serve =
+        ServeRuntime::from_checkpoint(env, small_cfg(), ServeConfig::default(), good).unwrap();
+    let before = serve.policy().parameter_vector();
+    let err = serve.begin_reload(bad).expect_err("must be rejected");
+    assert!(matches!(err, ServeError::Load(_)), "got {err:?}");
+    assert!(!serve.reload_in_flight());
+    assert_eq!(serve.policy().parameter_vector(), before);
+    let obs = env.clone().reset(1);
+    let step = serve.serve_step(&obs).unwrap();
+    assert!(step.degraded.is_none(), "serving must continue undegraded");
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected_with_model_untouched() {
+    let env = tiny_env();
+    let (_model, good) = good_checkpoint(&env, small_cfg(), "tsc_serve_robust_trunc_good.ckpt");
+    let bad = truncated_copy(&good, "tsc_serve_robust_trunc_bad.ckpt");
+    assert_rejected_everywhere(&env, &good, &bad, "checksum");
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn corrupted_checksum_trailer_is_rejected_with_model_untouched() {
+    let env = tiny_env();
+    let (_model, good) = good_checkpoint(&env, small_cfg(), "tsc_serve_robust_corrupt_good.ckpt");
+    let bad = corrupted_copy(&good, "tsc_serve_robust_corrupt_bad.ckpt");
+    assert_rejected_everywhere(&env, &good, &bad, "checksum mismatch");
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn wrong_config_fingerprint_is_rejected_with_model_untouched() {
+    let env = tiny_env();
+    let (_model, good) = good_checkpoint(&env, small_cfg(), "tsc_serve_robust_fp_good.ckpt");
+    // Same tensor layout, different configuration: only the
+    // fingerprint check can (and must) catch this.
+    let other_cfg = PairUpLightConfig {
+        sigma: small_cfg().sigma + 0.25,
+        ..small_cfg()
+    };
+    let (_m2, bad) = good_checkpoint(&env, other_cfg, "tsc_serve_robust_fp_bad.ckpt");
+    assert_rejected_everywhere(&env, &good, &bad, "fingerprint mismatch");
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+}

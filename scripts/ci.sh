@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test --workspace -q (tier 1)"
 cargo test --workspace -q
 
+echo "==> serve_grid --smoke (serving runtime end-to-end)"
+cargo run --release -q -p tsc-bench --bin serve_grid -- --smoke
+
 echo "ci.sh: all gates passed"

@@ -4,4 +4,5 @@ pub use tsc_baselines;
 pub use tsc_bench;
 pub use tsc_nn;
 pub use tsc_rl;
+pub use tsc_serve;
 pub use tsc_sim;
