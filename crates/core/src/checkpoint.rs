@@ -230,6 +230,26 @@ impl Checkpoint {
         std::fs::rename(&tmp, path)
     }
 
+    /// Simulates a torn checkpoint write (disk full mid-write): half of
+    /// the encoded text lands in the temporary sibling of `path`, the
+    /// rename never happens, and the error the real write would have
+    /// surfaced is returned. Whatever was previously at `path` is left
+    /// untouched — the property
+    /// [`write_atomic`](Self::write_atomic)'s temp-then-rename protocol
+    /// exists to guarantee, and which the fault-tolerance tests pin.
+    pub fn write_torn(&self, path: impl AsRef<Path>) -> io::Error {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let encoded = self.encode();
+        let half = &encoded.as_bytes()[..encoded.len() / 2];
+        // Best-effort: if even the torn write fails, the injected error
+        // below still reports the fault.
+        let _ = std::fs::write(&tmp, half);
+        io::Error::other("injected disk-full during checkpoint write")
+    }
+
     /// Reads and fully validates a checkpoint file.
     ///
     /// # Errors

@@ -3,7 +3,8 @@
 //!
 //! A [`FaultPlan`] is a list of faults to fire at specific points of a
 //! checkpointed training run: panic a rollout worker, poison the model
-//! with a non-finite parameter after an update, or abort training
+//! with a non-finite parameter after an update, tear a checkpoint write
+//! partway through (simulating a full disk), or abort training
 //! outright (simulating a crash/kill so resume can be tested). Each
 //! entry fires **once** and is then consumed, which is what lets the
 //! recovery path (same-seed worker retry, rollback + reseed) succeed on
@@ -24,6 +25,9 @@ pub struct FaultPlan {
     /// Abort training after this round completes (checkpoint included),
     /// simulating the process being killed.
     abort_after: Option<u64>,
+    /// Rounds whose due checkpoint write fails partway through,
+    /// simulating a full disk / torn write.
+    checkpoint_write_fails: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -54,9 +58,21 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the checkpoint write due at `round` to fail once,
+    /// leaving only a torn temp file behind — the checkpointer's
+    /// atomic temp-then-rename protocol must keep the previous
+    /// checkpoint intact.
+    pub fn fail_checkpoint_write(mut self, round: u64) -> Self {
+        self.checkpoint_write_fails.push(round);
+        self
+    }
+
     /// Whether any fault is still pending.
     pub fn is_empty(&self) -> bool {
-        self.panics.is_empty() && self.nan_rounds.is_empty() && self.abort_after.is_none()
+        self.panics.is_empty()
+            && self.nan_rounds.is_empty()
+            && self.abort_after.is_none()
+            && self.checkpoint_write_fails.is_empty()
     }
 
     /// Consumes one pending panic for `(round, env)`; returns whether
@@ -77,6 +93,18 @@ impl FaultPlan {
         match self.nan_rounds.iter().position(|&r| r == round) {
             Some(i) => {
                 self.nan_rounds.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes one pending checkpoint-write failure for `round`;
+    /// returns whether one fired.
+    pub(crate) fn take_checkpoint_fail(&mut self, round: u64) -> bool {
+        match self.checkpoint_write_fails.iter().position(|&r| r == round) {
+            Some(i) => {
+                self.checkpoint_write_fails.swap_remove(i);
                 true
             }
             None => false,
@@ -118,6 +146,16 @@ mod tests {
         assert!(plan.take_panic(0, 0));
         assert!(plan.take_panic(0, 0));
         assert!(!plan.take_panic(0, 0));
+    }
+
+    #[test]
+    fn checkpoint_write_failure_fires_exactly_once() {
+        let mut plan = FaultPlan::new().fail_checkpoint_write(4);
+        assert!(!plan.is_empty());
+        assert!(!plan.take_checkpoint_fail(3), "wrong round does not fire");
+        assert!(plan.take_checkpoint_fail(4));
+        assert!(!plan.take_checkpoint_fail(4), "consumed");
+        assert!(plan.is_empty());
     }
 
     #[test]

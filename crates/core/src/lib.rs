@@ -62,8 +62,9 @@ pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointManager, Checkpoi
 pub use config::{CriticMode, PairUpLightConfig, PairingMode};
 pub use error::TrainError;
 pub use fault::FaultPlan;
+pub use message::{MessageChannel, MessageLossPolicy};
 pub use model::{ActorBuffers, ActorNet, ActorOut, CriticBuffers, CriticNet};
-pub use obs::{ObsEncoder, ObsNorm};
+pub use obs::{HealthConfig, ObsEncoder, ObsHealth, ObsNorm};
 pub use pairing::PairingTable;
 pub use policy::PolicySnapshot;
 pub use trainer::{PairUpLight, PairUpLightController, Rollout, TrainEpisode};

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use tsc_sim::{IntersectionObs, Network, NodeId};
+use tsc_sim::{IntersectionObs, LinkObs, Network, NodeId};
 
 /// Slots reserved for one-hop neighbors in the critic input.
 pub const ONE_HOP_SLOTS: usize = 4;
@@ -217,6 +217,182 @@ impl ObsEncoder {
     }
 }
 
+/// Thresholds for the observation-health tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// A link reading that collapses to all-zero while the last healthy
+    /// reading had at least this many halted vehicles is treated as a
+    /// suspected detector dropout (real queues drain gradually; they do
+    /// not vanish in one step).
+    pub suspect_drop: f64,
+    /// How many consecutive steps a suspected dropout is papered over
+    /// with the last-known-good reading before the zeros are passed
+    /// through unmodified.
+    pub hold_steps: u32,
+    /// A link reading that repeats bit-identically (and nonzero) for
+    /// this many consecutive steps is treated as a stuck detector.
+    pub stuck_steps: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_drop: 4.0,
+            hold_steps: 3,
+            stuck_steps: 5,
+        }
+    }
+}
+
+/// Per-link detector state tracked by [`ObsHealth`].
+#[derive(Debug, Clone, Default)]
+struct SlotHealth {
+    /// Last reading that looked healthy (the imputation source).
+    good: Option<LinkObs>,
+    /// Previous raw reading (for stuck detection).
+    prev: Option<LinkObs>,
+    /// Consecutive identical nonzero raw readings, including this one.
+    frozen_run: u32,
+    /// Imputation steps spent on the current suspected dropout.
+    hold_used: u32,
+}
+
+fn values_zero(l: &LinkObs) -> bool {
+    l.count == 0.0
+        && l.halting == 0.0
+        && l.head_wait == 0.0
+        && l.halting_by_movement.iter().all(|&h| h == 0.0)
+}
+
+fn values_equal(a: &LinkObs, b: &LinkObs) -> bool {
+    a.count == b.count
+        && a.halting == b.halting
+        && a.head_wait == b.head_wait
+        && a.halting_by_movement == b.halting_by_movement
+}
+
+fn copy_values(dst: &mut LinkObs, src: &LinkObs) {
+    dst.count = src.count;
+    dst.halting = src.halting;
+    dst.halting_by_movement = src.halting_by_movement;
+    dst.head_wait = src.head_wait;
+}
+
+/// Controller-side observation-health tracker: flags implausible
+/// detector readings and imputes last-known-good values over short
+/// outages.
+///
+/// Two failure signatures are tracked per incoming-link slot:
+///
+/// * **zero-collapse** — a busy approach (last healthy reading had
+///   `halting >= suspect_drop`) reads all-zero. The slot is suspect and
+///   the last-known-good reading is substituted for up to `hold_steps`
+///   consecutive steps; after that the zeros pass through (but the slot
+///   stays suspect until a plausible nonzero reading returns).
+/// * **frozen detector** — the same nonzero reading repeats
+///   bit-identically for `stuck_steps` steps. Real queues accumulate
+///   waiting time every second, so an exactly-repeating reading means a
+///   stuck sensor. The values are passed through (they are present,
+///   just stale) but the slot is suspect.
+///
+/// An agent whose snapshot contains any suspect slot accrues a
+/// *suspect streak* (consecutive suspect steps, reset on a clean step),
+/// exposed via [`suspect_streaks`](Self::suspect_streaks) — the signal
+/// the serving engine's health-triggered fallback ladder consumes.
+///
+/// With healthy input the filter is the identity: readings are never
+/// modified unless a failure signature fires, so wiring the tracker in
+/// front of a policy changes nothing on a clean trace.
+#[derive(Debug, Clone)]
+pub struct ObsHealth {
+    cfg: HealthConfig,
+    /// Per agent, per incoming-link slot (sized lazily on first
+    /// filter, since approach counts vary per intersection).
+    slots: Vec<Vec<SlotHealth>>,
+    streaks: Vec<u32>,
+}
+
+impl ObsHealth {
+    /// Creates a tracker for `num_agents` agents.
+    pub fn new(num_agents: usize, cfg: HealthConfig) -> Self {
+        ObsHealth {
+            cfg,
+            slots: vec![Vec::new(); num_agents],
+            streaks: vec![0; num_agents],
+        }
+    }
+
+    /// Forgets all detector history and streaks (e.g. on episode
+    /// reset).
+    pub fn reset(&mut self) {
+        for agent in &mut self.slots {
+            agent.clear();
+        }
+        self.streaks.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// Consecutive suspect steps per agent, updated by
+    /// [`filter`](Self::filter).
+    pub fn suspect_streaks(&self) -> &[u32] {
+        &self.streaks
+    }
+
+    /// Inspects (and where warranted, repairs in place) one joint
+    /// observation — one snapshot per agent, in agent order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `all.len()` differs from the tracker's agent count.
+    pub fn filter(&mut self, all: &mut [IntersectionObs]) {
+        assert_eq!(all.len(), self.slots.len(), "ObsHealth agent count");
+        for (a, obs) in all.iter_mut().enumerate() {
+            let slots = &mut self.slots[a];
+            if slots.len() != obs.incoming.len() {
+                slots.clear();
+                slots.resize(obs.incoming.len(), SlotHealth::default());
+            }
+            let mut suspect = false;
+            for (slot, reading) in slots.iter_mut().zip(obs.incoming.iter_mut()) {
+                // Stuck detection runs on the raw reading, before any
+                // imputation can make values repeat artificially.
+                let repeats = slot
+                    .prev
+                    .as_ref()
+                    .is_some_and(|p| values_equal(p, reading) && !values_zero(reading));
+                slot.frozen_run = if repeats { slot.frozen_run + 1 } else { 1 };
+                slot.prev = Some(reading.clone());
+                let frozen = slot.frozen_run >= self.cfg.stuck_steps;
+
+                let collapsed = values_zero(reading)
+                    && slot
+                        .good
+                        .as_ref()
+                        .is_some_and(|g| g.halting >= self.cfg.suspect_drop);
+                if collapsed {
+                    suspect = true;
+                    if slot.hold_used < self.cfg.hold_steps {
+                        slot.hold_used += 1;
+                        if let Some(good) = &slot.good {
+                            copy_values(reading, good);
+                        }
+                    }
+                    // Past the hold budget the zeros pass through, but
+                    // `good` is kept: the collapse stays suspect until
+                    // a plausible nonzero reading returns.
+                } else {
+                    slot.hold_used = 0;
+                    if frozen {
+                        suspect = true;
+                    } else {
+                        slot.good = Some(reading.clone());
+                    }
+                }
+            }
+            self.streaks[a] = if suspect { self.streaks[a] + 1 } else { 0 };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +474,113 @@ mod tests {
             let mut critic = vec![f32::NAN; enc.critic_dim()];
             enc.encode_critic_into(&all, i, &mut critic);
             assert_eq!(critic, enc.encode_critic(&all, i));
+        }
+    }
+
+    mod health {
+        use super::super::*;
+        use tsc_sim::{Direction, LinkId, NodeId};
+
+        fn link(halting: f64, head_wait: f64) -> LinkObs {
+            LinkObs {
+                link: LinkId(0),
+                direction: Direction::North,
+                count: halting,
+                halting,
+                halting_by_movement: [0.0, halting, 0.0],
+                head_wait,
+            }
+        }
+
+        fn snapshot(incoming: Vec<LinkObs>, time: u32) -> IntersectionObs {
+            IntersectionObs {
+                node: NodeId(0),
+                time,
+                incoming,
+                outgoing_counts: vec![0.0],
+                outgoing_links: vec![LinkId(1)],
+                current_phase: 0,
+                num_phases: 4,
+            }
+        }
+
+        #[test]
+        fn healthy_trace_is_untouched_and_streak_free() {
+            let mut h = ObsHealth::new(1, HealthConfig::default());
+            for t in 0..20 {
+                let raw = snapshot(vec![link(t as f64 % 7.0, t as f64)], t);
+                let mut filtered = vec![raw.clone()];
+                h.filter(&mut filtered);
+                assert_eq!(filtered[0], raw, "identity on clean input");
+                assert_eq!(h.suspect_streaks(), &[0]);
+            }
+        }
+
+        #[test]
+        fn zero_collapse_is_imputed_then_released() {
+            let cfg = HealthConfig::default();
+            let mut h = ObsHealth::new(1, cfg);
+            let mut warm = vec![snapshot(vec![link(6.0, 30.0)], 0)];
+            h.filter(&mut warm);
+            // Detector dies: all-zero readings from a busy approach.
+            for k in 0..cfg.hold_steps {
+                let mut dead = vec![snapshot(vec![link(0.0, 0.0)], 1 + k)];
+                h.filter(&mut dead);
+                assert_eq!(dead[0].incoming[0].halting, 6.0, "imputed step {k}");
+                assert_eq!(h.suspect_streaks(), &[k + 1]);
+            }
+            // Hold budget exhausted: zeros pass through, still suspect.
+            let mut dead = vec![snapshot(vec![link(0.0, 0.0)], 10)];
+            h.filter(&mut dead);
+            assert_eq!(dead[0].incoming[0].halting, 0.0);
+            assert_eq!(h.suspect_streaks(), &[cfg.hold_steps + 1]);
+            // Detector recovers: streak resets.
+            let mut back = vec![snapshot(vec![link(5.0, 20.0)], 11)];
+            h.filter(&mut back);
+            assert_eq!(h.suspect_streaks(), &[0]);
+        }
+
+        #[test]
+        fn quiet_approach_zeros_are_genuine() {
+            let mut h = ObsHealth::new(1, HealthConfig::default());
+            let mut warm = vec![snapshot(vec![link(2.0, 5.0)], 0)];
+            h.filter(&mut warm);
+            let mut calm = vec![snapshot(vec![link(0.0, 0.0)], 1)];
+            h.filter(&mut calm);
+            assert_eq!(calm[0].incoming[0].halting, 0.0, "below suspect_drop");
+            assert_eq!(h.suspect_streaks(), &[0]);
+        }
+
+        #[test]
+        fn frozen_detector_trips_after_stuck_steps() {
+            let cfg = HealthConfig::default();
+            let mut h = ObsHealth::new(1, cfg);
+            for t in 0..cfg.stuck_steps + 3 {
+                let mut frozen = vec![snapshot(vec![link(3.0, 17.0)], t)];
+                h.filter(&mut frozen);
+                assert_eq!(frozen[0].incoming[0].halting, 3.0, "passed through");
+                if t + 1 >= cfg.stuck_steps {
+                    assert_eq!(h.suspect_streaks(), &[t + 2 - cfg.stuck_steps]);
+                } else {
+                    assert_eq!(h.suspect_streaks(), &[0]);
+                }
+            }
+            // A changing reading clears the run.
+            let mut moving = vec![snapshot(vec![link(3.0, 18.0)], 99)];
+            h.filter(&mut moving);
+            assert_eq!(h.suspect_streaks(), &[0]);
+        }
+
+        #[test]
+        fn reset_forgets_history() {
+            let mut h = ObsHealth::new(1, HealthConfig::default());
+            let mut warm = vec![snapshot(vec![link(9.0, 40.0)], 0)];
+            h.filter(&mut warm);
+            h.reset();
+            let mut dead = vec![snapshot(vec![link(0.0, 0.0)], 1)];
+            h.filter(&mut dead);
+            assert_eq!(dead[0].incoming[0].halting, 0.0, "no good reading kept");
+            assert_eq!(h.suspect_streaks(), &[0]);
         }
     }
 

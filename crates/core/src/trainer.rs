@@ -781,7 +781,14 @@ impl PairUpLight {
         path: impl AsRef<std::path::Path>,
         base_seed: u64,
     ) -> std::io::Result<()> {
-        let ck = Checkpoint {
+        self.checkpoint_state(base_seed).write_atomic(path)
+    }
+
+    /// Snapshots the full training state as a [`Checkpoint`] value
+    /// (the serialization side of
+    /// [`save_checkpoint`](Self::save_checkpoint)).
+    fn checkpoint_state(&self, base_seed: u64) -> Checkpoint {
+        Checkpoint {
             fingerprint: self.config_fingerprint(),
             episodes_trained: self.episodes_trained,
             rounds_trained: self.rounds_trained,
@@ -791,8 +798,7 @@ impl PairUpLight {
                 .iter()
                 .map(|b| (b.params.clone(), b.opt.clone()))
                 .collect(),
-        };
-        ck.write_atomic(path)
+        }
     }
 
     /// Restores a checkpoint written by
@@ -1043,7 +1049,21 @@ impl PairUpLight {
             }
             if let Some(manager) = manager {
                 if manager.due(self.rounds_trained) {
-                    self.save_checkpoint(manager.path_for(self.rounds_trained), base_seed)?;
+                    let path = manager.path_for(self.rounds_trained);
+                    if self
+                        .faults
+                        .lock()
+                        .expect("fault plan lock")
+                        .take_checkpoint_fail(round)
+                    {
+                        // Injected disk-full: the write tears mid-file
+                        // and the real error surfaces. The previous
+                        // checkpoint must survive untouched.
+                        return Err(TrainError::Io(
+                            self.checkpoint_state(base_seed).write_torn(path),
+                        ));
+                    }
+                    self.save_checkpoint(path, base_seed)?;
                     manager.prune()?;
                 }
             }

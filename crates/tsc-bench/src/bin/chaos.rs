@@ -1,0 +1,242 @@
+//! Resilience sweep: the served PairUpLight policy under injected
+//! chaos on all three fault surfaces (sensing, actuation, comms).
+//!
+//! One untrained policy snapshot is served through the resilient
+//! `ServeRuntime` (observation-health tracking + health-triggered
+//! MaxPressure fallback) against every flow pattern at increasing
+//! fault intensity; a single `ChaosPlan` drives both the simulator
+//! side (sensing/actuation) and the serving side (message faults).
+//! The sweep asserts the acceptance criterion of the chaos engine:
+//! no step ever errors, and at 100% message loss the travel time is
+//! bounded by the warm-standby MaxPressure baseline (the runtime
+//! degrades to exactly those actions, so the bound holds by
+//! construction — the assertion checks the wiring end to end).
+//!
+//! Usage: `chaos [--json] [--smoke] [horizon_seconds]`
+//! (default horizon: 300; `--smoke` shrinks the grid, nets and
+//! horizon for CI; `--json` also writes `BENCH_chaos.json` at the
+//! repo root).
+
+use pairuplight::{HealthConfig, PairUpLight, PairUpLightConfig};
+use tsc_baselines::MaxPressureController;
+use tsc_bench::report::{write_report, Json};
+use tsc_serve::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime};
+use tsc_sim::chaos::AgentSel;
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{ChaosPlan, EnvConfig, LinkSel, NodeSel, SimConfig, TscEnv, Window};
+
+const INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
+const SEED: u64 = 42;
+
+fn main() {
+    let mut json = false;
+    let mut smoke = false;
+    let mut horizon: Option<u32> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => horizon = other.parse().ok().or(horizon),
+        }
+    }
+    let horizon = horizon.unwrap_or(if smoke { 120 } else { 300 });
+    if let Err(e) = run(horizon, smoke, json) {
+        eprintln!("chaos bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// A mixed-surface fault schedule scaled by `intensity` in [0, 1]:
+/// detector dropout and noise mid-episode, command loss alongside,
+/// a short all-red freeze, and message drop on the partner channel
+/// for the whole episode. Intensity 0 is the empty plan.
+fn plan_for(intensity: f64, horizon: u32) -> ChaosPlan {
+    if intensity <= 0.0 {
+        return ChaosPlan::default();
+    }
+    let h = horizon;
+    ChaosPlan::default()
+        .sensor_dropout(Window::new(h / 4, h / 2), LinkSel::All, intensity)
+        .sensor_noise(Window::new(h / 2, 3 * h / 4), LinkSel::All, 0.5 * intensity)
+        .command_loss(Window::new(h / 3, 2 * h / 3), NodeSel::All, intensity)
+        .all_red(
+            Window::new(h / 2, h / 2 + (10.0 * intensity) as u32),
+            NodeSel::All,
+        )
+        .message_drop(Window::always(), AgentSel::All, intensity)
+}
+
+fn resilient_config() -> ServeConfig {
+    ServeConfig {
+        fallback_min_hold: 2,
+        resilience: ResilienceConfig {
+            health: Some(HealthConfig::default()),
+            sensor_fallback_after: 2,
+            comms_fallback_after: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+struct EpisodeOutcome {
+    travel: f64,
+    completion: f64,
+    fallback_rate: f64,
+    sensor_fallbacks: u64,
+    comms_fallbacks: u64,
+}
+
+/// One full served episode (plus drain) under `plan` on both fault
+/// surfaces. Any step error propagates — the sweep's contract is that
+/// none occurs.
+fn serve_episode(
+    env: &mut TscEnv,
+    serve: &mut ServeRuntime,
+    plan: &ChaosPlan,
+    drain_cap: u32,
+) -> Result<EpisodeOutcome, Box<dyn std::error::Error>> {
+    env.set_chaos(plan.clone());
+    serve.set_chaos(plan, SEED)?;
+    env.run_episode(serve, SEED)?;
+    env.drain(serve, drain_cap)?;
+    let t = serve.telemetry();
+    let spawned = env.sim().metrics().spawned();
+    let finished = env.sim().metrics().finished();
+    Ok(EpisodeOutcome {
+        travel: env.sim().avg_travel_time(),
+        completion: if spawned == 0 {
+            1.0
+        } else {
+            finished as f64 / spawned as f64
+        },
+        fallback_rate: t.fallback_rate(),
+        sensor_fallbacks: t.fallbacks_for(DegradeReason::SensorHealth),
+        comms_fallbacks: t.fallbacks_for(DegradeReason::CommsHealth),
+    })
+}
+
+fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let grid_size = if smoke { 2 } else { 3 };
+    let grid = Grid::build(GridConfig {
+        cols: grid_size,
+        rows: grid_size,
+        spacing: if smoke { 150.0 } else { 200.0 },
+    })?;
+    let env_cfg = EnvConfig {
+        decision_interval: 5,
+        episode_horizon: horizon,
+    };
+    let drain_cap = 4 * horizon;
+    let cfg = if smoke {
+        PairUpLightConfig {
+            hidden: 16,
+            lstm_hidden: 16,
+            ..Default::default()
+        }
+    } else {
+        PairUpLightConfig::default()
+    };
+    let base = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let env = TscEnv::new(base, SimConfig::default(), env_cfg, SEED)?;
+    let snapshot = PairUpLight::new(&env, cfg).policy_snapshot();
+
+    println!(
+        "chaos sweep: {grid_size}x{grid_size} grid ({} agents), horizon {horizon}s, \
+         intensities {INTENSITIES:?}, faults on sensing+actuation+comms",
+        env.num_agents(),
+    );
+    println!(
+        "{:<10} {:>9} {:>10} {:>11} {:>9} {:>8} {:>8}",
+        "pattern", "intensity", "travel s", "completion", "fallback", "sensor", "comms"
+    );
+
+    let mut rows = Vec::new();
+    for &intensity in &INTENSITIES {
+        let plan = plan_for(intensity, horizon);
+        for pattern in FlowPattern::ALL {
+            let scenario = patterns::grid_scenario(&grid, pattern, &PatternConfig::default())?;
+            let mut env = TscEnv::new(scenario, SimConfig::default(), env_cfg, SEED)?;
+            let mut serve = ServeRuntime::new(snapshot.clone(), resilient_config());
+            let out = serve_episode(&mut env, &mut serve, &plan, drain_cap)?;
+            println!(
+                "{:<10} {:>9.2} {:>10.2} {:>10.0}% {:>8.1}% {:>8} {:>8}",
+                format!("{pattern:?}"),
+                intensity,
+                out.travel,
+                out.completion * 100.0,
+                out.fallback_rate * 100.0,
+                out.sensor_fallbacks,
+                out.comms_fallbacks,
+            );
+            rows.push(Json::obj([
+                ("pattern", Json::str(format!("{pattern:?}"))),
+                ("intensity", Json::num(intensity)),
+                ("travel_s", Json::num(out.travel)),
+                ("completion", Json::num(out.completion)),
+                ("fallback_rate", Json::num(out.fallback_rate)),
+                ("sensor_fallbacks", Json::num(out.sensor_fallbacks as f64)),
+                ("comms_fallbacks", Json::num(out.comms_fallbacks as f64)),
+            ]));
+        }
+    }
+
+    // Acceptance bound: at 100% message loss (and no other faults) the
+    // resilient runtime degrades to exactly the warm-standby MaxPressure
+    // actions, so its travel time must match the standalone baseline.
+    let cut_cable = ChaosPlan::default().message_drop(Window::always(), AgentSel::All, 1.0);
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let mut env = TscEnv::new(scenario.clone(), SimConfig::default(), env_cfg, SEED)?;
+    let mut serve = ServeRuntime::new(
+        snapshot.clone(),
+        ServeConfig {
+            fallback_min_hold: 2,
+            resilience: ResilienceConfig {
+                comms_fallback_after: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let rl = serve_episode(&mut env, &mut serve, &cut_cable, drain_cap)?;
+    let mut mp_env = TscEnv::new(scenario, SimConfig::default(), env_cfg, SEED)?;
+    let mut mp = MaxPressureController::new(2);
+    mp_env.run_episode(&mut mp, SEED)?;
+    mp_env.drain(&mut mp, drain_cap)?;
+    let mp_travel = mp_env.sim().avg_travel_time();
+    println!(
+        "cut-cable bound: resilient serve {:.2}s vs MaxPressure {:.2}s \
+         (degradation is capped by the fallback)",
+        rl.travel, mp_travel
+    );
+    assert!(
+        rl.travel <= mp_travel * 1.05,
+        "100% message loss must degrade to MaxPressure-level travel time: \
+         {} vs {mp_travel}",
+        rl.travel
+    );
+
+    if json {
+        let report = Json::obj([
+            ("bench", Json::str("chaos")),
+            ("grid", Json::str(format!("{grid_size}x{grid_size}"))),
+            ("agents", Json::num(env.num_agents() as f64)),
+            ("horizon_s", Json::num(f64::from(horizon))),
+            ("smoke", Json::Bool(smoke)),
+            ("seed", Json::num(SEED as f64)),
+            ("sweep", Json::Arr(rows)),
+            (
+                "cut_cable_bound",
+                Json::obj([
+                    ("resilient_travel_s", Json::num(rl.travel)),
+                    ("max_pressure_travel_s", Json::num(mp_travel)),
+                    ("bound_factor", Json::num(1.05)),
+                ]),
+            ),
+        ]);
+        let path = write_report("BENCH_chaos.json", &report)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,7 +1,7 @@
 //! Policy evaluation: run a controller on a scenario and extract the
 //! paper's metrics.
 
-use tsc_sim::{Controller, EnvConfig, Scenario, SimConfig, SimError, TscEnv};
+use tsc_sim::{ChaosPlan, Controller, EnvConfig, Scenario, SimConfig, SimError, TscEnv};
 
 /// Result of evaluating one controller on one scenario.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -53,6 +53,24 @@ pub fn evaluate<C: Controller + ?Sized>(
     sim_config: SimConfig,
     cfg: &EvalConfig,
 ) -> Result<EvalResult, SimError> {
+    evaluate_with_chaos(controller, scenario, sim_config, &ChaosPlan::default(), cfg)
+}
+
+/// [`evaluate`] with a [`ChaosPlan`] installed on the environment:
+/// sensing and actuation faults fire on their scheduled windows for
+/// the whole episode (and drain). An empty plan is bit-identical to
+/// [`evaluate`].
+///
+/// # Errors
+///
+/// Propagates environment construction/step failures.
+pub fn evaluate_with_chaos<C: Controller + ?Sized>(
+    controller: &mut C,
+    scenario: &Scenario,
+    sim_config: SimConfig,
+    chaos: &ChaosPlan,
+    cfg: &EvalConfig,
+) -> Result<EvalResult, SimError> {
     let mut env = TscEnv::new(
         scenario.clone(),
         sim_config,
@@ -62,6 +80,7 @@ pub fn evaluate<C: Controller + ?Sized>(
         },
         cfg.seed,
     )?;
+    env.set_chaos(chaos.clone());
     let stats = env.run_episode(controller, cfg.seed)?;
     env.drain(controller, cfg.drain_cap)?;
     let sim = env.sim();
@@ -157,6 +176,48 @@ mod tests {
         assert!(r.spawned > 0);
         assert!(r.completion_rate > 0.9, "light traffic drains: {r:?}");
         assert!(r.avg_travel_time > 0.0);
+    }
+
+    #[test]
+    fn chaos_evaluation_matches_clean_on_empty_plan_and_survives_dropout() {
+        use tsc_sim::{ChaosPlan, LinkSel, Window};
+        let grid = Grid::build(GridConfig {
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+        })
+        .unwrap();
+        let cfg = PatternConfig {
+            uniform_end: 300.0,
+            ..PatternConfig::default()
+        };
+        let f = flows(&grid, FlowPattern::Five, &cfg).unwrap();
+        let scenario = grid.scenario("t", f).unwrap();
+        let eval_cfg = EvalConfig {
+            horizon: 300,
+            drain_cap: 1500,
+            seed: 0,
+        };
+        let mut ctl = FixedTimeController::default();
+        let clean = evaluate(&mut ctl, &scenario, SimConfig::default(), &eval_cfg).unwrap();
+        let mut ctl = FixedTimeController::default();
+        let empty = evaluate_with_chaos(
+            &mut ctl,
+            &scenario,
+            SimConfig::default(),
+            &ChaosPlan::default(),
+            &eval_cfg,
+        )
+        .unwrap();
+        assert_eq!(clean, empty, "empty plan is bit-identical to clean");
+        // Full detector dropout: FixedTime ignores sensors, so the
+        // physics (and thus the metrics) are untouched.
+        let blind = ChaosPlan::default().sensor_dropout(Window::always(), LinkSel::All, 1.0);
+        let mut ctl = FixedTimeController::default();
+        let degraded =
+            evaluate_with_chaos(&mut ctl, &scenario, SimConfig::default(), &blind, &eval_cfg)
+                .unwrap();
+        assert_eq!(clean, degraded, "FixedTime is sensor-blind");
     }
 
     #[test]

@@ -16,28 +16,60 @@
 //!
 //! A [`MaxPressureController`] runs warm-standby: it is advanced every
 //! step (so its min-hold counters stay continuous) and its actions are
-//! used whenever the policy cannot answer — the per-step deadline was
-//! overrun, or a checkpoint reload is staged but not yet committed.
+//! used whenever the policy cannot answer. The full degradation ladder,
+//! from least to most degraded:
+//!
+//! 1. **healthy** — batched policy inference on the raw observation;
+//! 2. **imputed** — the optional observation-health tracker
+//!    ([`ObsHealth`](pairuplight::ObsHealth)) papers over implausible
+//!    detector readings with last-known-good values, and the
+//!    [`MessageLossPolicy`](pairuplight::MessageLossPolicy) substitutes
+//!    for dropped partner messages; the policy still decides;
+//! 3. **per-agent fallback** — an agent whose sensor-suspect or
+//!    message-loss streak crosses its configured threshold (or, on the
+//!    per-agent path, whose turn arrives after the deadline) is
+//!    answered by MaxPressure while the rest of the grid stays on the
+//!    policy;
+//! 4. **whole-step fallback** — a batched deadline overrun or an
+//!    in-flight checkpoint reload degrades every agent for the step.
+//!
 //! Deadline semantics differ by path: the batched forward is
 //! all-or-nothing, so an overrun discards the whole step's policy
 //! actions (recurrent state still advances, keeping the policy warm);
 //! the per-agent path checks the deadline before each agent and only
 //! the agents after the overrun fall back, carrying their previous
 //! message and LSTM state forward unchanged.
+//!
+//! Every fallback decision is attributed to a [`DegradeReason`] per
+//! agent (in [`ServeStep::causes`] and the telemetry), so an operator
+//! can tell a slow model from a dying detector from a cut cable.
+//!
+//! ## Chaos
+//!
+//! [`set_chaos`](ServeRuntime::set_chaos) installs the comms faults of
+//! a [`ChaosPlan`](tsc_sim::ChaosPlan) into the runtime's
+//! [`MessageChannel`](pairuplight::MessageChannel) (sensing and
+//! actuation faults live in the simulator). Comms fault windows are in
+//! *decision steps* — the unit the channel operates in — while
+//! sensing/actuation windows are in sim seconds. With no faults
+//! installed the channel is bit-identical to the plain double-buffered
+//! message exchange it replaced.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 use pairuplight::message::logistic;
 use pairuplight::{
-    Checkpoint, PairUpLight, PairUpLightConfig, PairingMode, PolicySnapshot, TrainError,
+    Checkpoint, HealthConfig, MessageChannel, MessageLossPolicy, ObsHealth, PairUpLight,
+    PairUpLightConfig, PairingMode, PolicySnapshot, TrainError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tsc_baselines::MaxPressureController;
 use tsc_nn::{LstmState, Tensor};
 use tsc_rl::distribution::Categorical;
-use tsc_sim::{Controller, IntersectionObs, TscEnv};
+use tsc_sim::chaos::AgentSel;
+use tsc_sim::{ChaosPlan, Controller, IntersectionObs, TscEnv};
 
 use crate::error::ServeError;
 use crate::telemetry::ServeTelemetry;
@@ -52,6 +84,10 @@ pub struct ServeConfig {
     /// Minimum phase hold (decision steps) for the fallback
     /// controller; clamped to at least 1.
     pub fallback_min_hold: usize,
+    /// Resilience against degraded sensing and comms. The default is
+    /// fully disabled, leaving serving bit-identical to a runtime
+    /// without the resilience layer.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -59,8 +95,27 @@ impl Default for ServeConfig {
         ServeConfig {
             deadline: None,
             fallback_min_hold: 2,
+            resilience: ResilienceConfig::default(),
         }
     }
+}
+
+/// Controller-side resilience knobs: observation-health tracking,
+/// message-loss substitution, and the health-triggered fallback
+/// thresholds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilienceConfig {
+    /// Observation-health tracking thresholds; `None` (the default)
+    /// disables tracking and imputation entirely.
+    pub health: Option<HealthConfig>,
+    /// What replaces a dropped partner message.
+    pub msg_loss: MessageLossPolicy,
+    /// Fall an agent back to MaxPressure after this many consecutive
+    /// sensor-suspect steps (requires `health`; 0 disables).
+    pub sensor_fallback_after: u32,
+    /// Fall an agent back to MaxPressure after this many consecutive
+    /// dropped partner messages (0 disables).
+    pub comms_fallback_after: u32,
 }
 
 /// Why a step (or part of it) was served by the fallback controller.
@@ -70,6 +125,34 @@ pub enum DegradeReason {
     DeadlineOverrun,
     /// A checkpoint reload is staged but not yet committed.
     ReloadInFlight,
+    /// The agent's sensor-suspect streak crossed
+    /// [`ResilienceConfig::sensor_fallback_after`].
+    SensorHealth,
+    /// The agent's dropped-message streak crossed
+    /// [`ResilienceConfig::comms_fallback_after`].
+    CommsHealth,
+}
+
+impl DegradeReason {
+    /// Number of distinct reasons (telemetry array size).
+    pub const COUNT: usize = 4;
+    /// Every reason, in [`index`](Self::index) order.
+    pub const ALL: [DegradeReason; DegradeReason::COUNT] = [
+        DegradeReason::DeadlineOverrun,
+        DegradeReason::ReloadInFlight,
+        DegradeReason::SensorHealth,
+        DegradeReason::CommsHealth,
+    ];
+
+    /// Stable dense index for telemetry arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DegradeReason::DeadlineOverrun => 0,
+            DegradeReason::ReloadInFlight => 1,
+            DegradeReason::SensorHealth => 2,
+            DegradeReason::CommsHealth => 3,
+        }
+    }
 }
 
 /// The outcome of one served decision step.
@@ -77,11 +160,15 @@ pub enum DegradeReason {
 pub struct ServeStep {
     /// Chosen phase per agent, in agent order.
     pub actions: Vec<usize>,
-    /// Which agents were answered by the fallback controller.
+    /// Which agents were answered by the fallback controller
+    /// (`causes[a].is_some()`, kept in both forms for convenience).
     pub fell_back: Vec<bool>,
+    /// Why each agent fell back (`None` = served by the policy).
+    pub causes: Vec<Option<DegradeReason>>,
     /// Wall-clock time spent in [`ServeRuntime::serve_step`].
     pub latency: Duration,
-    /// Set when any agent fell back this step.
+    /// Set when any agent fell back this step (the first affected
+    /// agent's cause).
     pub degraded: Option<DegradeReason>,
 }
 
@@ -100,9 +187,23 @@ pub struct ServeRuntime {
     /// Recurrent state: one `N × H` entry when parameters are shared
     /// (batched path), else one `1 × H` entry per agent.
     states: Vec<LstmState>,
-    /// Double-buffered PairUpLight message channel (`N × bandwidth`).
-    messages: Vec<Vec<f32>>,
+    /// The partner-message channel (fault-free unless
+    /// [`set_chaos`](Self::set_chaos) installed comms faults).
+    channel: MessageChannel,
+    /// Outgoing messages assembled this step, published to the channel
+    /// at the end of the step (`N × bandwidth` scratch).
     next_messages: Vec<Vec<f32>>,
+    /// Post-channel partner message per receiver (`N × bandwidth`).
+    delivered: Vec<Vec<f32>>,
+    /// Consecutive dropped partner messages per agent.
+    comms_streaks: Vec<u32>,
+    /// Observation-health tracker (when resilience enables it).
+    health: Option<ObsHealth>,
+    /// Scratch for the health-filtered joint observation.
+    scratch_obs: Vec<IntersectionObs>,
+    /// Decision steps served since the last state reset (the clock
+    /// comms fault windows are evaluated against).
+    step_index: u32,
     /// Assembled network input (persistent across steps).
     x: Tensor,
     bufs: pairuplight::ActorBuffers,
@@ -119,14 +220,20 @@ impl ServeRuntime {
     /// Wraps a policy snapshot for serving.
     pub fn new(policy: PolicySnapshot, cfg: ServeConfig) -> Self {
         let num_agents = policy.num_agents();
+        let bandwidth = policy.config().bandwidth;
         let seed = policy.config().seed ^ 0xC0FFEE;
         let mut rt = ServeRuntime {
             fallback: MaxPressureController::new(cfg.fallback_min_hold.max(1)),
+            channel: MessageChannel::new(num_agents, bandwidth, cfg.resilience.msg_loss),
+            health: cfg.resilience.health.map(|h| ObsHealth::new(num_agents, h)),
             policy,
             cfg,
             states: Vec::new(),
-            messages: Vec::new(),
             next_messages: Vec::new(),
+            delivered: Vec::new(),
+            comms_streaks: vec![0; num_agents],
+            scratch_obs: Vec::new(),
+            step_index: 0,
             x: Tensor::zeros(0, 0),
             bufs: pairuplight::ActorBuffers::default(),
             probs: Tensor::zeros(0, 0),
@@ -162,7 +269,9 @@ impl ServeRuntime {
     }
 
     /// Zeroes recurrent state and messages, resets the fallback
-    /// controller, and reseeds the runtime RNG (reproducible episodes).
+    /// controller, health tracking, and the message channel (installed
+    /// chaos faults persist), and reseeds the runtime RNG
+    /// (reproducible episodes).
     fn reset_state(&mut self) {
         let n = self.policy.num_agents();
         let h = self.policy.config().lstm_hidden;
@@ -172,8 +281,14 @@ impl ServeRuntime {
         } else {
             (0..n).map(|_| LstmState::zeros(1, h)).collect()
         };
-        self.messages = vec![vec![0.0; bw]; n];
         self.next_messages = vec![vec![0.0; bw]; n];
+        self.delivered = vec![vec![0.0; bw]; n];
+        self.channel.reset();
+        self.comms_streaks.iter_mut().for_each(|s| *s = 0);
+        if let Some(health) = &mut self.health {
+            health.reset();
+        }
+        self.step_index = 0;
         self.fallback.reset();
         self.rng = StdRng::seed_from_u64(self.policy.config().seed ^ 0xC0FFEE);
     }
@@ -210,6 +325,37 @@ impl ServeRuntime {
     /// Whether a reload is staged but not yet committed.
     pub fn reload_in_flight(&self) -> bool {
         self.staged.is_some()
+    }
+
+    /// Installs the comms faults of `plan` into the runtime's message
+    /// channel, keyed by `seed` (the sensing/actuation faults of the
+    /// same plan belong in the simulator — see
+    /// [`TscEnv::set_chaos`](tsc_sim::TscEnv::set_chaos)). Replaces any
+    /// previously installed faults and clears message history; an empty
+    /// plan restores fault-free serving.
+    ///
+    /// Fault windows are evaluated against the runtime's decision-step
+    /// counter, which resets with episode state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidChaos`] when a comms fault targets an agent
+    /// index outside the served grid.
+    pub fn set_chaos(&mut self, plan: &ChaosPlan, seed: u64) -> Result<(), ServeError> {
+        let n = self.policy.num_agents();
+        for fault in plan.comms() {
+            if let AgentSel::One(agent) = fault.receivers {
+                if agent >= n {
+                    return Err(ServeError::InvalidChaos { agent, agents: n });
+                }
+            }
+        }
+        // Decorrelate from the simulator's chaos stream for the same
+        // user seed.
+        self.channel
+            .set_faults(plan.comms().to_vec(), seed ^ 0xC077_5EED);
+        self.comms_streaks.iter_mut().for_each(|s| *s = 0);
+        Ok(())
     }
 
     /// Stage a checkpoint for hot reload: read, checksum-verify, and
@@ -267,33 +413,93 @@ impl ServeRuntime {
             });
         }
         let t0 = Instant::now();
+        // Health filtering (identity when disabled): both the fallback
+        // and the policy see the sanitized view, so imputation helps
+        // whichever controller ends up answering.
+        let mut scratch = std::mem::take(&mut self.scratch_obs);
+        let eff: &[IntersectionObs] = match self.health.as_mut() {
+            Some(health) => {
+                scratch.clear();
+                scratch.extend_from_slice(obs);
+                health.filter(&mut scratch);
+                &scratch
+            }
+            None => obs,
+        };
         // Warm standby: the fallback decides every step even when
         // unused, so its min-hold counters track the live grid and a
         // degraded step starts from a sane phase, not a cold reset.
-        let fb_actions = self.fallback.decide(obs);
-        let (actions, fell_back, degraded) = if self.staged.is_some() {
+        let fb_actions = self.fallback.decide(eff);
+        let (actions, causes) = if self.staged.is_some() {
             // Reload in flight: policy weights are about to be
-            // swapped; recurrent state is left untouched (it is reset
-            // at commit anyway) and every agent falls back.
-            (
-                fb_actions,
-                vec![true; n],
-                Some(DegradeReason::ReloadInFlight),
-            )
-        } else if self.policy.shared() {
-            self.step_batched(obs, fb_actions, t0)
+            // swapped; recurrent state, message channel, and health
+            // streaks are left untouched (they are reset at commit
+            // anyway) and every agent falls back.
+            (fb_actions, vec![Some(DegradeReason::ReloadInFlight); n])
         } else {
-            self.step_per_agent(obs, fb_actions, t0)
+            let partners = self.partners(eff);
+            self.deliver_messages(&partners);
+            let causes = self.health_causes();
+            if self.policy.shared() {
+                self.step_batched(eff, fb_actions, causes, t0)
+            } else {
+                self.step_per_agent(eff, fb_actions, causes, t0)
+            }
         };
+        self.scratch_obs = scratch;
+        self.step_index += 1;
+        let fell_back: Vec<bool> = causes.iter().map(|c| c.is_some()).collect();
+        let degraded = causes.iter().find_map(|&c| c);
         let latency = t0.elapsed();
-        self.telemetry
-            .record(latency, &fell_back, degraded.is_some());
+        self.telemetry.record(latency, &causes, degraded.is_some());
         Ok(ServeStep {
             actions,
             fell_back,
+            causes,
             latency,
             degraded,
         })
+    }
+
+    /// Runs the message channel for every receiver and updates the
+    /// dropped-message streaks.
+    fn deliver_messages(&mut self, partners: &[usize]) {
+        let time = self.step_index;
+        for (a, &p) in partners.iter().enumerate() {
+            let dropped = self
+                .channel
+                .deliver_into(a, p, time, &mut self.delivered[a]);
+            self.comms_streaks[a] = if dropped {
+                self.comms_streaks[a] + 1
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Per-agent fallback causes from the health trackers (sensor
+    /// outranks comms when both trip).
+    fn health_causes(&self) -> Vec<Option<DegradeReason>> {
+        let n = self.policy.num_agents();
+        let mut causes = vec![None; n];
+        let res = &self.cfg.resilience;
+        if res.sensor_fallback_after > 0 {
+            if let Some(health) = &self.health {
+                for (cause, &streak) in causes.iter_mut().zip(health.suspect_streaks()) {
+                    if streak >= res.sensor_fallback_after {
+                        *cause = Some(DegradeReason::SensorHealth);
+                    }
+                }
+            }
+        }
+        if res.comms_fallback_after > 0 {
+            for (cause, &streak) in causes.iter_mut().zip(&self.comms_streaks) {
+                if cause.is_none() && streak >= res.comms_fallback_after {
+                    *cause = Some(DegradeReason::CommsHealth);
+                }
+            }
+        }
+        causes
     }
 
     fn partners(&mut self, obs: &[IntersectionObs]) -> Vec<usize> {
@@ -318,21 +524,26 @@ impl ServeRuntime {
     }
 
     /// Shared-parameter path: all agents in one `N × D` forward.
+    ///
+    /// Health-degraded agents still go through the forward (one batch
+    /// is all-or-nothing, and it keeps their recurrent state and
+    /// outgoing message warm); only their *action* is replaced by the
+    /// fallback's.
     fn step_batched(
         &mut self,
         obs: &[IntersectionObs],
         fb_actions: Vec<usize>,
+        mut causes: Vec<Option<DegradeReason>>,
         t0: Instant,
-    ) -> (Vec<usize>, Vec<bool>, Option<DegradeReason>) {
+    ) -> (Vec<usize>, Vec<Option<DegradeReason>>) {
         let n = self.policy.num_agents();
         let cfg = *self.policy.config();
         let local_dim = self.policy.encoder().local_dim();
-        let partners = self.partners(obs);
         self.extra_allocs += self.x.ensure_shape(n, local_dim + cfg.bandwidth) as u64;
-        for a in 0..n {
+        for (a, ob) in obs.iter().enumerate().take(n) {
             let (local, msg) = self.x.row_mut(a).split_at_mut(local_dim);
-            self.policy.encoder().encode_local_into(&obs[a], local);
-            msg.copy_from_slice(&self.messages[partners[a]]);
+            self.policy.encoder().encode_local_into(ob, local);
+            msg.copy_from_slice(&self.delivered[a]);
         }
         if let Some(delay) = self.injected_delay {
             std::thread::sleep(delay);
@@ -342,7 +553,7 @@ impl ServeRuntime {
         actor.infer(params, &self.x, &state.h, &state.c, &mut self.bufs);
         self.extra_allocs += self.probs.ensure_shape(n, cfg.max_phases) as u64;
         tsc_nn::softmax_rows_into(&self.bufs.logits, &mut self.probs);
-        let actions: Vec<usize> = (0..n)
+        let mut actions: Vec<usize> = (0..n)
             .map(|a| self.greedy_action(a, self.policy.phases_per_agent()[a]))
             .collect();
         if cfg.bandwidth > 0 {
@@ -361,46 +572,61 @@ impl ServeRuntime {
         let state = &mut self.states[0];
         state.h.copy_from(&self.bufs.h);
         state.c.copy_from(&self.bufs.c);
-        std::mem::swap(&mut self.messages, &mut self.next_messages);
-        match self.cfg.deadline {
+        self.channel.publish(&self.next_messages);
+        let overrun = matches!(self.cfg.deadline, Some(d) if t0.elapsed() > d);
+        for (a, cause) in causes.iter_mut().enumerate() {
             // The batch is all-or-nothing: an overrun degrades every
-            // agent for this step.
-            Some(deadline) if t0.elapsed() > deadline => (
-                fb_actions,
-                vec![true; n],
-                Some(DegradeReason::DeadlineOverrun),
-            ),
-            _ => (actions, vec![false; n], None),
+            // agent. A pre-existing health cause is the more specific
+            // diagnosis, so it is kept.
+            if overrun && cause.is_none() {
+                *cause = Some(DegradeReason::DeadlineOverrun);
+            }
+            if cause.is_some() {
+                actions[a] = fb_actions[a];
+            }
         }
+        (actions, causes)
     }
 
     /// Independent-parameter path: one `1 × D` forward per agent, with
     /// the deadline checked before each agent.
+    ///
+    /// Unlike the batched path, a health-degraded agent's forward is
+    /// skipped entirely (its latency budget is better spent on healthy
+    /// agents); it re-publishes its previous message and carries its
+    /// LSTM state forward unchanged, exactly like an agent behind a
+    /// deadline overrun.
     fn step_per_agent(
         &mut self,
         obs: &[IntersectionObs],
         fb_actions: Vec<usize>,
+        mut causes: Vec<Option<DegradeReason>>,
         t0: Instant,
-    ) -> (Vec<usize>, Vec<bool>, Option<DegradeReason>) {
+    ) -> (Vec<usize>, Vec<Option<DegradeReason>>) {
         let n = self.policy.num_agents();
         let cfg = *self.policy.config();
         let local_dim = self.policy.encoder().local_dim();
-        let partners = self.partners(obs);
         let mut actions = fb_actions;
-        let mut fell_back = vec![false; n];
-        let mut degraded = None;
         for a in 0..n {
+            if causes[a].is_some() {
+                // Health-triggered fallback: keep the fallback action,
+                // re-publish the previous message, leave LSTM state.
+                let (dst, src) = (&mut self.next_messages[a], self.channel.latest(a));
+                dst.copy_from_slice(src);
+                continue;
+            }
             if let Some(deadline) = self.cfg.deadline {
                 if t0.elapsed() > deadline {
                     // Budget exhausted: the rest of the grid keeps its
                     // fallback actions and carries message + LSTM
                     // state forward unchanged.
-                    for (b, fb) in fell_back.iter_mut().enumerate().skip(a) {
-                        *fb = true;
-                        let (dst, src) = (&mut self.next_messages[b], &self.messages[b]);
+                    for (b, cause) in causes.iter_mut().enumerate().skip(a) {
+                        if cause.is_none() {
+                            *cause = Some(DegradeReason::DeadlineOverrun);
+                        }
+                        let (dst, src) = (&mut self.next_messages[b], self.channel.latest(b));
                         dst.copy_from_slice(src);
                     }
-                    degraded = Some(DegradeReason::DeadlineOverrun);
                     break;
                 }
             }
@@ -410,7 +636,7 @@ impl ServeRuntime {
             self.extra_allocs += self.x.ensure_shape(1, local_dim + cfg.bandwidth) as u64;
             let (local, msg) = self.x.row_mut(0).split_at_mut(local_dim);
             self.policy.encoder().encode_local_into(&obs[a], local);
-            msg.copy_from_slice(&self.messages[partners[a]]);
+            msg.copy_from_slice(&self.delivered[a]);
             let (params, actor) = &self.policy.actors()[a];
             let state = &self.states[a];
             actor.infer(params, &self.x, &state.h, &state.c, &mut self.bufs);
@@ -429,8 +655,8 @@ impl ServeRuntime {
             state.h.copy_from(&self.bufs.h);
             state.c.copy_from(&self.bufs.c);
         }
-        std::mem::swap(&mut self.messages, &mut self.next_messages);
-        (actions, fell_back, degraded)
+        self.channel.publish(&self.next_messages);
+        (actions, causes)
     }
 }
 

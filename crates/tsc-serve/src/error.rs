@@ -27,6 +27,13 @@ pub enum ServeError {
         /// Agents the policy controls.
         expected: usize,
     },
+    /// A chaos plan references an agent outside the served grid.
+    InvalidChaos {
+        /// The out-of-range agent index in the plan.
+        agent: usize,
+        /// Agents the policy controls.
+        agents: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -40,6 +47,12 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "joint observation has {got} agents, policy controls {expected}"
+                )
+            }
+            ServeError::InvalidChaos { agent, agents } => {
+                write!(
+                    f,
+                    "chaos plan targets agent {agent}, policy controls {agents}"
                 )
             }
         }

@@ -18,6 +18,12 @@
 //!   flight, affected intersections fall back to a warm-standby
 //!   MaxPressure controller, with typed [`ServeError`]s and per-agent
 //!   fallback accounting.
+//! * **Controller-side resilience** — optional observation-health
+//!   tracking with last-known-good imputation, a message channel with
+//!   a configurable loss policy, per-agent health-triggered fallback
+//!   with cause attribution ([`ResilienceConfig`], [`DegradeReason`]),
+//!   and [`ServeRuntime::set_chaos`] to inject deterministic comms
+//!   faults from a [`tsc_sim::ChaosPlan`].
 //! * **Serving telemetry** — decisions/sec, latency p50/p95/p99 from a
 //!   streaming log-bucket histogram, fallback rate
 //!   ([`ServeTelemetry`]).
@@ -57,6 +63,6 @@ mod engine;
 mod error;
 mod telemetry;
 
-pub use engine::{DegradeReason, ServeConfig, ServeRuntime, ServeStep};
+pub use engine::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime, ServeStep};
 pub use error::ServeError;
 pub use telemetry::ServeTelemetry;

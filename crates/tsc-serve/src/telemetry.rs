@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use crate::engine::DegradeReason;
+
 /// Number of log-spaced latency buckets.
 const BUCKETS: usize = 64;
 /// Lower edge of the first bucket, nanoseconds (1 µs).
@@ -26,6 +28,9 @@ pub struct ServeTelemetry {
     fallback_decisions: u64,
     degraded_steps: u64,
     per_agent_fallbacks: Vec<u64>,
+    /// Per agent, fallback decisions broken down by [`DegradeReason`]
+    /// (indexed by [`DegradeReason::index`]).
+    per_agent_causes: Vec<[u64; DegradeReason::COUNT]>,
     total_ns: u128,
     min_ns: u64,
     max_ns: u64,
@@ -41,6 +46,7 @@ impl ServeTelemetry {
             fallback_decisions: 0,
             degraded_steps: 0,
             per_agent_fallbacks: vec![0; num_agents],
+            per_agent_causes: vec![[0; DegradeReason::COUNT]; num_agents],
             total_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
@@ -61,24 +67,28 @@ impl ServeTelemetry {
     }
 
     /// Records one served step: its wall-clock latency, which agents
-    /// fell back to the degraded controller, and whether the step as a
-    /// whole was degraded. Allocation-free.
-    pub fn record(&mut self, latency: Duration, fell_back: &[bool], degraded: bool) {
+    /// fell back to the degraded controller and why (`None` = served
+    /// by the policy), and whether the step as a whole was degraded.
+    /// Allocation-free.
+    pub fn record(&mut self, latency: Duration, causes: &[Option<DegradeReason>], degraded: bool) {
         let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
         self.buckets[Self::bucket_for(ns)] += 1;
         self.steps += 1;
-        self.decisions += fell_back.len() as u64;
+        self.decisions += causes.len() as u64;
         self.total_ns += ns as u128;
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
         if degraded {
             self.degraded_steps += 1;
         }
-        for (a, &fb) in fell_back.iter().enumerate() {
-            if fb {
+        for (a, cause) in causes.iter().enumerate() {
+            if let Some(reason) = cause {
                 self.fallback_decisions += 1;
                 if let Some(slot) = self.per_agent_fallbacks.get_mut(a) {
                     *slot += 1;
+                }
+                if let Some(slots) = self.per_agent_causes.get_mut(a) {
+                    slots[reason.index()] += 1;
                 }
             }
         }
@@ -107,6 +117,21 @@ impl ServeTelemetry {
     /// Fallback decision count per agent, in agent order.
     pub fn per_agent_fallbacks(&self) -> &[u64] {
         &self.per_agent_fallbacks
+    }
+
+    /// Per-agent fallback decisions broken down by cause, indexed by
+    /// [`DegradeReason::index`] (see [`DegradeReason::ALL`] for the
+    /// order).
+    pub fn per_agent_causes(&self) -> &[[u64; DegradeReason::COUNT]] {
+        &self.per_agent_causes
+    }
+
+    /// Grid-wide fallback decisions for one cause.
+    pub fn fallbacks_for(&self, reason: DegradeReason) -> u64 {
+        self.per_agent_causes
+            .iter()
+            .map(|slots| slots[reason.index()])
+            .sum()
     }
 
     /// Fraction of decisions served by the fallback controller.
@@ -201,7 +226,7 @@ mod tests {
     fn percentiles_are_monotone_and_bracket_the_data() {
         let mut t = ServeTelemetry::new(2);
         for i in 1..=100u64 {
-            t.record(Duration::from_micros(i * 10), &[false, false], false);
+            t.record(Duration::from_micros(i * 10), &[None, None], false);
         }
         let (p50, p95, p99) = (t.p50_us(), t.p95_us(), t.p99_us());
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
@@ -215,20 +240,35 @@ mod tests {
 
     #[test]
     fn fallback_accounting_is_per_agent() {
+        use DegradeReason::*;
         let mut t = ServeTelemetry::new(3);
-        t.record(Duration::from_micros(5), &[true, false, true], true);
-        t.record(Duration::from_micros(5), &[false, false, true], true);
-        t.record(Duration::from_micros(5), &[false, false, false], false);
+        t.record(
+            Duration::from_micros(5),
+            &[Some(DeadlineOverrun), None, Some(SensorHealth)],
+            true,
+        );
+        t.record(
+            Duration::from_micros(5),
+            &[None, None, Some(CommsHealth)],
+            true,
+        );
+        t.record(Duration::from_micros(5), &[None, None, None], false);
         assert_eq!(t.fallback_decisions(), 3);
         assert_eq!(t.per_agent_fallbacks(), &[1, 0, 2]);
         assert_eq!(t.degraded_steps(), 2);
         assert!((t.fallback_rate() - 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(t.per_agent_causes()[0], [1, 0, 0, 0]);
+        assert_eq!(t.per_agent_causes()[2], [0, 0, 1, 1]);
+        assert_eq!(t.fallbacks_for(DeadlineOverrun), 1);
+        assert_eq!(t.fallbacks_for(SensorHealth), 1);
+        assert_eq!(t.fallbacks_for(CommsHealth), 1);
+        assert_eq!(t.fallbacks_for(ReloadInFlight), 0);
     }
 
     #[test]
     fn sub_microsecond_latencies_land_in_the_first_bucket() {
         let mut t = ServeTelemetry::new(1);
-        t.record(Duration::from_nanos(10), &[false], false);
+        t.record(Duration::from_nanos(10), &[None], false);
         assert_eq!(t.p50_us(), 1.0);
     }
 }

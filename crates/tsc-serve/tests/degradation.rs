@@ -51,6 +51,7 @@ fn deadline_overrun_falls_back_to_max_pressure_and_recovers() {
         ServeConfig {
             deadline: Some(Duration::from_millis(50)),
             fallback_min_hold: 2,
+            ..Default::default()
         },
     );
     // Mirror of the runtime's internal warm-standby fallback: fed the
@@ -106,6 +107,7 @@ fn per_agent_deadline_degrades_only_the_late_agents() {
         ServeConfig {
             deadline: Some(Duration::from_millis(50)),
             fallback_min_hold: 2,
+            ..Default::default()
         },
     );
     let obs = env.clone().reset(7);

@@ -1,0 +1,464 @@
+//! Deterministic chaos injection for the controller-facing surfaces.
+//!
+//! A [`ChaosPlan`] is a schedule of faults perturbing the three
+//! boundaries between a controller and the world:
+//!
+//! * **sensing** — per-detector dropout, stuck-at-last-value freezes,
+//!   Gaussian count noise, and additive bias (generalizing the ad-hoc
+//!   dropout/noise knobs of [`DetectorConfig`](crate::DetectorConfig)
+//!   into scheduled, targetable faults);
+//! * **actuation** — lost phase commands (the signal holds its current
+//!   phase), stuck-phase windows (every command ignored), and forced
+//!   all-red windows (nothing discharges);
+//! * **communication** — per-edge message drop, delay-by-k decision
+//!   steps, and value corruption on the partner-message channel
+//!   (consumed by the controller-side channel model in the core crate;
+//!   the simulator itself carries no messages).
+//!
+//! Every fault is active on a half-open [`Window`] of simulation
+//! seconds and draws its probabilistic decisions from a splitmix64
+//! hash of `(seed, fault index, time, entity)` — the same scheme as
+//! detector degradation — so the plan consumes **no RNG state** and a
+//! run under `seed + plan` is bit-for-bit reproducible. An empty plan
+//! is free: every hook checks an empty list and leaves the simulation
+//! byte-identical to a chaos-free build. This mirrors the `FaultPlan`
+//! design of the training stack, except that chaos faults are windows
+//! rather than consume-once events: the surface keeps misbehaving for
+//! as long as the window lasts.
+
+use crate::ids::{LinkId, NodeId};
+
+/// Half-open window `[start, end)` of simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First second the fault is active.
+    pub start: u32,
+    /// First second the fault is no longer active.
+    pub end: u32,
+}
+
+impl Window {
+    /// A window covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Window { start, end }
+    }
+
+    /// A window covering the whole run.
+    pub fn always() -> Self {
+        Window {
+            start: 0,
+            end: u32::MAX,
+        }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: u32) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Which links a sensing fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSel {
+    /// Every link.
+    All,
+    /// One specific link.
+    One(LinkId),
+}
+
+impl LinkSel {
+    /// Whether `link` is targeted.
+    pub fn matches(&self, link: LinkId) -> bool {
+        match self {
+            LinkSel::All => true,
+            LinkSel::One(l) => *l == link,
+        }
+    }
+}
+
+/// Which intersections an actuation fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSel {
+    /// Every signalized intersection.
+    All,
+    /// One specific intersection.
+    One(NodeId),
+}
+
+impl NodeSel {
+    /// Whether `node` is targeted.
+    pub fn matches(&self, node: NodeId) -> bool {
+        match self {
+            NodeSel::All => true,
+            NodeSel::One(n) => *n == node,
+        }
+    }
+}
+
+/// Which receiving agents a communication fault targets (an "edge" of
+/// the pairing graph is identified by its receiver: every agent reads
+/// exactly one partner message per decision step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentSel {
+    /// Every agent.
+    All,
+    /// One specific agent index.
+    One(usize),
+}
+
+impl AgentSel {
+    /// Whether `agent` is targeted.
+    pub fn matches(&self, agent: usize) -> bool {
+        match self {
+            AgentSel::All => true,
+            AgentSel::One(a) => *a == agent,
+        }
+    }
+}
+
+/// A detector fault mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensingKind {
+    /// Each second inside the window, the detector reads all-zero with
+    /// probability `p` (deterministic in `(time, link)`).
+    Dropout {
+        /// Per-second failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// The reading freezes at its value from the window's first second.
+    StuckAtLast,
+    /// Counts are scaled by `1 + sigma · g` with `g` a deterministic
+    /// standard Gaussian (clamped so counts stay non-negative).
+    Noise {
+        /// Gaussian amplitude.
+        sigma: f64,
+    },
+    /// A constant miscalibration: `delta` vehicles are added to the
+    /// count/halting readings (clamped at zero; negative `delta`
+    /// under-counts, positive `delta` reports phantom vehicles).
+    Bias {
+        /// Additive count offset (vehicles).
+        delta: f64,
+    },
+}
+
+/// A scheduled detector fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensingFault {
+    /// When the fault is active.
+    pub window: Window,
+    /// Which links it hits.
+    pub links: LinkSel,
+    /// What it does.
+    pub kind: SensingKind,
+}
+
+/// A signal-actuation fault mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuationKind {
+    /// Each phase command is dropped with probability `p` (the signal
+    /// holds its current phase).
+    CommandLoss {
+        /// Per-command loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Every phase command is ignored for the window's duration.
+    StuckPhase,
+    /// Nothing discharges through the intersection (forced all-red),
+    /// regardless of the displayed phase.
+    AllRed,
+}
+
+/// A scheduled actuation fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActuationFault {
+    /// When the fault is active.
+    pub window: Window,
+    /// Which intersections it hits.
+    pub nodes: NodeSel,
+    /// What it does.
+    pub kind: ActuationKind,
+}
+
+/// A communication fault mode on the partner-message channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommsKind {
+    /// Each delivery is lost with probability `p`; what the receiver
+    /// sees instead is the channel's loss policy (zero-fill or
+    /// hold-last).
+    Drop {
+        /// Per-delivery loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Deliveries arrive `steps` decision steps late (the receiver
+    /// reads the message its partner emitted `steps` steps earlier;
+    /// zeros before any message was sent).
+    Delay {
+        /// Delivery delay in decision steps.
+        steps: u32,
+    },
+    /// Uniform value corruption of amplitude `amp`, clamped back into
+    /// the message range `[0, 1]`.
+    Corrupt {
+        /// Corruption amplitude.
+        amp: f64,
+    },
+}
+
+/// A scheduled communication fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommsFault {
+    /// When the fault is active.
+    pub window: Window,
+    /// Which receiving agents it hits.
+    pub receivers: AgentSel,
+    /// What it does.
+    pub kind: CommsKind,
+}
+
+/// A deterministic schedule of sensing/actuation/communication faults.
+///
+/// Built with the same chained-builder style as the training stack's
+/// `FaultPlan`; installed into a simulation via
+/// [`Simulation::with_chaos`](crate::Simulation::with_chaos) /
+/// [`TscEnv::set_chaos`](crate::TscEnv::set_chaos) and into a serving
+/// runtime's message channel by the serving crate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    sensing: Vec<SensingFault>,
+    actuation: Vec<ActuationFault>,
+    comms: Vec<CommsFault>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (injects nothing; simulation behavior is
+    /// bit-identical to not installing a plan at all).
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Detector dropout: targeted links read all-zero with probability
+    /// `p` each second of `window`.
+    pub fn sensor_dropout(mut self, window: Window, links: LinkSel, p: f64) -> Self {
+        self.sensing.push(SensingFault {
+            window,
+            links,
+            kind: SensingKind::Dropout { p },
+        });
+        self
+    }
+
+    /// Stuck detector: targeted links freeze at their reading from the
+    /// window's first second.
+    pub fn sensor_stuck(mut self, window: Window, links: LinkSel) -> Self {
+        self.sensing.push(SensingFault {
+            window,
+            links,
+            kind: SensingKind::StuckAtLast,
+        });
+        self
+    }
+
+    /// Gaussian count noise of amplitude `sigma` on targeted links.
+    pub fn sensor_noise(mut self, window: Window, links: LinkSel, sigma: f64) -> Self {
+        self.sensing.push(SensingFault {
+            window,
+            links,
+            kind: SensingKind::Noise { sigma },
+        });
+        self
+    }
+
+    /// Constant additive count bias of `delta` vehicles on targeted
+    /// links.
+    pub fn sensor_bias(mut self, window: Window, links: LinkSel, delta: f64) -> Self {
+        self.sensing.push(SensingFault {
+            window,
+            links,
+            kind: SensingKind::Bias { delta },
+        });
+        self
+    }
+
+    /// Command loss: each phase request at targeted intersections is
+    /// dropped with probability `p` (the phase holds).
+    pub fn command_loss(mut self, window: Window, nodes: NodeSel, p: f64) -> Self {
+        self.actuation.push(ActuationFault {
+            window,
+            nodes,
+            kind: ActuationKind::CommandLoss { p },
+        });
+        self
+    }
+
+    /// Stuck signal: every phase request at targeted intersections is
+    /// ignored for the window's duration.
+    pub fn stuck_phase(mut self, window: Window, nodes: NodeSel) -> Self {
+        self.actuation.push(ActuationFault {
+            window,
+            nodes,
+            kind: ActuationKind::StuckPhase,
+        });
+        self
+    }
+
+    /// Forced all-red: nothing discharges through targeted
+    /// intersections for the window's duration.
+    pub fn all_red(mut self, window: Window, nodes: NodeSel) -> Self {
+        self.actuation.push(ActuationFault {
+            window,
+            nodes,
+            kind: ActuationKind::AllRed,
+        });
+        self
+    }
+
+    /// Message drop: each partner-message delivery to targeted
+    /// receivers is lost with probability `p`.
+    pub fn message_drop(mut self, window: Window, receivers: AgentSel, p: f64) -> Self {
+        self.comms.push(CommsFault {
+            window,
+            receivers,
+            kind: CommsKind::Drop { p },
+        });
+        self
+    }
+
+    /// Message delay: deliveries to targeted receivers arrive `steps`
+    /// decision steps late.
+    pub fn message_delay(mut self, window: Window, receivers: AgentSel, steps: u32) -> Self {
+        self.comms.push(CommsFault {
+            window,
+            receivers,
+            kind: CommsKind::Delay { steps },
+        });
+        self
+    }
+
+    /// Message corruption of amplitude `amp` on deliveries to targeted
+    /// receivers.
+    pub fn message_corrupt(mut self, window: Window, receivers: AgentSel, amp: f64) -> Self {
+        self.comms.push(CommsFault {
+            window,
+            receivers,
+            kind: CommsKind::Corrupt { amp },
+        });
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sensing.is_empty() && self.actuation.is_empty() && self.comms.is_empty()
+    }
+
+    /// The scheduled sensing faults.
+    pub fn sensing(&self) -> &[SensingFault] {
+        &self.sensing
+    }
+
+    /// The scheduled actuation faults.
+    pub fn actuation(&self) -> &[ActuationFault] {
+        &self.actuation
+    }
+
+    /// The scheduled communication faults.
+    pub fn comms(&self) -> &[CommsFault] {
+        &self.comms
+    }
+}
+
+/// Per-fault seed salt: decorrelates the streams of distinct faults in
+/// the same plan while staying fully deterministic.
+pub fn fault_salt(seed: u64, fault_idx: usize) -> u64 {
+    seed ^ 0x94D0_49BB_1331_11EBu64.wrapping_mul(fault_idx as u64 + 1)
+}
+
+/// Deterministic per-`(time, entity)` uniform sample in `[0, 1)`
+/// (splitmix64 hash) — the same family the detector-degradation path
+/// uses. Consumes no RNG state.
+pub fn chaos_uniform(seed: u64, time: u32, entity: usize) -> f64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(time) + 1))
+        .wrapping_add((entity as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic per-`(time, entity)` standard Gaussian (Box–Muller
+/// over two [`chaos_uniform`] streams).
+pub fn chaos_gaussian(seed: u64, time: u32, entity: usize) -> f64 {
+    let u1 = chaos_uniform(seed, time, entity).max(1e-12);
+    let u2 = chaos_uniform(seed ^ 0xA5A5_A5A5_A5A5_A5A5, time, entity);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(Window::always().contains(u32::MAX - 1));
+    }
+
+    #[test]
+    fn selectors_match() {
+        assert!(LinkSel::All.matches(LinkId(3)));
+        assert!(LinkSel::One(LinkId(3)).matches(LinkId(3)));
+        assert!(!LinkSel::One(LinkId(3)).matches(LinkId(4)));
+        assert!(NodeSel::One(NodeId(1)).matches(NodeId(1)));
+        assert!(AgentSel::All.matches(7));
+        assert!(!AgentSel::One(0).matches(7));
+    }
+
+    #[test]
+    fn builder_accumulates_and_empty_is_empty() {
+        assert!(ChaosPlan::new().is_empty());
+        let plan = ChaosPlan::new()
+            .sensor_dropout(Window::always(), LinkSel::All, 0.5)
+            .all_red(Window::new(0, 10), NodeSel::All)
+            .message_drop(Window::always(), AgentSel::One(2), 1.0);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.sensing().len(), 1);
+        assert_eq!(plan.actuation().len(), 1);
+        assert_eq!(plan.comms().len(), 1);
+    }
+
+    #[test]
+    fn chaos_uniform_is_deterministic_and_in_range() {
+        for t in 0..200 {
+            for e in 0..8 {
+                let u = chaos_uniform(42, t, e);
+                assert!((0.0..1.0).contains(&u));
+                assert_eq!(u.to_bits(), chaos_uniform(42, t, e).to_bits());
+            }
+        }
+        assert_ne!(
+            chaos_uniform(1, 5, 0).to_bits(),
+            chaos_uniform(2, 5, 0).to_bits()
+        );
+    }
+
+    #[test]
+    fn chaos_gaussian_is_roughly_centered() {
+        let n = 4000;
+        let mean: f64 = (0..n).map(|t| chaos_gaussian(9, t, 0)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn fault_salts_decorrelate_streams() {
+        assert_ne!(fault_salt(7, 0), fault_salt(7, 1));
+        assert_ne!(
+            chaos_uniform(fault_salt(7, 0), 3, 1).to_bits(),
+            chaos_uniform(fault_salt(7, 1), 3, 1).to_bits()
+        );
+    }
+}

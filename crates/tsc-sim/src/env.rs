@@ -7,6 +7,7 @@
 //! and returns each intersection's observation and reward (Eq. 6) at
 //! the end of the interval.
 
+use crate::chaos::ChaosPlan;
 use crate::detector::IntersectionObs;
 use crate::error::SimError;
 use crate::ids::NodeId;
@@ -67,6 +68,9 @@ pub struct TscEnv {
     env_config: EnvConfig,
     sim: Simulation,
     agents: Vec<NodeId>,
+    /// Installed chaos plan, re-installed into the fresh simulation on
+    /// every [`reset`](Self::reset).
+    chaos: ChaosPlan,
 }
 
 impl TscEnv {
@@ -90,7 +94,41 @@ impl TscEnv {
             env_config,
             sim,
             agents,
+            chaos: ChaosPlan::default(),
         })
+    }
+
+    /// Creates the environment with a chaos plan installed from the
+    /// start (equivalent to [`new`](Self::new) followed by
+    /// [`set_chaos`](Self::set_chaos)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn with_chaos(
+        scenario: Scenario,
+        sim_config: SimConfig,
+        env_config: EnvConfig,
+        seed: u64,
+        chaos: ChaosPlan,
+    ) -> Result<Self, SimError> {
+        let mut env = Self::new(scenario, sim_config, env_config, seed)?;
+        env.set_chaos(chaos);
+        Ok(env)
+    }
+
+    /// Installs (or replaces) the chaos plan: it takes effect on the
+    /// running episode immediately and survives every subsequent
+    /// [`reset`](Self::reset). An empty plan restores fault-free
+    /// behavior exactly.
+    pub fn set_chaos(&mut self, chaos: ChaosPlan) {
+        self.sim.set_chaos(chaos.clone());
+        self.chaos = chaos;
+    }
+
+    /// The installed chaos plan (empty by default).
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// The controlled intersections, in agent order.
@@ -130,8 +168,9 @@ impl TscEnv {
 
     /// Starts a new episode with `seed` and returns initial observations.
     pub fn reset(&mut self, seed: u64) -> Vec<IntersectionObs> {
-        self.sim = Simulation::new(&self.scenario, self.sim_config, seed)
-            .expect("scenario validated at construction");
+        self.sim =
+            Simulation::with_chaos(&self.scenario, self.sim_config, seed, self.chaos.clone())
+                .expect("scenario validated at construction");
         self.sim.observe_all()
     }
 

@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod demand;
 pub mod detector;
 pub mod env;
@@ -55,6 +56,10 @@ pub mod sim;
 pub mod stats;
 pub mod vehicle;
 
+pub use chaos::{
+    ActuationFault, ActuationKind, AgentSel, ChaosPlan, CommsFault, CommsKind, LinkSel, NodeSel,
+    SensingFault, SensingKind, Window,
+};
 pub use demand::{ArrivalModel, FlowProfile, OdFlow};
 pub use detector::{DetectorConfig, IntersectionObs, LinkObs};
 pub use env::{Controller, EnvConfig, EnvStep, EpisodeStats, TscEnv};

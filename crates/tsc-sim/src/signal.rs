@@ -204,13 +204,7 @@ impl SignalState {
     ///
     /// Returns [`SimError::InvalidPhase`] if out of range.
     pub fn request_phase(&mut self, phase: usize) -> Result<(), SimError> {
-        if phase >= self.plan.num_phases() {
-            return Err(SimError::InvalidPhase {
-                node: self.plan.node(),
-                phase,
-                num_phases: self.plan.num_phases(),
-            });
-        }
+        self.validate_phase(phase)?;
         match self.state {
             LightState::Green if phase != self.phase => {
                 if self.yellow_time == 0 {
@@ -231,6 +225,25 @@ impl SignalState {
                 };
             }
             LightState::Green => {}
+        }
+        Ok(())
+    }
+
+    /// Checks that `phase` exists in this plan without acting on it —
+    /// the validation half of [`request_phase`](Self::request_phase),
+    /// used when an actuation fault swallows the command itself but
+    /// the request must still be range-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPhase`] if out of range.
+    pub fn validate_phase(&self, phase: usize) -> Result<(), SimError> {
+        if phase >= self.plan.num_phases() {
+            return Err(SimError::InvalidPhase {
+                node: self.plan.node(),
+                phase,
+                num_phases: self.plan.num_phases(),
+            });
         }
         Ok(())
     }

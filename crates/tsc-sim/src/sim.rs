@@ -14,6 +14,9 @@ use std::collections::{HashMap, VecDeque};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::chaos::{
+    chaos_gaussian, chaos_uniform, fault_salt, ActuationKind, ChaosPlan, SensingKind,
+};
 use crate::demand::{ArrivalModel, DemandGenerator};
 use crate::detector::{DetectorConfig, IntersectionObs, LinkObs};
 use crate::error::SimError;
@@ -125,6 +128,15 @@ pub struct Simulation {
     active: usize,
     /// Seed for the deterministic detector-degradation hash.
     degradation_seed: u64,
+    /// Scheduled chaos faults (empty by default; an empty plan leaves
+    /// every step and observation bit-identical to a plan-free run).
+    chaos: ChaosPlan,
+    /// Seed for the chaos fault hash streams.
+    chaos_seed: u64,
+    /// Readings frozen by active stuck-at-last sensing windows, keyed
+    /// by `(fault index, link)`; captured at each window's first second
+    /// and discarded when the window closes.
+    stuck_readings: HashMap<(usize, LinkId), LinkObs>,
 }
 
 impl Simulation {
@@ -188,7 +200,41 @@ impl Simulation {
             rng: StdRng::seed_from_u64(seed),
             active: 0,
             degradation_seed: seed ^ 0xDE7E_C70A,
+            chaos: ChaosPlan::default(),
+            chaos_seed: seed ^ 0xC4A0_55ED,
+            stuck_readings: HashMap::new(),
         })
+    }
+
+    /// Builds a simulation with a chaos plan installed from the start
+    /// (equivalent to [`new`](Self::new) followed by
+    /// [`set_chaos`](Self::set_chaos)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn with_chaos(
+        scenario: &Scenario,
+        config: SimConfig,
+        seed: u64,
+        chaos: ChaosPlan,
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::new(scenario, config, seed)?;
+        sim.set_chaos(chaos);
+        Ok(sim)
+    }
+
+    /// Installs (or replaces) the chaos plan. Pending stuck-sensor
+    /// captures are discarded; an empty plan restores fault-free
+    /// behavior exactly.
+    pub fn set_chaos(&mut self, chaos: ChaosPlan) {
+        self.chaos = chaos;
+        self.stuck_readings.clear();
+    }
+
+    /// The installed chaos plan (empty by default).
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// Current simulation time (s).
@@ -231,6 +277,11 @@ impl Simulation {
 
     /// Requests a phase at `node` (yellow clearance handled internally).
     ///
+    /// An active actuation fault (stuck-phase window, or a command-loss
+    /// draw that fires) silently drops the command — the signal holds
+    /// its current phase — but the request is still validated, so
+    /// invalid actions surface identically with and without chaos.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::NotSignalized`] or [`SimError::InvalidPhase`].
@@ -239,7 +290,41 @@ impl Simulation {
             .signal_index
             .get(&node)
             .ok_or(SimError::NotSignalized(node))?;
+        if self.command_dropped(node) {
+            return self.signals[i].validate_phase(phase);
+        }
         self.signals[i].request_phase(phase)
+    }
+
+    /// Whether an active actuation fault swallows a phase command at
+    /// `node` right now.
+    fn command_dropped(&self, node: NodeId) -> bool {
+        for (fi, f) in self.chaos.actuation().iter().enumerate() {
+            if !f.window.contains(self.time) || !f.nodes.matches(node) {
+                continue;
+            }
+            match f.kind {
+                ActuationKind::StuckPhase => return true,
+                ActuationKind::CommandLoss { p } => {
+                    let u = chaos_uniform(fault_salt(self.chaos_seed, fi), self.time, node.index());
+                    if u < p {
+                        return true;
+                    }
+                }
+                ActuationKind::AllRed => {}
+            }
+        }
+        false
+    }
+
+    /// Whether an active all-red window blocks every discharge through
+    /// `node` right now.
+    fn forced_all_red(&self, node: NodeId) -> bool {
+        self.chaos.actuation().iter().any(|f| {
+            matches!(f.kind, ActuationKind::AllRed)
+                && f.window.contains(self.time)
+                && f.nodes.matches(node)
+        })
     }
 
     /// Vehicles currently on the network or in the insertion backlog.
@@ -279,6 +364,8 @@ impl Simulation {
     /// memory-safe) after an error; discard it.
     pub fn step(&mut self) -> Result<(), SimError> {
         let t = f64::from(self.time);
+        // 0. Chaos bookkeeping: freeze/unfreeze stuck-sensor readings.
+        self.update_stuck_readings();
         // 1. Demand: spawn new vehicles into the insertion backlog.
         let spawns = self.demand.step(t, 1.0, &mut self.rng);
         for flow_idx in spawns {
@@ -393,7 +480,10 @@ impl Simulation {
                         }
                         Some((movement, next)) => {
                             let permitted = match signal_idx {
-                                Some(i) => self.signals[i].permits(link_id, movement),
+                                Some(i) => {
+                                    self.signals[i].permits(link_id, movement)
+                                        && !self.forced_all_red(to_node)
+                                }
                                 None => true,
                             };
                             if !permitted {
@@ -503,54 +593,12 @@ impl Simulation {
     /// Panics if `node` is not part of the network.
     pub fn observe(&self, node: NodeId) -> IntersectionObs {
         let range = self.config.detector.range;
-        let gap = self.config.vehicle_gap;
         let network = &self.scenario.network;
         let mut incoming = Vec::new();
         for &l in network.incoming(node) {
-            let state = &self.links[l.index()];
-            let mut count = 0.0;
-            let mut halting = 0.0;
-            let mut halting_by_movement = [0.0f64; 3];
-            let mut head_wait: f64 = 0.0;
-            for lane in &state.lanes {
-                for (pos_idx, &id) in lane.vehicles.iter().enumerate() {
-                    if (pos_idx as f64) * gap <= range {
-                        count += 1.0;
-                        halting += 1.0;
-                        // Attribute the vehicle to the movement it is
-                        // queued for (exits — and, defensively, broken
-                        // routes, which only the step path reports —
-                        // count as through).
-                        let m = self
-                            .head_step(&self.vehicles[id.index()])
-                            .ok()
-                            .flatten()
-                            .map(|(m, _)| m)
-                            .unwrap_or(Movement::Through);
-                        halting_by_movement[m.index()] += 1.0;
-                        if pos_idx == 0 {
-                            head_wait = head_wait.max(self.vehicles[id.index()].current_wait());
-                        }
-                    }
-                }
-            }
-            for &id in &state.running {
-                if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position()
-                {
-                    if distance <= range {
-                        count += 1.0;
-                    }
-                }
-            }
-            let mut obs = LinkObs {
-                link: l,
-                direction: network.link(l).direction(),
-                count,
-                halting,
-                halting_by_movement,
-                head_wait,
-            };
+            let mut obs = self.sense_link(l);
             self.degrade(&mut obs);
+            self.apply_sensing_chaos(&mut obs);
             incoming.push(obs);
         }
         let mut outgoing_counts = Vec::new();
@@ -589,6 +637,133 @@ impl Simulation {
             outgoing_links,
             current_phase,
             num_phases,
+        }
+    }
+
+    /// The raw (fault-free) detector reading for one incoming link.
+    fn sense_link(&self, l: LinkId) -> LinkObs {
+        let range = self.config.detector.range;
+        let gap = self.config.vehicle_gap;
+        let state = &self.links[l.index()];
+        let mut count = 0.0;
+        let mut halting = 0.0;
+        let mut halting_by_movement = [0.0f64; 3];
+        let mut head_wait: f64 = 0.0;
+        for lane in &state.lanes {
+            for (pos_idx, &id) in lane.vehicles.iter().enumerate() {
+                if (pos_idx as f64) * gap <= range {
+                    count += 1.0;
+                    halting += 1.0;
+                    // Attribute the vehicle to the movement it is
+                    // queued for (exits — and, defensively, broken
+                    // routes, which only the step path reports —
+                    // count as through).
+                    let m = self
+                        .head_step(&self.vehicles[id.index()])
+                        .ok()
+                        .flatten()
+                        .map(|(m, _)| m)
+                        .unwrap_or(Movement::Through);
+                    halting_by_movement[m.index()] += 1.0;
+                    if pos_idx == 0 {
+                        head_wait = head_wait.max(self.vehicles[id.index()].current_wait());
+                    }
+                }
+            }
+        }
+        for &id in &state.running {
+            if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position() {
+                if distance <= range {
+                    count += 1.0;
+                }
+            }
+        }
+        LinkObs {
+            link: l,
+            direction: self.scenario.network.link(l).direction(),
+            count,
+            halting,
+            halting_by_movement,
+            head_wait,
+        }
+    }
+
+    /// Applies the active sensing faults of the chaos plan to one link
+    /// reading, in plan order. A dropout that fires zeroes the reading
+    /// and wins over everything scheduled after it (a dead detector
+    /// reports nothing, however miscalibrated). Deterministic in
+    /// `(fault, time, link)`; consumes no RNG state.
+    fn apply_sensing_chaos(&self, obs: &mut LinkObs) {
+        for (fi, f) in self.chaos.sensing().iter().enumerate() {
+            if !f.window.contains(self.time) || !f.links.matches(obs.link) {
+                continue;
+            }
+            let salt = fault_salt(self.chaos_seed, fi);
+            match f.kind {
+                SensingKind::Dropout { p } => {
+                    if chaos_uniform(salt, self.time, obs.link.index()) < p {
+                        obs.count = 0.0;
+                        obs.halting = 0.0;
+                        obs.halting_by_movement = [0.0; 3];
+                        obs.head_wait = 0.0;
+                        return;
+                    }
+                }
+                SensingKind::StuckAtLast => {
+                    if let Some(frozen) = self.stuck_readings.get(&(fi, obs.link)) {
+                        obs.count = frozen.count;
+                        obs.halting = frozen.halting;
+                        obs.halting_by_movement = frozen.halting_by_movement;
+                        obs.head_wait = frozen.head_wait;
+                    }
+                }
+                SensingKind::Noise { sigma } => {
+                    let g = chaos_gaussian(salt, self.time, obs.link.index());
+                    let factor = (1.0 + sigma * g).max(0.0);
+                    obs.count *= factor;
+                    obs.halting *= factor;
+                    for h in &mut obs.halting_by_movement {
+                        *h *= factor;
+                    }
+                }
+                SensingKind::Bias { delta } => {
+                    obs.count = (obs.count + delta).max(0.0);
+                    obs.halting = (obs.halting + delta).max(0.0);
+                    // The phantom/missing vehicles read as queued for
+                    // the through movement.
+                    obs.halting_by_movement[Movement::Through.index()] =
+                        (obs.halting_by_movement[Movement::Through.index()] + delta).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Captures raw readings for stuck-sensing windows entering their
+    /// first second and discards captures of windows that have closed.
+    /// Runs at the top of every [`step`](Self::step); free when the
+    /// plan schedules no sensing faults.
+    fn update_stuck_readings(&mut self) {
+        if self.chaos.sensing().is_empty() {
+            return;
+        }
+        let mut captures: Vec<((usize, LinkId), LinkObs)> = Vec::new();
+        for (fi, f) in self.chaos.sensing().iter().enumerate() {
+            if !matches!(f.kind, SensingKind::StuckAtLast) || !f.window.contains(self.time) {
+                continue;
+            }
+            for link_idx in 0..self.links.len() {
+                let l = LinkId(link_idx);
+                if f.links.matches(l) && !self.stuck_readings.contains_key(&(fi, l)) {
+                    captures.push(((fi, l), self.sense_link(l)));
+                }
+            }
+        }
+        let chaos = &self.chaos;
+        let time = self.time;
+        self.stuck_readings
+            .retain(|&(fi, _), _| chaos.sensing()[fi].window.contains(time));
+        for (k, v) in captures {
+            self.stuck_readings.insert(k, v);
         }
     }
 

@@ -233,4 +233,77 @@ proptest! {
             }
         }
     }
+
+    /// Any chaos plan preserves determinism (same seed + same plan is
+    /// bit-identical, observations included) and vehicle conservation
+    /// at every step — faults can corrupt what controllers *see* and
+    /// *do*, never the physics ledger.
+    #[test]
+    fn chaos_preserves_determinism_and_conservation(
+        seed in 0u64..1000,
+        p in 0.0f64..1.0,
+        sigma in 0.0f64..0.8,
+        delta in 0.0f64..5.0,
+        start in 0u32..150,
+        len in 1u32..150,
+        delay in 1u32..4,
+    ) {
+        use tsc_sim::{ChaosPlan, LinkSel, NodeSel, AgentSel, Window};
+        let w = |s: u32| Window::new(s, s + len);
+        let plan = ChaosPlan::default()
+            .sensor_dropout(w(start), LinkSel::All, p)
+            .sensor_noise(w(start / 2), LinkSel::All, sigma)
+            .sensor_bias(w(start + 20), LinkSel::One(LinkId(0)), delta)
+            .sensor_stuck(w(start + 40), LinkSel::All)
+            .command_loss(w(start), NodeSel::All, p)
+            .stuck_phase(w(start + 30), NodeSel::One(NodeId(0)))
+            .all_red(w(start + 60), NodeSel::All)
+            .message_drop(w(start), AgentSel::All, p)
+            .message_delay(w(start), AgentSel::All, delay);
+        let run = |seed: u64| {
+            let grid = Grid::build(GridConfig {
+                cols: 2,
+                rows: 2,
+                spacing: 150.0,
+            })
+            .expect("grid");
+            let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).expect("flows");
+            let scenario = grid.scenario("chaos-prop", f).expect("scenario");
+            let mut sim = Simulation::with_chaos(
+                &scenario,
+                SimConfig {
+                    arrival_model: ArrivalModel::Stochastic,
+                    ..SimConfig::default()
+                },
+                seed,
+                plan.clone(),
+            )
+            .expect("sim");
+            let agents = sim.signalized();
+            let mut bits = 0u64;
+            for t in 0..300u32 {
+                for (i, &a) in agents.iter().enumerate() {
+                    sim.request_phase(a, ((t as usize / 6) + i) % 4).unwrap();
+                }
+                sim.step().unwrap();
+                // Conservation must hold at every step, faults or not.
+                assert_eq!(
+                    sim.metrics().spawned(),
+                    sim.active_vehicles() + sim.metrics().finished()
+                );
+                for obs in sim.observe_all() {
+                    for l in &obs.incoming {
+                        bits = bits
+                            .wrapping_mul(31)
+                            .wrapping_add(l.count.to_bits())
+                            .wrapping_add(l.halting.to_bits())
+                            .wrapping_add(l.head_wait.to_bits());
+                    }
+                    bits = bits.wrapping_mul(31).wrapping_add(obs.current_phase as u64);
+                }
+            }
+            (bits, sim.metrics().spawned(), sim.metrics().finished())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
 }

@@ -19,4 +19,7 @@ cargo test --workspace -q
 echo "==> serve_grid --smoke (serving runtime end-to-end)"
 cargo run --release -q -p tsc-bench --bin serve_grid -- --smoke
 
+echo "==> chaos --smoke (mixed faults + resilient serving end-to-end)"
+cargo run --release -q -p tsc-bench --bin chaos -- --smoke
+
 echo "ci.sh: all gates passed"

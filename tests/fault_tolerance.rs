@@ -249,6 +249,55 @@ fn damaged_or_mismatched_checkpoints_are_rejected_without_side_effects() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A disk-full failure torn mid-checkpoint-write must not damage the
+/// previous checkpoint: the atomic temp-then-rename protocol leaves
+/// the torn bytes in a `.tmp` sibling, the published file stays the
+/// older, fully valid checkpoint, and training resumes from it.
+#[test]
+fn torn_checkpoint_write_leaves_previous_checkpoint_loadable() {
+    let cfg = small_cfg();
+    let dir = scratch_dir("torn");
+    let manager = CheckpointManager::new(
+        &dir,
+        CheckpointPolicy {
+            every_rounds: 1,
+            keep_last: 3,
+        },
+    )
+    .expect("manager");
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, cfg);
+    // Rounds 0 and 1 checkpoint cleanly; round 2's write tears.
+    model.inject_faults(FaultPlan::new().fail_checkpoint_write(2));
+    let mut model = model;
+    let err = model
+        .train_checkpointed(&mut env, 4, 21, Some(&manager), |_| {})
+        .expect_err("injected disk-full must surface");
+    assert!(matches!(err, TrainError::Io(_)), "{err}");
+
+    // The torn temp file exists and is NOT a valid checkpoint...
+    let round3 = manager.path_for(3);
+    let torn = PathBuf::from(format!("{}.tmp", round3.display()));
+    assert!(torn.exists(), "torn write leaves a temp file behind");
+    assert!(
+        pairuplight::Checkpoint::read(&torn).is_err(),
+        "half a checkpoint must not validate"
+    );
+    // ...the failed round's final file was never published...
+    assert!(!round3.exists(), "rename must not have happened");
+    // ...and the previous checkpoint is intact, loadable, and resumes.
+    let (round, latest) = manager.latest().expect("list").expect("exists");
+    assert_eq!(round, 2, "latest published checkpoint is the prior round");
+    let (mut resumed, base_seed) = PairUpLight::resume(&env, cfg, &latest).expect("resume");
+    assert_eq!(base_seed, 21);
+    let remaining = 4 - resumed.episodes_trained();
+    resumed
+        .train_checkpointed(&mut env, remaining, base_seed, Some(&manager), |_| {})
+        .expect("resume completes after the disk recovers");
+    assert_eq!(resumed.episodes_trained(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Periodic checkpointing honors the retention policy: only the newest
 /// `keep_last` files survive, and the newest is loadable.
 #[test]
