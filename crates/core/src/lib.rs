@@ -56,6 +56,7 @@ pub mod model;
 pub mod obs;
 pub mod pairing;
 pub mod policy;
+pub mod runlog;
 pub mod trainer;
 
 pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointManager, CheckpointPolicy};
@@ -67,4 +68,5 @@ pub use model::{ActorBuffers, ActorNet, ActorOut, CriticBuffers, CriticNet};
 pub use obs::{HealthConfig, ObsEncoder, ObsHealth, ObsNorm};
 pub use pairing::PairingTable;
 pub use policy::PolicySnapshot;
+pub use runlog::{RunLogger, UpdateRecord};
 pub use trainer::{PairUpLight, PairUpLightController, Rollout, TrainEpisode};

@@ -1,0 +1,347 @@
+//! Structured run logging: the trainer's JSONL event stream.
+//!
+//! A [`RunLogger`] wraps a [`tsc_obs::EventSink`] and a
+//! [`tsc_obs::MetricsRegistry`]. Attached to a learner (see
+//! [`PairUpLight::attach_obs`](crate::PairUpLight::attach_obs)), it
+//! writes one **manifest** record (config fingerprint, seed,
+//! git-describe-style build info, model shape), then streams:
+//!
+//! * `update` — per PPO round: policy/value loss, approximate KL,
+//!   clip fraction, entropy, max gradient norm, and the round's mean
+//!   episode reward / queue / waiting time / travel time;
+//! * `divergence` / `rollback` — the sentinel tripped (NaN/Inf
+//!   gradient, loss explosion, poisoned parameter) at a given round
+//!   and the round was rolled back;
+//! * `worker_panic_retry` — a panicked rollout worker was retried;
+//! * `checkpoint` — a periodic checkpoint was written;
+//! * `summary` — final counters and histograms on
+//!   [`finish`](RunLogger::finish).
+//!
+//! Logging is strictly out-of-band: it reads training state and never
+//! writes it, so an instrumented run is bit-identical to an
+//! uninstrumented one. It is also best-effort: the first I/O failure
+//! disables the logger with a warning on stderr instead of killing a
+//! training run hours in — observability must never be the fault that
+//! fault tolerance has to recover from.
+//!
+//! `u64` identifiers (fingerprints, seeds) are emitted as strings:
+//! JSON numbers are doubles and would silently round anything above
+//! 2⁵³.
+
+use std::io;
+use std::path::Path;
+
+use tsc_obs::{build_info, EventSink, Json, MetricsRegistry};
+
+/// Everything one PPO update round reports into the `update` record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateRecord {
+    /// Round index (the learner's lifetime `rounds_trained` counter at
+    /// the time of the update).
+    pub round: u64,
+    /// First episode index of the round.
+    pub episode_start: usize,
+    /// Episodes merged into the round (`num_envs`).
+    pub episodes: usize,
+    /// Decision steps per merged episode.
+    pub steps: usize,
+    /// Mean clipped-surrogate policy loss over minibatch updates.
+    pub policy_loss: f32,
+    /// Mean value loss.
+    pub value_loss: f32,
+    /// Mean policy entropy.
+    pub entropy: f32,
+    /// Max pre-clip global gradient norm.
+    pub grad_norm: f32,
+    /// Mean approximate KL divergence `E[logπ_old − logπ_new]`.
+    pub approx_kl: f32,
+    /// Fraction of samples whose importance ratio was clipped.
+    pub clip_fraction: f32,
+    /// Exploration ε in effect.
+    pub epsilon: f32,
+    /// Mean absolute regularized message value.
+    pub mean_message: f32,
+    /// Mean episode total reward over the round's episodes.
+    pub mean_reward: f64,
+    /// Mean halted-vehicle queue per intersection per step.
+    pub mean_queue: f64,
+    /// Mean of the episodes' average waiting times (s).
+    pub mean_wait_s: f64,
+    /// Mean of the episodes' average travel times (s).
+    pub mean_travel_s: f64,
+    /// Wall-clock nanoseconds the PPO update took.
+    pub update_wall_ns: u64,
+}
+
+/// JSONL run logger with best-effort delivery (see module docs).
+#[derive(Debug)]
+pub struct RunLogger {
+    sink: EventSink,
+    metrics: MetricsRegistry,
+    failed: bool,
+}
+
+impl RunLogger {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (only creation is fallible at
+    /// the API level; later emission failures disable the logger).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(RunLogger {
+            sink: EventSink::create(path)?,
+            metrics: MetricsRegistry::new(),
+            failed: false,
+        })
+    }
+
+    /// Wraps an existing sink (e.g. one opened in append mode, or one
+    /// with an injected write fault for tests).
+    pub fn from_sink(sink: EventSink) -> Self {
+        RunLogger {
+            sink,
+            metrics: MetricsRegistry::new(),
+            failed: false,
+        }
+    }
+
+    /// Counters and histograms accumulated so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Whether an emission failed and the logger went quiescent.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    fn emit(&mut self, record: &Json) {
+        if self.failed {
+            return;
+        }
+        if let Err(e) = self.sink.emit(record) {
+            self.failed = true;
+            eprintln!(
+                "tsc-obs: run logging disabled after write failure on {}: {e}",
+                self.sink.path().display()
+            );
+        }
+    }
+
+    /// Writes the manifest record. Called once by
+    /// [`PairUpLight::attach_obs`](crate::PairUpLight::attach_obs).
+    pub fn log_manifest(
+        &mut self,
+        fingerprint: u64,
+        seed: u64,
+        extra: impl IntoIterator<Item = (String, Json)>,
+    ) {
+        let mut fields = vec![
+            ("type".to_string(), Json::str("manifest")),
+            ("schema".to_string(), Json::str("pairuplight-obs v1")),
+            (
+                "fingerprint".to_string(),
+                Json::str(format!("{fingerprint:016x}")),
+            ),
+            ("seed".to_string(), Json::str(seed.to_string())),
+            ("build".to_string(), build_info().to_json()),
+        ];
+        fields.extend(extra);
+        self.emit(&Json::Obj(fields));
+    }
+
+    /// Writes a `train_start` record (base seed, target episodes, and
+    /// the lifetime counters training resumes from).
+    pub fn log_train_start(&mut self, base_seed: u64, episodes: usize, resume_round: u64) {
+        self.emit(&Json::obj([
+            ("type", Json::str("train_start")),
+            ("base_seed", Json::str(base_seed.to_string())),
+            ("episodes", Json::num(episodes as f64)),
+            ("resume_round", Json::num(resume_round as f64)),
+        ]));
+    }
+
+    /// Writes one `update` record and rolls its statistics into the
+    /// registry.
+    pub fn log_update(&mut self, u: &UpdateRecord) {
+        self.metrics.inc("train.updates");
+        self.metrics.add("train.episodes", u.episodes as u64);
+        self.metrics
+            .observe_ns("train.update_wall", u.update_wall_ns);
+        self.metrics.set_gauge("train.mean_reward", u.mean_reward);
+        self.metrics.set_gauge("train.mean_wait_s", u.mean_wait_s);
+        self.emit(&Json::obj([
+            ("type", Json::str("update")),
+            ("round", Json::num(u.round as f64)),
+            ("episode_start", Json::num(u.episode_start as f64)),
+            ("episodes", Json::num(u.episodes as f64)),
+            ("steps", Json::num(u.steps as f64)),
+            ("policy_loss", Json::num(f64::from(u.policy_loss))),
+            ("value_loss", Json::num(f64::from(u.value_loss))),
+            ("entropy", Json::num(f64::from(u.entropy))),
+            ("grad_norm", Json::num(f64::from(u.grad_norm))),
+            ("approx_kl", Json::num(f64::from(u.approx_kl))),
+            ("clip_fraction", Json::num(f64::from(u.clip_fraction))),
+            ("epsilon", Json::num(f64::from(u.epsilon))),
+            ("mean_message", Json::num(f64::from(u.mean_message))),
+            ("mean_reward", Json::num(u.mean_reward)),
+            ("mean_queue", Json::num(u.mean_queue)),
+            ("mean_wait_s", Json::num(u.mean_wait_s)),
+            ("mean_travel_s", Json::num(u.mean_travel_s)),
+            (
+                "update_wall_us",
+                Json::num(u.update_wall_ns as f64 / 1_000.0),
+            ),
+        ]));
+    }
+
+    /// Writes a `divergence` record: the sentinel rejected round
+    /// `round` on retry `attempt` for `reason` (NaN/Inf statistics,
+    /// loss explosion, or a non-finite parameter).
+    pub fn log_divergence(&mut self, round: u64, attempt: u32, reason: &str) {
+        self.metrics.inc("train.divergences");
+        self.emit(&Json::obj([
+            ("type", Json::str("divergence")),
+            ("round", Json::num(round as f64)),
+            ("attempt", Json::num(f64::from(attempt))),
+            ("reason", Json::str(reason)),
+        ]));
+    }
+
+    /// Writes a `rollback` record: round `round`'s update was undone
+    /// and will be retried (or abandoned if the budget is exhausted).
+    pub fn log_rollback(&mut self, round: u64, attempt: u32, will_retry: bool) {
+        self.metrics.inc("train.rollbacks");
+        self.emit(&Json::obj([
+            ("type", Json::str("rollback")),
+            ("round", Json::num(round as f64)),
+            ("attempt", Json::num(f64::from(attempt))),
+            ("will_retry", Json::Bool(will_retry)),
+        ]));
+    }
+
+    /// Writes a `worker_panic_retry` record: env replica `env` of
+    /// round `round` panicked and is being retried (`retries` so far,
+    /// this one included).
+    pub fn log_worker_panic_retry(&mut self, round: u64, env: usize, retries: u32) {
+        self.metrics.inc("train.worker_panic_retries");
+        self.emit(&Json::obj([
+            ("type", Json::str("worker_panic_retry")),
+            ("round", Json::num(round as f64)),
+            ("env", Json::num(env as f64)),
+            ("retries", Json::num(f64::from(retries))),
+        ]));
+    }
+
+    /// Writes a `checkpoint` record for a successfully written
+    /// periodic checkpoint.
+    pub fn log_checkpoint(&mut self, round: u64, path: &Path) {
+        self.metrics.inc("train.checkpoints");
+        self.emit(&Json::obj([
+            ("type", Json::str("checkpoint")),
+            ("round", Json::num(round as f64)),
+            ("path", Json::str(path.display().to_string())),
+        ]));
+    }
+
+    /// Writes the `summary` record (final counters, gauges, histogram
+    /// percentiles) and returns the registry.
+    pub fn finish(mut self) -> MetricsRegistry {
+        let snapshot = self.metrics.to_json();
+        self.emit(&Json::obj([
+            ("type", Json::str("summary")),
+            ("metrics", snapshot),
+        ]));
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_obs::{read_jsonl, WriteFault};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pairuplight-runlog-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn update(round: u64) -> UpdateRecord {
+        UpdateRecord {
+            round,
+            episode_start: round as usize,
+            episodes: 1,
+            steps: 12,
+            policy_loss: -0.01,
+            value_loss: 0.4,
+            entropy: 1.2,
+            grad_norm: 2.0,
+            approx_kl: 0.003,
+            clip_fraction: 0.1,
+            epsilon: 0.15,
+            mean_message: 0.5,
+            mean_reward: -120.0,
+            mean_queue: 3.5,
+            mean_wait_s: 14.0,
+            mean_travel_s: 190.0,
+            update_wall_ns: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn stream_contains_manifest_updates_and_summary() {
+        let path = tmp("stream.jsonl");
+        let mut log = RunLogger::create(&path).unwrap();
+        log.log_manifest(0xABCD, 7, [("agents".to_string(), Json::num(4u32))]);
+        log.log_train_start(1, 3, 0);
+        for r in 0..3 {
+            log.log_update(&update(r));
+        }
+        log.log_divergence(1, 0, "policy loss is non-finite (NaN)");
+        log.log_rollback(1, 0, true);
+        log.log_worker_panic_retry(2, 0, 1);
+        let metrics = log.finish();
+        assert_eq!(metrics.counter("train.updates"), 3);
+        assert_eq!(metrics.counter("train.divergences"), 1);
+        assert_eq!(metrics.counter("train.worker_panic_retries"), 1);
+
+        let (records, warnings) = read_jsonl(&path).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(records[0].get_str("type"), Some("manifest"));
+        assert_eq!(records[0].get_str("fingerprint"), Some("000000000000abcd"));
+        assert_eq!(records[0].get_num("agents"), Some(4.0));
+        let updates = records
+            .iter()
+            .filter(|r| r.get_str("type") == Some("update"))
+            .count();
+        assert_eq!(updates, 3);
+        assert_eq!(
+            records.last().unwrap().get_str("type"),
+            Some("summary"),
+            "stream ends with the summary"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_failure_disables_logging_without_panicking() {
+        let path = tmp("fail.jsonl");
+        let mut sink = EventSink::create(&path).unwrap();
+        sink.inject_write_fault(WriteFault {
+            after_records: 1,
+            keep_bytes: 5,
+        });
+        let mut log = RunLogger::from_sink(sink);
+        log.log_manifest(1, 2, []);
+        assert!(!log.failed());
+        log.log_update(&update(0)); // torn write → logger quiesces
+        assert!(log.failed());
+        log.log_update(&update(1)); // no-op, must not panic
+        let (records, warnings) = read_jsonl(&path).unwrap();
+        assert_eq!(records.len(), 1, "manifest survived");
+        assert_eq!(warnings.len(), 1, "torn update skipped with warning");
+        std::fs::remove_file(&path).ok();
+    }
+}

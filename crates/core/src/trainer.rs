@@ -10,6 +10,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,7 @@ use crate::message::regularize_into;
 use crate::model::{ActorBuffers, ActorNet, CriticBuffers, CriticNet};
 use crate::obs::{ObsEncoder, ObsNorm};
 use crate::pairing::PairingTable;
+use crate::runlog::{RunLogger, UpdateRecord};
 
 /// One actor/critic pair with its optimizer state.
 #[derive(Debug)]
@@ -73,6 +75,18 @@ struct TrainerState {
     rounds_trained: u64,
 }
 
+/// Losses and diagnostics of one minibatch step, or their aggregate
+/// over a PPO round (means, except `grad_norm` which takes the max).
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundLosses {
+    policy_loss: f32,
+    value_loss: f32,
+    entropy: f32,
+    grad_norm: f32,
+    approx_kl: f32,
+    clip_fraction: f32,
+}
+
 /// Everything one environment replica produces in one collection
 /// round: the on-policy trajectory (with bootstrap values) plus the
 /// episode's diagnostics. Produced by [`PairUpLight::collect_rollout`]
@@ -87,6 +101,10 @@ pub struct Rollout {
     /// Mean absolute regularized message value sent (0 when
     /// communication is disabled).
     pub mean_message: f32,
+    /// Mean halted-vehicle queue per intersection per decision step
+    /// (Eq. 6's queue term, averaged over the episode) — the traffic
+    /// health signal for the observability stream.
+    pub mean_queue: f64,
 }
 
 /// Per-episode training diagnostics.
@@ -111,6 +129,13 @@ pub struct TrainEpisode {
     /// minibatch updates — the divergence sentinel's early-warning
     /// statistic.
     pub grad_norm: f32,
+    /// Mean approximate KL divergence `E[logπ_old − logπ_new]` over
+    /// the round's minibatch updates (PPO's trust-region health
+    /// signal; large values mean the policy moved too far).
+    pub approx_kl: f32,
+    /// Fraction of samples whose importance ratio hit the PPO clip
+    /// range over the round's minibatch updates.
+    pub clip_fraction: f32,
 }
 
 /// The PairUpLight learner (paper §V, Algorithm 1).
@@ -137,6 +162,10 @@ pub struct PairUpLight {
     /// production). Behind a mutex so concurrent rollout workers can
     /// consume entries.
     faults: Mutex<FaultPlan>,
+    /// Optional JSONL run logger (see [`RunLogger`]). Behind a mutex
+    /// because retry events are emitted from `&self` collection paths;
+    /// strictly out-of-band — it never feeds back into training state.
+    logger: Mutex<Option<RunLogger>>,
 }
 
 impl PairUpLight {
@@ -179,6 +208,62 @@ impl PairUpLight {
             episodes_trained: 0,
             rounds_trained: 0,
             faults: Mutex::new(FaultPlan::new()),
+            logger: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a JSONL run logger and immediately writes the manifest
+    /// record (config fingerprint, seed, build info, model shape).
+    /// Instrumentation is out-of-band: an instrumented run trains
+    /// bit-identically to an uninstrumented one.
+    pub fn attach_obs(&self, sink: tsc_obs::EventSink) {
+        use tsc_obs::Json;
+        let mut logger = RunLogger::from_sink(sink);
+        logger.log_manifest(
+            self.config_fingerprint(),
+            self.cfg.seed,
+            [
+                ("num_agents".to_string(), Json::num(self.num_agents as f64)),
+                (
+                    "num_envs".to_string(),
+                    Json::num(self.cfg.num_envs.max(1) as f64),
+                ),
+                (
+                    "parameter_sharing".to_string(),
+                    Json::Bool(self.cfg.parameter_sharing),
+                ),
+                (
+                    "num_params".to_string(),
+                    Json::num(self.num_parameters() as f64),
+                ),
+                (
+                    "episodes_trained".to_string(),
+                    Json::num(self.episodes_trained as f64),
+                ),
+                (
+                    "rounds_trained".to_string(),
+                    Json::num(self.rounds_trained as f64),
+                ),
+            ],
+        );
+        *self.logger.lock().expect("run logger lock") = Some(logger);
+    }
+
+    /// Detaches the run logger, writing its `summary` record, and
+    /// returns the accumulated metrics registry. `None` when no logger
+    /// was attached (or it was already finished).
+    pub fn finish_obs(&self) -> Option<tsc_obs::MetricsRegistry> {
+        self.logger
+            .lock()
+            .expect("run logger lock")
+            .take()
+            .map(RunLogger::finish)
+    }
+
+    /// Runs `f` against the attached run logger, if any.
+    fn with_obs(&self, f: impl FnOnce(&mut RunLogger)) {
+        if let Some(log) = self.logger.lock().expect("run logger lock").as_mut() {
+            f(log);
         }
     }
 
@@ -285,6 +370,7 @@ impl PairUpLight {
     ///
     /// Propagates environment failures.
     pub fn collect_rollout(&self, env: &mut TscEnv, seed: u64) -> Result<Rollout, SimError> {
+        let _span = tsc_obs::span!("rollout.episode");
         let epsilon = self.epsilon();
         let n = self.num_agents;
         let lstm = self.cfg.lstm_hidden;
@@ -316,6 +402,8 @@ impl PairUpLight {
         let mut total_reward = 0.0f64;
         let mut msg_abs_sum = 0.0f32;
         let mut msg_count = 0usize;
+        let mut queue_sum = 0.0f64;
+        let mut queue_steps = 0usize;
 
         loop {
             let partners = match self.cfg.pairing {
@@ -327,6 +415,7 @@ impl PairUpLight {
             };
             let mut step_transitions: Vec<Transition> = Vec::with_capacity(n);
             for a in 0..n {
+                let _infer = tsc_obs::span!("rollout.infer");
                 let local = self.encoder.encode_local(&all_obs[a]);
                 let msg_in: Vec<f32> = if bw > 0 {
                     messages[partners[a]].clone()
@@ -393,6 +482,12 @@ impl PairUpLight {
                 critic_states[a].c.copy_from(&cbuf.c);
             }
             let step = env.step(&actions)?;
+            queue_sum += step
+                .obs
+                .iter()
+                .map(IntersectionObs::total_halting)
+                .sum::<f64>();
+            queue_steps += 1;
             for (a, mut t) in step_transitions.into_iter().enumerate() {
                 t.reward = ((step.rewards[a] as f32) * self.cfg.reward_scale)
                     .clamp(-self.cfg.reward_clip, 0.0);
@@ -437,6 +532,11 @@ impl PairUpLight {
             stats,
             mean_message: if msg_count > 0 {
                 msg_abs_sum / msg_count as f32
+            } else {
+                0.0
+            },
+            mean_queue: if queue_steps > 0 {
+                queue_sum / (queue_steps * n) as f64
             } else {
                 0.0
             },
@@ -494,28 +594,63 @@ impl PairUpLight {
     /// [`TrainEpisode`] record per rollout (sharing the round's losses).
     fn update_round(&mut self, rollouts: Vec<Rollout>) -> Vec<TrainEpisode> {
         let epsilon = self.epsilon();
+        let round = self.rounds_trained;
+        let episode_start = self.episodes_trained;
         let mut metas = Vec::with_capacity(rollouts.len());
         let mut trajs = Vec::with_capacity(rollouts.len());
         for r in rollouts {
-            metas.push((r.stats, r.mean_message));
+            metas.push((r.stats, r.mean_message, r.mean_queue));
             trajs.push(r.trajectory);
         }
         let (mut buffer, last_values) = RolloutBuffer::from_trajectories(trajs);
         buffer.compute_targets(&last_values, self.cfg.ppo.gamma, self.cfg.ppo.lambda);
-        let (policy_loss, value_loss, entropy, grad_norm) = self.update(&buffer);
+        let update_started = Instant::now();
+        let losses = self.update(&buffer);
+        let update_wall_ns = u64::try_from(update_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.rounds_trained += 1;
+        // Out-of-band observability: aggregates over the round's
+        // episodes, written after the update so a crash mid-update
+        // never logs a round that didn't happen.
+        self.with_obs(|log| {
+            let k = metas.len().max(1) as f64;
+            log.log_update(&UpdateRecord {
+                round,
+                episode_start,
+                episodes: metas.len(),
+                steps: metas.first().map_or(0, |(s, _, _)| s.steps),
+                policy_loss: losses.policy_loss,
+                value_loss: losses.value_loss,
+                entropy: losses.entropy,
+                grad_norm: losses.grad_norm,
+                approx_kl: losses.approx_kl,
+                clip_fraction: losses.clip_fraction,
+                epsilon,
+                mean_message: metas.iter().map(|(_, m, _)| m).sum::<f32>() / k as f32,
+                mean_reward: metas.iter().map(|(s, _, _)| s.total_reward).sum::<f64>() / k,
+                mean_queue: metas.iter().map(|(_, _, q)| q).sum::<f64>() / k,
+                mean_wait_s: metas
+                    .iter()
+                    .map(|(s, _, _)| s.avg_waiting_time)
+                    .sum::<f64>()
+                    / k,
+                mean_travel_s: metas.iter().map(|(s, _, _)| s.avg_travel_time).sum::<f64>() / k,
+                update_wall_ns,
+            });
+        });
         metas
             .into_iter()
-            .map(|(stats, mean_message)| {
+            .map(|(stats, mean_message, _)| {
                 let ep = TrainEpisode {
                     episode: self.episodes_trained,
                     stats,
                     epsilon,
                     mean_message,
-                    policy_loss,
-                    value_loss,
-                    entropy,
-                    grad_norm,
+                    policy_loss: losses.policy_loss,
+                    value_loss: losses.value_loss,
+                    entropy: losses.entropy,
+                    grad_norm: losses.grad_norm,
+                    approx_kl: losses.approx_kl,
+                    clip_fraction: losses.clip_fraction,
                 };
                 self.episodes_trained += 1;
                 ep
@@ -535,14 +670,15 @@ impl PairUpLight {
     }
 
     /// PPO update (Algorithm 1 line 29): K epochs over minibatches.
-    /// Returns mean (policy loss, value loss, entropy) and max pre-clip
-    /// gradient norm over updates.
+    /// Returns mean losses/diagnostics and max pre-clip gradient norm
+    /// over minibatch updates.
     ///
     /// The minibatch-shuffle RNG is derived fresh from
     /// `(cfg.seed, rounds_trained)` every round rather than carried in
     /// the learner, so the round counter alone reproduces the shuffle —
     /// the property checkpoint resume relies on.
-    fn update(&mut self, buffer: &RolloutBuffer) -> (f32, f32, f32, f32) {
+    fn update(&mut self, buffer: &RolloutBuffer) -> RoundLosses {
+        let _span = tsc_obs::span!("ppo.update");
         let epochs = self.cfg.ppo.epochs;
         let minibatch = self.cfg.ppo.minibatch;
         let mut rng = StdRng::seed_from_u64(derive_rollout_seed(
@@ -550,16 +686,22 @@ impl PairUpLight {
             self.rounds_trained,
             0x0BB5,
         ));
-        let mut acc = (0.0f32, 0.0f32, 0.0f32);
-        let mut max_grad_norm = 0.0f32;
+        let mut acc = RoundLosses::default();
         let mut count = 0usize;
+        let fold = |acc: &mut RoundLosses, l: RoundLosses| {
+            acc.policy_loss += l.policy_loss;
+            acc.value_loss += l.value_loss;
+            acc.entropy += l.entropy;
+            acc.approx_kl += l.approx_kl;
+            acc.clip_fraction += l.clip_fraction;
+            acc.grad_norm = acc.grad_norm.max(l.grad_norm);
+        };
         for _epoch in 0..epochs {
             let batches = buffer.minibatches(minibatch, &mut rng);
             for batch in batches {
                 if self.cfg.parameter_sharing {
                     let l = self.update_minibatch(0, buffer, &batch);
-                    acc = (acc.0 + l.0, acc.1 + l.1, acc.2 + l.2);
-                    max_grad_norm = max_grad_norm.max(l.3);
+                    fold(&mut acc, l);
                     count += 1;
                 } else {
                     // Group the minibatch by owning agent. Buffer lanes
@@ -573,8 +715,7 @@ impl PairUpLight {
                     for (a, items) in per_agent.into_iter().enumerate() {
                         if !items.is_empty() {
                             let l = self.update_minibatch(a, buffer, &items);
-                            acc = (acc.0 + l.0, acc.1 + l.1, acc.2 + l.2);
-                            max_grad_norm = max_grad_norm.max(l.3);
+                            fold(&mut acc, l);
                             count += 1;
                         }
                     }
@@ -582,18 +723,25 @@ impl PairUpLight {
             }
         }
         let n = count.max(1) as f32;
-        (acc.0 / n, acc.1 / n, acc.2 / n, max_grad_norm)
+        RoundLosses {
+            policy_loss: acc.policy_loss / n,
+            value_loss: acc.value_loss / n,
+            entropy: acc.entropy / n,
+            grad_norm: acc.grad_norm,
+            approx_kl: acc.approx_kl / n,
+            clip_fraction: acc.clip_fraction / n,
+        }
     }
 
     /// One gradient step of bundle `b` on the given `(agent, step)`
-    /// items. Returns (policy loss, value loss, entropy, pre-clip
-    /// gradient norm).
+    /// items. Returns the step's losses and diagnostics.
     fn update_minibatch(
         &mut self,
         b: usize,
         buffer: &RolloutBuffer,
         items: &[(usize, usize)],
-    ) -> (f32, f32, f32, f32) {
+    ) -> RoundLosses {
+        let _span = tsc_obs::span!("ppo.minibatch");
         let bw = self.cfg.bandwidth;
         let rows = items.len();
         let mut actor_in = Vec::with_capacity(rows);
@@ -668,10 +816,32 @@ impl PairUpLight {
             g.value(vl).get(0, 0),
             g.value(ent).get(0, 0),
         );
+        // Post-hoc diagnostics (pure reads of forward values — no
+        // effect on the gradient or on any RNG, so instrumented and
+        // uninstrumented runs stay bit-identical): approximate KL
+        // `E[logπ_old − logπ_new]` and the fraction of importance
+        // ratios outside the clip range.
+        let new_logp = g.value(picked);
+        let mut kl_sum = 0.0f32;
+        let mut clipped = 0usize;
+        for (i, &old) in old_logp.iter().enumerate() {
+            let new = new_logp.get(i, 0);
+            kl_sum += old - new;
+            if ((new - old).exp() - 1.0).abs() > self.cfg.ppo.clip {
+                clipped += 1;
+            }
+        }
         g.backward(loss, &mut bundle.params);
         let grad_norm = bundle.params.clip_grad_norm(self.cfg.ppo.max_grad_norm);
         bundle.opt.step(&mut bundle.params);
-        (stats.0, stats.1, stats.2, grad_norm)
+        RoundLosses {
+            policy_loss: stats.0,
+            value_loss: stats.1,
+            entropy: stats.2,
+            grad_norm,
+            approx_kl: kl_sum / rows as f32,
+            clip_fraction: clipped as f32 / rows as f32,
+        }
     }
 
     /// Trains for at least `episodes` episodes, invoking `on_episode`
@@ -698,6 +868,7 @@ impl PairUpLight {
         mut on_episode: impl FnMut(&TrainEpisode),
     ) -> Result<Vec<TrainEpisode>, SimError> {
         let k = self.cfg.num_envs.max(1);
+        self.with_obs(|log| log.log_train_start(base_seed, episodes, self.rounds_trained));
         let mut history = Vec::with_capacity(episodes);
         if k == 1 {
             for i in 0..episodes {
@@ -941,6 +1112,7 @@ impl PairUpLight {
                     });
                 }
                 retries += 1;
+                self.with_obs(|log| log.log_worker_panic_retry(round, e, retries));
                 result = run(env, seeds[e], e);
             }
             let Ok(rollout) = result else {
@@ -988,6 +1160,7 @@ impl PairUpLight {
         /// fresh episodes instead of replaying the divergent ones.
         const RETRY_SALT: u64 = 0x8E7B_11F5;
         let k = self.cfg.num_envs.max(1);
+        self.with_obs(|log| log.log_train_start(base_seed, episodes, self.rounds_trained));
         let mut set = RolloutSet::new(env, k);
         let mut history = Vec::with_capacity(episodes);
         while history.len() < episodes {
@@ -1032,7 +1205,12 @@ impl PairUpLight {
                     Ok(()) => break records,
                     Err(diagnosis) => {
                         self.restore(&restore_point);
-                        if attempt >= self.cfg.max_round_retries {
+                        let exhausted = attempt >= self.cfg.max_round_retries;
+                        self.with_obs(|log| {
+                            log.log_divergence(round, attempt, &diagnosis.to_string());
+                            log.log_rollback(round, attempt, !exhausted);
+                        });
+                        if exhausted {
                             return Err(TrainError::Diverged {
                                 round,
                                 retries: attempt,
@@ -1063,7 +1241,8 @@ impl PairUpLight {
                             self.checkpoint_state(base_seed).write_torn(path),
                         ));
                     }
-                    self.save_checkpoint(path, base_seed)?;
+                    self.save_checkpoint(&path, base_seed)?;
+                    self.with_obs(|log| log.log_checkpoint(self.rounds_trained, &path));
                     manager.prune()?;
                 }
             }

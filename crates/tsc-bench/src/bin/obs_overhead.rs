@@ -1,0 +1,178 @@
+//! Cost of the observability layer on the training hot path.
+//!
+//! The span instrumentation threaded through rollout collection, GAE,
+//! PPO, and the simulator must be near-free when disabled (one relaxed
+//! atomic load per span site). This bench measures the K=1 serial
+//! rollout loop — the exact cell `rollout_throughput` reports — in
+//! three views:
+//!
+//! 1. **disabled** — spans compiled in, tracing off (the production
+//!    default);
+//! 2. **enabled** — tracing on, per-span timing collected;
+//! 3. against the **`BENCH_rollout.json` baseline** recorded before
+//!    the instrumentation existed, when that file is present.
+//!
+//! With `--json` it writes `BENCH_obs.json`, including the measured
+//! disabled-mode overhead versus the baseline (expected within noise;
+//! the acceptance bar is < 2%) and the per-span self/total breakdown
+//! from the enabled pass.
+//!
+//! Usage: `obs_overhead [--json] [horizon_seconds] [rounds]`
+//! (defaults: 300, 2).
+
+use std::time::Instant;
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_bench::report::{read_report, write_report, Json};
+use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn main() {
+    let mut json = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let horizon: u32 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let rounds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    if let Err(e) = run(horizon, rounds, json) {
+        eprintln!("obs_overhead failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One measurement pass: the K=1 serial collection loop of
+/// `rollout_throughput`, byte-for-byte the same work.
+fn measure(
+    model: &PairUpLight,
+    env: &TscEnv,
+    rounds: u64,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut set = RolloutSet::new(env, 1);
+    let start = Instant::now();
+    let mut steps_done: u64 = 0;
+    for round in 0..rounds {
+        let seeds = [derive_rollout_seed(0, round, 0)];
+        let rollouts = model.collect_rollouts(&mut set, &seeds, false)?;
+        steps_done += rollouts.iter().map(|r| r.stats.steps as u64).sum::<u64>();
+    }
+    Ok(steps_done as f64 / start.elapsed().as_secs_f64())
+}
+
+fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::build(GridConfig::default())?;
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let env = TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )?;
+    let cfg = PairUpLightConfig {
+        hidden: 32,
+        lstm_hidden: 32,
+        ..Default::default()
+    };
+    let model = PairUpLight::new(&env, cfg);
+
+    println!(
+        "obs overhead: 6x6 grid, horizon {horizon}s, {} decision steps/episode, {rounds} round(s)",
+        env.steps_per_episode()
+    );
+
+    // Warm-up pass so neither measured pass pays first-touch costs.
+    tsc_obs::span::set_enabled(false);
+    measure(&model, &env, 1)?;
+
+    let disabled = measure(&model, &env, rounds)?;
+    println!("spans disabled: {disabled:>10.0} env-steps/s");
+
+    tsc_obs::span::reset();
+    tsc_obs::span::set_enabled(true);
+    let enabled = measure(&model, &env, rounds)?;
+    tsc_obs::span::set_enabled(false);
+    let spans = tsc_obs::span::report();
+    println!("spans enabled:  {enabled:>10.0} env-steps/s");
+    let enabled_overhead_pct = (disabled - enabled) / disabled * 100.0;
+    println!("enabled-mode overhead vs disabled: {enabled_overhead_pct:.2}%");
+
+    println!(
+        "{:>22} {:>10} {:>14} {:>14}",
+        "span", "count", "total", "self"
+    );
+    let mut span_rows = Vec::new();
+    for (name, stat) in &spans {
+        println!(
+            "{name:>22} {:>10} {:>12.2}ms {:>12.2}ms",
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            stat.self_ns as f64 / 1e6
+        );
+        span_rows.push(Json::obj([
+            ("name", Json::str(*name)),
+            ("count", Json::num(stat.count as f64)),
+            ("total_ms", Json::num(stat.total_ns as f64 / 1e6)),
+            ("self_ms", Json::num(stat.self_ns as f64 / 1e6)),
+        ]));
+    }
+
+    // PR-1 recorded the same cell before any instrumentation existed;
+    // compare when available. Cross-session wall-clock comparisons are
+    // noisy, so this is reported, while the in-process disabled-vs-
+    // enabled pair above is the controlled measurement.
+    let baseline = read_report("BENCH_rollout.json")?.and_then(|r| {
+        let cells = match r.get("cells") {
+            Some(Json::Arr(cells)) => cells.clone(),
+            _ => return None,
+        };
+        cells
+            .iter()
+            .find(|c| c.get_num("replicas") == Some(1.0) && c.get_str("mode") == Some("serial"))
+            .and_then(|c| c.get_num("env_steps_per_sec"))
+    });
+    let disabled_overhead_pct = baseline.map(|b| (b - disabled) / b * 100.0);
+    match (baseline, disabled_overhead_pct) {
+        (Some(b), Some(pct)) => {
+            println!("BENCH_rollout.json baseline (K=1 serial): {b:.0} env-steps/s");
+            println!("disabled-mode overhead vs baseline: {pct:.2}% (bar: < 2%)");
+        }
+        _ => println!("BENCH_rollout.json baseline not found; skipping cross-run comparison"),
+    }
+
+    if json {
+        let report = Json::obj([
+            ("bench", Json::str("obs_overhead")),
+            ("grid", Json::str("6x6")),
+            ("horizon_s", Json::num(f64::from(horizon))),
+            ("rounds", Json::num(rounds as f64)),
+            ("disabled_steps_per_sec", Json::num(disabled)),
+            ("enabled_steps_per_sec", Json::num(enabled)),
+            ("enabled_overhead_pct", Json::num(enabled_overhead_pct)),
+            (
+                "baseline_steps_per_sec",
+                baseline.map_or(Json::Null, Json::num),
+            ),
+            (
+                "disabled_overhead_pct",
+                disabled_overhead_pct.map_or(Json::Null, Json::num),
+            ),
+            ("overhead_bar_pct", Json::num(2.0)),
+            ("spans", Json::Arr(span_rows)),
+        ]);
+        let path = write_report("BENCH_obs.json", &report)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

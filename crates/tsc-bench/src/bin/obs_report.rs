@@ -1,0 +1,375 @@
+//! Human-readable summaries of `tsc-obs` run JSONL streams.
+//!
+//! A training run instrumented with `PairUpLight::attach_obs` (or a
+//! serving run with `ServeRuntime::attach_obs`) streams one JSON
+//! record per line. This tool turns that stream back into tables:
+//! the manifest, the per-update training curve, event counts
+//! (divergences, rollbacks, worker-panic retries, checkpoints), and
+//! serve-step latency. Torn tails and bad lines are reported, never
+//! fatal — the whole point is to inspect runs that are still writing
+//! or that died mid-line.
+//!
+//! Usage:
+//!   `obs_report <run.jsonl>`            summarize a run
+//!   `obs_report --follow <run.jsonl>`   tail a live run (poll + print)
+//!   `obs_report --csv <run.jsonl>`      re-derived metrics as CSV
+//!   `obs_report --prom <run.jsonl>`     re-derived metrics as Prometheus text
+//!   `obs_report --smoke`                self-contained CI gate: run a tiny
+//!                                       instrumented training, verify the
+//!                                       stream, summarize it, exit 0
+//!
+//! `--tail N` limits the update table to the last `N` rows (default 10).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_obs::{parse_jsonl, Json, JsonlWarning, MetricsRegistry};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn main() {
+    let mut follow = false;
+    let mut smoke = false;
+    let mut csv = false;
+    let mut prom = false;
+    let mut tail: usize = 10;
+    let mut path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--follow" => follow = true,
+            "--smoke" => smoke = true,
+            "--csv" => csv = true,
+            "--prom" => prom = true,
+            "--tail" => {
+                tail = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--tail needs a number"));
+            }
+            other if !other.starts_with('-') => path = Some(PathBuf::from(other)),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    let result = if smoke {
+        run_smoke()
+    } else {
+        let path = path.unwrap_or_else(|| usage("missing <run.jsonl> path"));
+        if follow {
+            run_follow(&path)
+        } else {
+            run_summary(&path, tail, csv, prom)
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("obs_report failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("obs_report: {msg}");
+    eprintln!("usage: obs_report [--follow|--csv|--prom] [--tail N] <run.jsonl> | --smoke");
+    std::process::exit(2);
+}
+
+/// Reads the stream, reporting (not failing on) torn tails.
+fn read_stream(path: &Path) -> Result<(Vec<Json>, Vec<JsonlWarning>), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(parse_jsonl(&text))
+}
+
+/// Rebuilds a metrics registry from the event stream, so the exporters
+/// work on any run file without needing the in-process registry.
+fn registry_from(records: &[Json]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for r in records {
+        match r.get_str("type") {
+            Some("update") => {
+                reg.inc("train.updates");
+                reg.add(
+                    "train.episodes",
+                    r.get_num("episodes").unwrap_or(0.0) as u64,
+                );
+                if let Some(us) = r.get_num("update_wall_us") {
+                    reg.observe_ns("train.update_wall", (us * 1_000.0) as u64);
+                }
+                if let Some(v) = r.get_num("mean_reward") {
+                    reg.set_gauge("train.mean_reward", v);
+                }
+                if let Some(v) = r.get_num("mean_wait_s") {
+                    reg.set_gauge("train.mean_wait_s", v);
+                }
+            }
+            Some("divergence") => reg.inc("train.divergences"),
+            Some("rollback") => reg.inc("train.rollbacks"),
+            Some("worker_panic_retry") => reg.inc("train.worker_panic_retries"),
+            Some("checkpoint") => reg.inc("train.checkpoints"),
+            Some("serve_step") => {
+                reg.inc("serve.steps");
+                if let Some(us) = r.get_num("latency_us") {
+                    reg.observe_ns("serve.step_latency", (us * 1_000.0) as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+    reg
+}
+
+fn num(r: &Json, key: &str) -> f64 {
+    r.get_num(key).unwrap_or(f64::NAN)
+}
+
+fn print_update_header() {
+    println!(
+        "{:>6} {:>6} {:>10} {:>8} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "round",
+        "ep",
+        "reward",
+        "queue",
+        "wait_s",
+        "p_loss",
+        "v_loss",
+        "kl",
+        "clipfrac",
+        "gnorm",
+        "wall_ms"
+    );
+}
+
+fn print_update_row(r: &Json) {
+    println!(
+        "{:>6} {:>6} {:>10.1} {:>8.2} {:>8.1} {:>9.4} {:>8.3} {:>9.5} {:>9.3} {:>8.2} {:>9.1}",
+        num(r, "round"),
+        num(r, "episode_start"),
+        num(r, "mean_reward"),
+        num(r, "mean_queue"),
+        num(r, "mean_wait_s"),
+        num(r, "policy_loss"),
+        num(r, "value_loss"),
+        num(r, "approx_kl"),
+        num(r, "clip_fraction"),
+        num(r, "grad_norm"),
+        num(r, "update_wall_us") / 1_000.0,
+    );
+}
+
+fn print_event_line(r: &Json) {
+    match r.get_str("type") {
+        Some("divergence") => println!(
+            "!! divergence at round {} (attempt {}): {}",
+            num(r, "round"),
+            num(r, "attempt"),
+            r.get_str("reason").unwrap_or("?")
+        ),
+        Some("rollback") => println!(
+            "!! rollback of round {} (attempt {}, will_retry={:?})",
+            num(r, "round"),
+            num(r, "attempt"),
+            r.get("will_retry").map(|v| v.compact()).unwrap_or_default()
+        ),
+        Some("worker_panic_retry") => println!(
+            "!! worker panic: round {} env {} retry #{}",
+            num(r, "round"),
+            num(r, "env"),
+            num(r, "retries")
+        ),
+        Some("checkpoint") => println!(
+            "-- checkpoint at round {}: {}",
+            num(r, "round"),
+            r.get_str("path").unwrap_or("?")
+        ),
+        _ => {}
+    }
+}
+
+fn summarize(records: &[Json], warnings: &[JsonlWarning], tail: usize) {
+    if let Some(m) = records
+        .iter()
+        .find(|r| r.get_str("type") == Some("manifest"))
+    {
+        let build = m.get("build");
+        println!(
+            "manifest: schema={} fingerprint={} seed={} agents={} params={} build={} ({}, {})",
+            m.get_str("schema").unwrap_or("?"),
+            m.get_str("fingerprint").unwrap_or("?"),
+            m.get_str("seed").unwrap_or("?"),
+            num(m, "num_agents"),
+            num(m, "num_params"),
+            build.and_then(|b| b.get_str("version")).unwrap_or("?"),
+            build.and_then(|b| b.get_str("git")).unwrap_or("?"),
+            build.and_then(|b| b.get_str("profile")).unwrap_or("?"),
+        );
+    } else {
+        println!("manifest: MISSING");
+    }
+    for r in records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("train_start"))
+    {
+        println!(
+            "train_start: base_seed={} episodes={} resume_round={}",
+            r.get_str("base_seed").unwrap_or("?"),
+            num(r, "episodes"),
+            num(r, "resume_round"),
+        );
+    }
+    let updates: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("update"))
+        .collect();
+    println!("updates: {}", updates.len());
+    if !updates.is_empty() {
+        let skipped = updates.len().saturating_sub(tail);
+        print_update_header();
+        if skipped > 0 {
+            println!("{:>6}", format!("… {skipped} earlier"));
+        }
+        for r in &updates[skipped..] {
+            print_update_row(r);
+        }
+    }
+    for r in records {
+        print_event_line(r);
+    }
+    let serve_steps = records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("serve_step"))
+        .count();
+    if serve_steps > 0 {
+        let reg = registry_from(records);
+        if let Some(h) = reg.histogram("serve.step_latency") {
+            println!(
+                "serve: {serve_steps} steps, latency p50={:.1}us p99={:.1}us max={:.1}us",
+                h.percentile_us(0.50),
+                h.percentile_us(0.99),
+                h.max_us()
+            );
+        }
+    }
+    for w in warnings {
+        println!("warning: {w}");
+    }
+}
+
+fn run_summary(
+    path: &Path,
+    tail: usize,
+    csv: bool,
+    prom: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let (records, warnings) = read_stream(path)?;
+    if csv || prom {
+        let reg = registry_from(&records);
+        if csv {
+            print!("{}", reg.to_csv());
+        }
+        if prom {
+            print!("{}", reg.to_prometheus());
+        }
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        return Ok(());
+    }
+    summarize(&records, &warnings, tail);
+    Ok(())
+}
+
+/// Tails a live run: polls the file and prints records as they land.
+/// A torn tail (a record the writer is mid-way through) is retried on
+/// the next poll rather than reported.
+fn run_follow(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let mut seen = 0usize;
+    let mut header_printed = false;
+    println!("following {} (Ctrl-C to stop)", path.display());
+    loop {
+        if path.exists() {
+            let (records, _warnings) = read_stream(path)?;
+            for r in &records[seen.min(records.len())..] {
+                match r.get_str("type") {
+                    Some("update") => {
+                        if !header_printed {
+                            print_update_header();
+                            header_printed = true;
+                        }
+                        print_update_row(r);
+                    }
+                    Some("manifest") => println!(
+                        "manifest: fingerprint={} seed={}",
+                        r.get_str("fingerprint").unwrap_or("?"),
+                        r.get_str("seed").unwrap_or("?")
+                    ),
+                    Some("summary") => {
+                        println!("run finished (summary record seen)");
+                        return Ok(());
+                    }
+                    _ => print_event_line(r),
+                }
+            }
+            seen = records.len();
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+/// CI gate: a tiny instrumented training run must produce a parseable
+/// stream with a manifest and one update record per round, and the
+/// summarizer must handle it.
+fn run_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    const EPISODES: usize = 5;
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 200.0,
+    })?;
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let mut env = TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 150,
+        },
+        0,
+    )?;
+    let cfg = PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    };
+    let mut model = PairUpLight::new(&env, cfg);
+    let path = std::env::temp_dir().join(format!("tsc-obs-smoke-{}.jsonl", std::process::id()));
+    model.attach_obs(tsc_obs::EventSink::create(&path)?);
+    model.train(&mut env, EPISODES, 0, |_| {})?;
+    let metrics = model.finish_obs().expect("logger was attached");
+
+    let (records, warnings) = read_stream(&path)?;
+    if !warnings.is_empty() {
+        return Err(format!("stream has warnings: {warnings:?}").into());
+    }
+    if records.first().map(|r| r.get_str("type")) != Some(Some("manifest")) {
+        return Err("first record is not the manifest".into());
+    }
+    let updates = records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("update"))
+        .count();
+    if updates < EPISODES {
+        return Err(format!("expected >= {EPISODES} update records, found {updates}").into());
+    }
+    if metrics.counter("train.updates") != updates as u64 {
+        return Err("registry counter disagrees with the stream".into());
+    }
+    summarize(&records, &warnings, 10);
+    println!(
+        "obs smoke OK: {} records, {updates} updates, stream parses clean",
+        records.len()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -2,135 +2,16 @@
 //!
 //! Benchmark binaries print human-readable tables; with `--json` they
 //! *also* write a `BENCH_*.json` file at the repository root so CI and
-//! tooling can track numbers across commits. The JSON encoder is
-//! hand-rolled: the workspace is offline (no `serde_json`), and the
-//! subset needed here — objects, arrays, strings, numbers, booleans —
-//! is a page of code.
+//! tooling can track numbers across commits. The JSON value type is
+//! the workspace-shared [`tsc_obs::Json`] (re-exported here): every
+//! bench writer and every report reader — `obs_report`, the overhead
+//! gate, CI — uses the same encoder/parser, so shapes can never drift
+//! between the tool that writes a report and the tool that reads it.
 
 use std::io;
 use std::path::PathBuf;
 
-/// A JSON value. Build with the constructors, render with
-/// [`Json::pretty`].
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any finite number (non-finite values render as `null`).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object constructor: `Json::obj([("key", value), …])`.
-    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// String constructor.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Number constructor (accepts anything convertible to `f64`).
-    pub fn num(n: impl Into<f64>) -> Json {
-        Json::Num(n.into())
-    }
-
-    /// Pretty-prints with two-space indentation and a trailing newline.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    if *n == n.trunc() && n.abs() < 1e15 {
-                        out.push_str(&format!("{}", *n as i64));
-                    } else {
-                        out.push_str(&format!("{n}"));
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.render(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    Json::Str(k.clone()).render(out, depth + 1);
-                    out.push_str(": ");
-                    v.render(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
+pub use tsc_obs::Json;
 
 /// The repository root (two levels above this crate's manifest).
 pub fn repo_root() -> PathBuf {
@@ -149,29 +30,26 @@ pub fn write_report(name: &str, report: &Json) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Reads a `BENCH_*.json` report back from the repository root.
+///
+/// # Errors
+///
+/// `Ok(None)` when the file does not exist; `Err` for unreadable files
+/// or files that do not parse as JSON.
+pub fn read_report(name: &str) -> io::Result<Option<Json>> {
+    let path = repo_root().join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Json::parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display()))),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn renders_nested_structures_with_escapes() {
-        let j = Json::obj([
-            ("name", Json::str("a \"quoted\"\nline")),
-            ("count", Json::num(3u32)),
-            ("ratio", Json::num(0.5)),
-            ("nan", Json::Num(f64::NAN)),
-            ("ok", Json::Bool(true)),
-            ("rows", Json::Arr(vec![Json::num(1u32), Json::Null])),
-            ("empty", Json::Arr(Vec::new())),
-        ]);
-        let text = j.pretty();
-        assert!(text.contains("\"a \\\"quoted\\\"\\nline\""));
-        assert!(text.contains("\"count\": 3"));
-        assert!(text.contains("\"ratio\": 0.5"));
-        assert!(text.contains("\"nan\": null"));
-        assert!(text.contains("\"empty\": []"));
-        assert!(text.ends_with("}\n"));
-    }
 
     #[test]
     fn repo_root_contains_the_workspace_manifest() {
@@ -179,8 +57,18 @@ mod tests {
     }
 
     #[test]
-    fn integers_render_without_a_fraction() {
-        assert_eq!(Json::num(200u32).pretty(), "200\n");
-        assert_eq!(Json::num(2.25).pretty(), "2.25\n");
+    fn reports_round_trip_through_the_shared_json() {
+        let j = Json::obj([
+            ("name", Json::str("cell")),
+            ("rows", Json::Arr(vec![Json::num(1u32), Json::num(2.5)])),
+        ]);
+        assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn missing_report_reads_as_none() {
+        assert!(read_report("BENCH_definitely_not_there.json")
+            .unwrap()
+            .is_none());
     }
 }

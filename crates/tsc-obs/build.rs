@@ -1,0 +1,22 @@
+//! Captures git-describe-style build provenance at compile time so run
+//! manifests can pin the exact source tree a run was produced by. The
+//! build never fails when git (or the repository) is absent — the
+//! manifest then records `unknown`.
+
+use std::process::Command;
+
+fn main() {
+    let git = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=TSC_OBS_GIT_DESCRIBE={git}");
+    // Re-stamp when the checked-out commit moves; harmless if the path
+    // does not exist (cargo ignores missing rerun-if-changed files).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -1,0 +1,296 @@
+//! Structured JSONL event sink and reader.
+//!
+//! A run writes its manifest and every subsequent event as one compact
+//! JSON object per line. Each record is rendered fully in memory and
+//! appended with a **single** `write_all` on a file opened in append
+//! mode, so a crash (or a disk-full error) can at worst leave one torn
+//! line at the tail — it can never corrupt records already on disk.
+//! [`read_jsonl`] tolerates exactly that failure mode: a torn tail
+//! line is skipped with a typed [`JsonlWarning`] instead of failing the
+//! whole read.
+//!
+//! For tests, [`EventSink::inject_write_fault`] schedules a torn write
+//! (the obs-side analogue of the trainer's `FaultPlan` checkpoint-write
+//! fault): the sink writes only a prefix of the faulted record and then
+//! surfaces an I/O error, exactly like a process dying mid-append.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// An injected write failure: record number `after_records` (0-based)
+/// is torn after `keep_bytes` bytes and the write fails. Fires once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteFault {
+    /// Index of the record whose write fails (0 = the next record).
+    pub after_records: u64,
+    /// How many bytes of the doomed record still reach the file.
+    pub keep_bytes: usize,
+}
+
+/// Appending JSONL writer. One [`emit`](EventSink::emit) call = one
+/// complete line = one `write_all`.
+#[derive(Debug)]
+pub struct EventSink {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    fault: Option<WriteFault>,
+}
+
+impl EventSink {
+    /// Creates (truncating) `path` and returns a sink over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(EventSink {
+            file,
+            path,
+            records: 0,
+            fault: None,
+        })
+    }
+
+    /// Opens `path` for appending (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(EventSink {
+            file,
+            path,
+            records: 0,
+            fault: None,
+        })
+    }
+
+    /// The file this sink appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records emitted through this sink (successful `emit` calls).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Schedules one torn write (test instrumentation; see the module
+    /// docs). `after_records` counts from the sink's current position.
+    pub fn inject_write_fault(&mut self, fault: WriteFault) {
+        self.fault = Some(WriteFault {
+            after_records: self.records + fault.after_records,
+            keep_bytes: fault.keep_bytes,
+        });
+    }
+
+    /// Appends `record` as one compact JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (and fires any injected fault).
+    /// On error the tail of the file may hold one torn line; previously
+    /// emitted records are untouched.
+    pub fn emit(&mut self, record: &Json) -> io::Result<()> {
+        let mut line = record.compact();
+        line.push('\n');
+        if let Some(fault) = self.fault {
+            if fault.after_records == self.records {
+                self.fault = None;
+                let keep = fault.keep_bytes.min(line.len().saturating_sub(1));
+                self.file.write_all(&line.as_bytes()[..keep])?;
+                self.file.flush()?;
+                return Err(io::Error::other(
+                    "injected JSONL write fault: record torn mid-line",
+                ));
+            }
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+/// A non-fatal irregularity found while reading a JSONL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonlWarning {
+    /// The final line is unterminated and does not parse — the
+    /// signature of a write torn by a crash or a full disk. The line
+    /// was skipped.
+    TornTail {
+        /// 1-based line number.
+        line: usize,
+        /// Bytes in the torn fragment.
+        len: usize,
+    },
+    /// An interior line failed to parse and was skipped.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Parse failure description.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for JsonlWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonlWarning::TornTail { line, len } => {
+                write!(f, "line {line}: torn tail ({len} bytes), skipped")
+            }
+            JsonlWarning::BadLine { line, error } => {
+                write!(f, "line {line}: unparsable record skipped ({error})")
+            }
+        }
+    }
+}
+
+/// Reads every parsable record of a JSONL file, reporting (not
+/// failing on) torn or malformed lines.
+///
+/// # Errors
+///
+/// Propagates filesystem failures only; parse problems come back as
+/// [`JsonlWarning`]s.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<(Vec<Json>, Vec<JsonlWarning>)> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_jsonl(&text))
+}
+
+/// [`read_jsonl`] over an in-memory buffer.
+pub fn parse_jsonl(text: &str) -> (Vec<Json>, Vec<JsonlWarning>) {
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, chunk) in text.split_inclusive('\n').enumerate() {
+        // An unterminated chunk is necessarily the file's last line.
+        let terminated = chunk.ends_with('\n');
+        let line = chunk.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(value) => records.push(value),
+            Err(e) => {
+                if terminated {
+                    warnings.push(JsonlWarning::BadLine {
+                        line: i + 1,
+                        error: e.to_string(),
+                    });
+                } else {
+                    warnings.push(JsonlWarning::TornTail {
+                        line: i + 1,
+                        len: line.len(),
+                    });
+                }
+            }
+        }
+    }
+    (records, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tsc-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn record(i: u64) -> Json {
+        Json::obj([
+            ("type", Json::str("update")),
+            ("round", Json::num(i as f64)),
+        ])
+    }
+
+    #[test]
+    fn emit_then_read_round_trips() {
+        let path = tmp("roundtrip.jsonl");
+        let mut sink = EventSink::create(&path).unwrap();
+        for i in 0..5 {
+            sink.emit(&record(i)).unwrap();
+        }
+        assert_eq!(sink.records(), 5);
+        let (records, warnings) = read_jsonl(&path).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[3].get_num("round"), Some(3.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_mode_continues_an_existing_file() {
+        let path = tmp("append.jsonl");
+        EventSink::create(&path).unwrap().emit(&record(0)).unwrap();
+        EventSink::append(&path).unwrap().emit(&record(1)).unwrap();
+        let (records, warnings) = read_jsonl(&path).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_prior_records() {
+        let path = tmp("torn.jsonl");
+        let mut sink = EventSink::create(&path).unwrap();
+        for i in 0..3 {
+            sink.emit(&record(i)).unwrap();
+        }
+        sink.inject_write_fault(WriteFault {
+            after_records: 0,
+            keep_bytes: 9,
+        });
+        let err = sink.emit(&record(3)).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        let (records, warnings) = read_jsonl(&path).unwrap();
+        assert_eq!(records.len(), 3, "prior records intact");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.get_num("round"), Some(i as f64));
+        }
+        assert_eq!(
+            warnings,
+            vec![JsonlWarning::TornTail { line: 4, len: 9 }],
+            "torn tail skipped with a typed warning"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_garbage_is_a_bad_line_not_a_torn_tail() {
+        let (records, warnings) = parse_jsonl("{\"a\":1}\nnot json\n{\"b\":2}\n");
+        assert_eq!(records.len(), 2);
+        assert!(matches!(warnings[0], JsonlWarning::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_but_complete_tail_still_parses() {
+        // A writer killed between write_all and nothing-else leaves a
+        // complete line without its newline only if the newline was in
+        // the same write; our writer includes it, so this case means
+        // the record survived fully — accept it.
+        let (records, warnings) = parse_jsonl("{\"a\":1}\n{\"b\":2}");
+        assert_eq!(records.len(), 2);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let (records, warnings) = parse_jsonl("\n{\"a\":1}\n\n");
+        assert_eq!(records.len(), 1);
+        assert!(warnings.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! A mergeable streaming latency histogram.
+//!
+//! Samples land in a fixed array of log-spaced buckets, so `record` is
+//! a handful of integer operations and the memory footprint is constant
+//! no matter how long a process runs. Two histograms recorded
+//! independently (e.g. by parallel rollout workers, or by a trainer and
+//! a serving runtime) [`merge`](Histogram::merge) into exactly the
+//! histogram a single combined recorder would have produced: bucket
+//! counts add, min/max take the extrema, totals add. Percentiles are
+//! read off cumulative bucket counts and are exact to within one bucket
+//! (a factor of [`Histogram::RATIO`]); `min`/`max`/`mean` are exact.
+//!
+//! This is the one histogram implementation shared by serving telemetry
+//! (`tsc-serve`), the metrics registry, and span timing reports.
+
+use std::time::Duration;
+
+/// Number of log-spaced buckets.
+const BUCKETS: usize = 64;
+/// Lower edge of the first bucket, nanoseconds (1 µs).
+const BASE_NS: f64 = 1_000.0;
+/// Geometric ratio between bucket edges. 64 buckets at ×1.25 span
+/// 1 µs … ≈ 1.2 s, far beyond any sane per-step deadline.
+const RATIO: f64 = 1.25;
+
+/// Streaming log-bucket histogram of durations (internally nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u128,
+    /// Exact extrema (`u64::MAX` / `0` when empty).
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Number of buckets (exposed for exporters).
+    pub const BUCKETS: usize = BUCKETS;
+    /// Geometric ratio between bucket edges: the worst-case relative
+    /// error of a percentile read.
+    pub const RATIO: f64 = RATIO;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        if (ns as f64) <= BASE_NS {
+            return 0;
+        }
+        let idx = ((ns as f64) / BASE_NS).ln() / RATIO.ln();
+        (idx.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i` in microseconds.
+    pub fn bucket_edge_us(i: usize) -> f64 {
+        BASE_NS * RATIO.powi(i as i32) / 1_000.0
+    }
+
+    /// Per-bucket sample counts (parallel to [`bucket_edge_us`]
+    /// (Self::bucket_edge_us)).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Records one sample given in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_for(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Folds `other` into `self`. The result is identical to the
+    /// histogram a single recorder fed both sample streams would hold.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        self.total_ns
+    }
+
+    /// Latency at quantile `q`, in microseconds.
+    ///
+    /// Edge cases are exact: an empty histogram reads 0 for every `q`,
+    /// `q <= 0` reads the exact minimum, and `q >= 1` reads the exact
+    /// maximum. Interior quantiles return the upper edge of the bucket
+    /// containing the rank-`⌈q·n⌉` sample, which overestimates by at
+    /// most a factor of [`RATIO`](Self::RATIO).
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min_us();
+        }
+        if q >= 1.0 {
+            return self.max_us();
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cum += count;
+            if cum >= rank {
+                return Self::bucket_edge_us(i);
+            }
+        }
+        Self::bucket_edge_us(BUCKETS - 1)
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1_000.0
+        }
+    }
+
+    /// Exact minimum in microseconds (0 when empty).
+    pub fn min_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns as f64 / 1_000.0
+        }
+    }
+
+    /// Exact maximum in microseconds (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero_everywhere() {
+        let h = Histogram::new();
+        for q in [-0.5, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.percentile_us(q), 0.0, "q={q}");
+        }
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.min_us(), 0.0);
+        assert_eq!(h.max_us(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(7));
+        // Extremes are exact; interior quantiles are the sample's
+        // bucket upper edge.
+        assert_eq!(h.percentile_us(0.0), 7.0);
+        assert_eq!(h.percentile_us(1.0), 7.0);
+        let p50 = h.percentile_us(0.5);
+        assert!((7.0..=7.0 * RATIO).contains(&p50), "{p50}");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn q0_and_q1_are_exact_extrema() {
+        let mut h = Histogram::new();
+        for us in [3u64, 90, 15, 1_000, 42] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.percentile_us(0.0), 3.0);
+        assert_eq!(h.percentile_us(1.0), 1_000.0);
+        // Clamped out-of-range quantiles behave like the extremes.
+        assert_eq!(h.percentile_us(-1.0), 3.0);
+        assert_eq!(h.percentile_us(1.5), 1_000.0);
+    }
+
+    #[test]
+    fn interior_percentiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i * 10));
+        }
+        let (p50, p95, p99) = (
+            h.percentile_us(0.50),
+            h.percentile_us(0.95),
+            h.percentile_us(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((500.0..=500.0 * RATIO).contains(&p50), "{p50}");
+        assert!((990.0..=990.0 * RATIO).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let samples_a = [5u64, 80, 80, 2_000, 13];
+        let samples_b = [1u64, 999, 40_000];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for &us in &samples_a {
+            a.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        for &us in &samples_b {
+            b.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a, combined, "merge must be exactly combined recording");
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(12));
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,62 @@
+//! Build provenance for run manifests.
+//!
+//! Every instrumented run's first JSONL record is a manifest pinning
+//! what produced it: configuration fingerprint and seed (supplied by
+//! the trainer), plus the build info captured here at compile time —
+//! crate version, a git-describe-style source stamp (embedded by
+//! `build.rs`; `unknown` when the tree was built outside git), and the
+//! compilation profile.
+
+use crate::json::Json;
+
+/// Compile-time build provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Workspace crate version.
+    pub version: &'static str,
+    /// `git describe --always --dirty --tags` at build time, or
+    /// `unknown`.
+    pub git: &'static str,
+    /// `debug` or `release`.
+    pub profile: &'static str,
+}
+
+impl BuildInfo {
+    /// JSON object form for embedding into a manifest record.
+    pub fn to_json(self) -> Json {
+        Json::obj([
+            ("version", Json::str(self.version)),
+            ("git", Json::str(self.git)),
+            ("profile", Json::str(self.profile)),
+        ])
+    }
+}
+
+/// The build info of the running binary.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git: option_env!("TSC_OBS_GIT_DESCRIBE").unwrap_or("unknown"),
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_is_populated() {
+        let b = build_info();
+        assert!(!b.version.is_empty());
+        assert!(!b.git.is_empty());
+        assert!(matches!(b.profile, "debug" | "release"));
+        let j = b.to_json();
+        assert_eq!(j.get_str("version"), Some(b.version));
+        assert_eq!(j.get_str("git"), Some(b.git));
+    }
+}

@@ -1,0 +1,275 @@
+//! Named metrics: counters, gauges, and histograms, with Prometheus
+//! text and CSV exporters.
+//!
+//! Names are dotted lowercase (`train.updates`, `serve.step_latency`);
+//! the Prometheus exporter rewrites separators to `_` as the exposition
+//! format requires. Registries recorded independently (one per worker,
+//! one per subsystem) [`merge`](MetricsRegistry::merge) losslessly:
+//! counters add, histograms fold bucket-wise, gauges take the other
+//! side's latest value.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `ns` into histogram `name` (created on first use).
+    pub fn observe_ns(&mut self, name: &str, ns: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_ns(ns);
+    }
+
+    /// Current value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self` (counters add, histograms merge,
+    /// `other`'s gauges win).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Histogram buckets are cumulative with `le` edges in
+    /// microseconds; `_sum` is in microseconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &count) in h.buckets().iter().enumerate() {
+                cum += count;
+                if count > 0 || i + 1 == Histogram::BUCKETS {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{:.3}\"}} {cum}",
+                        Histogram::bucket_edge_us(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.total_ns() as f64 / 1_000.0);
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Renders the registry as CSV, one metric per row:
+    /// `kind,name,count,value,p50_us,p95_us,p99_us,mean_us,min_us,max_us`
+    /// (empty cells where a column does not apply).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("kind,name,count,value,p50_us,p95_us,p99_us,mean_us,min_us,max_us\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter,{name},,{value},,,,,,");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},,{value},,,,,,");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{name},{},,{},{},{},{},{},{}",
+                h.count(),
+                h.percentile_us(0.50),
+                h.percentile_us(0.95),
+                h.percentile_us(0.99),
+                h.mean_us(),
+                h.min_us(),
+                h.max_us(),
+            );
+        }
+        out
+    }
+
+    /// Snapshot as a JSON object (counters and gauges verbatim;
+    /// histograms summarized by count and percentiles) — the shape the
+    /// run-summary JSONL record uses.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::num(v as f64))),
+        );
+        let gauges = Json::obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::num(v))));
+        let hists = Json::obj(self.histograms.iter().map(|(k, h)| {
+            (
+                k.clone(),
+                Json::obj([
+                    ("count", Json::num(h.count() as f64)),
+                    ("p50_us", Json::num(h.percentile_us(0.50))),
+                    ("p95_us", Json::num(h.percentile_us(0.95))),
+                    ("p99_us", Json::num(h.percentile_us(0.99))),
+                    ("mean_us", Json::num(h.mean_us())),
+                    ("min_us", Json::num(h.min_us())),
+                    ("max_us", Json::num(h.max_us())),
+                ]),
+            )
+        }));
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", hists),
+        ])
+    }
+}
+
+/// Rewrites a dotted metric name into the Prometheus charset.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let mut m = MetricsRegistry::new();
+        m.inc("train.updates");
+        m.add("train.updates", 4);
+        m.set_gauge("train.epsilon", 0.15);
+        m.set_gauge("train.epsilon", 0.10);
+        assert_eq!(m.counter("train.updates"), 5);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("train.epsilon"), Some(0.10));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_folds_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("n", 2);
+        b.add("n", 3);
+        a.observe_ns("lat", 10_000);
+        b.observe_ns("lat", 20_000);
+        b.set_gauge("g", 7.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(7.0));
+    }
+
+    #[test]
+    fn prometheus_text_has_types_buckets_and_sane_names() {
+        let mut m = MetricsRegistry::new();
+        m.add("serve.fallbacks", 3);
+        m.set_gauge("train.lr", 3e-4);
+        m.observe_ns("serve.step-latency", 5_000);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE serve_fallbacks counter"));
+        assert!(text.contains("serve_fallbacks 3"));
+        assert!(text.contains("# TYPE train_lr gauge"));
+        assert!(text.contains("# TYPE serve_step_latency histogram"));
+        assert!(text.contains("serve_step_latency_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("serve_step_latency_count 1"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_metric() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.set_gauge("b", 1.5);
+        m.observe_ns("c", 2_000);
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "{csv}");
+        assert!(lines[1].starts_with("counter,a,,1"));
+        assert!(lines[2].starts_with("gauge,b,,1.5"));
+        assert!(lines[3].starts_with("histogram,c,1,,"));
+    }
+
+    #[test]
+    fn json_snapshot_contains_all_kinds() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.set_gauge("b", 2.0);
+        m.observe_ns("c", 3_000);
+        let j = m.to_json();
+        assert_eq!(j.get("counters").unwrap().get_num("a"), Some(1.0));
+        assert_eq!(j.get("gauges").unwrap().get_num("b"), Some(2.0));
+        assert_eq!(
+            j.get("histograms")
+                .unwrap()
+                .get("c")
+                .unwrap()
+                .get_num("count"),
+            Some(1.0)
+        );
+    }
+}

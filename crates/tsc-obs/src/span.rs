@@ -1,0 +1,259 @@
+//! Lightweight RAII span timers for profiling hot paths.
+//!
+//! A span is entered with the [`span!`](crate::span!) macro and timed
+//! until its guard drops. Spans nest: each records its **total** time
+//! (wall clock while the guard was alive) and its **self** time (total
+//! minus the time spent in child spans entered on the same thread), so
+//! a report answers "where does the time actually go" rather than
+//! double-counting parents and children.
+//!
+//! Collection is off by default and toggled globally with
+//! [`set_enabled`]. Disabled, entering a span costs one relaxed atomic
+//! load and constructs a no-op guard — cheap enough to leave `span!`
+//! calls in per-step simulation and inference loops permanently (the
+//! `obs_overhead` bench measures this). Enabled, spans accumulate into
+//! thread-local tables that are folded into a global registry when the
+//! thread exits (scoped rollout workers flush before their round
+//! returns) and whenever [`report`] runs on the owning thread.
+//!
+//! Instrumentation is strictly out-of-band: spans never touch RNG
+//! streams, parameters, or any training state, so an instrumented run
+//! is bit-identical to an uninstrumented one.
+//!
+//! A recursive span (same name re-entered while alive) adds its full
+//! elapsed time to the outer occurrence's child time, so `total` for
+//! that name counts nested occurrences multiply — keep recursive call
+//! trees in mind when reading reports.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed occurrences.
+    pub count: u64,
+    /// Wall-clock nanoseconds while a guard with this name was alive.
+    pub total_ns: u64,
+    /// `total_ns` minus time spent inside child spans.
+    pub self_ns: u64,
+}
+
+fn global() -> &'static Mutex<BTreeMap<&'static str, SpanStat>> {
+    static GLOBAL: OnceLock<Mutex<BTreeMap<&'static str, SpanStat>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Per-thread span state: the stack of open spans' child-time
+/// accumulators plus locally aggregated stats. Flushed into the global
+/// registry when the thread exits (the `Drop` impl — thread-local
+/// destructors run on thread exit) and by [`report`]/[`reset`].
+#[derive(Default)]
+struct LocalSpans {
+    child_ns: Vec<u64>,
+    stats: BTreeMap<&'static str, SpanStat>,
+}
+
+impl LocalSpans {
+    fn flush(&mut self) {
+        if self.stats.is_empty() {
+            return;
+        }
+        let mut global = global().lock().expect("span registry lock");
+        for (name, stat) in std::mem::take(&mut self.stats) {
+            let slot = global.entry(name).or_default();
+            slot.count += stat.count;
+            slot.total_ns += stat.total_ns;
+            slot.self_ns += stat.self_ns;
+        }
+    }
+}
+
+impl Drop for LocalSpans {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalSpans> = RefCell::new(LocalSpans::default());
+}
+
+/// Turns span collection on or off globally (all threads).
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span collection is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of every span name's aggregated stats, sorted by name.
+/// Flushes the calling thread's local table first; other live threads'
+/// unflushed spans appear once those threads exit (scoped workers flush
+/// before their scope returns).
+pub fn report() -> Vec<(&'static str, SpanStat)> {
+    LOCAL.with(|l| l.borrow_mut().flush());
+    global()
+        .lock()
+        .expect("span registry lock")
+        .iter()
+        .map(|(&name, &stat)| (name, stat))
+        .collect()
+}
+
+/// Clears the global registry and the calling thread's local table.
+pub fn reset() {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.stats.clear();
+    });
+    global().lock().expect("span registry lock").clear();
+}
+
+/// RAII timer created by [`span!`](crate::span!). Records on drop; a
+/// guard created while collection was disabled is a no-op.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Enters a span. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return SpanGuard { name, start: None };
+        }
+        LOCAL.with(|l| l.borrow_mut().child_ns.push(0));
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            let child = l.child_ns.pop().unwrap_or(0);
+            let stat = l.stats.entry(self.name).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed;
+            stat.self_ns += elapsed.saturating_sub(child);
+            if let Some(parent) = l.child_ns.last_mut() {
+                *parent += elapsed;
+            }
+        });
+    }
+}
+
+/// Enters a named RAII span: `let _span = span!("ppo_update");`.
+///
+/// The guard must be bound to a named variable — `let _ = span!(…)`
+/// drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    // Span state (the enabled flag and the registry) is global; the
+    // harness runs tests concurrently, so every test that toggles the
+    // flag serializes on this lock and uses names unique to itself.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = serial();
+        set_enabled(false);
+        {
+            let _g = crate::span!("test.disabled.outer");
+        }
+        assert!(report()
+            .iter()
+            .all(|(name, _)| *name != "test.disabled.outer"));
+    }
+
+    #[test]
+    fn nested_spans_split_self_and_total_time() {
+        let _serial = serial();
+        set_enabled(true);
+        {
+            let _outer = crate::span!("test.nested.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = crate::span!("test.nested.inner");
+                std::thread::sleep(Duration::from_millis(4));
+            }
+        }
+        set_enabled(false);
+        let stats: BTreeMap<_, _> = report().into_iter().collect();
+        let outer = stats["test.nested.outer"];
+        let inner = stats["test.nested.inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inner's time is outer's child time.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "self excludes the child: self={} total={} inner={}",
+            outer.self_ns,
+            outer.total_ns,
+            inner.total_ns
+        );
+        assert_eq!(inner.self_ns, inner.total_ns, "leaf span is all self time");
+    }
+
+    #[test]
+    fn worker_thread_spans_fold_into_the_report_after_join() {
+        let _serial = serial();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _g = crate::span!("test.worker.span");
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+            }
+        });
+        set_enabled(false);
+        let stats: BTreeMap<_, _> = report().into_iter().collect();
+        assert!(stats["test.worker.span"].count >= 2);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_counts() {
+        let _serial = serial();
+        set_enabled(true);
+        for _ in 0..5 {
+            let _g = crate::span!("test.repeat.span");
+        }
+        set_enabled(false);
+        let stats: BTreeMap<_, _> = report().into_iter().collect();
+        assert!(stats["test.repeat.span"].count >= 5);
+    }
+}

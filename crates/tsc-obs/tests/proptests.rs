@@ -1,0 +1,106 @@
+//! Property tests: histogram merging is exactly combined recording,
+//! percentiles stay within bucket resolution of the true sample
+//! quantile, and JSONL round-trips arbitrary records.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsc_obs::{parse_jsonl, Histogram, Json};
+
+/// Deterministic pseudo-random sample set in nanoseconds, spanning the
+/// histogram's full range (sub-µs to ~1 s).
+fn samples(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let exponent = rng.gen_range(0..10u32); // decades: 1ns..1s
+            let mantissa = 1 + rng.gen_range(0..1000u64);
+            mantissa * 10u64.pow(exponent) % 1_200_000_000
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging independently recorded histograms produces exactly the
+    /// histogram of the combined sample stream — same buckets, same
+    /// extrema, and therefore the same percentile at every quantile.
+    #[test]
+    fn merged_histogram_matches_combined(
+        seed in 0u64..1000,
+        na in 0usize..200,
+        nb in 0usize..200,
+    ) {
+        let a_samples = samples(seed, na);
+        let b_samples = samples(seed.wrapping_add(1), nb);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for &ns in &a_samples {
+            a.record_ns(ns);
+            combined.record_ns(ns);
+        }
+        for &ns in &b_samples {
+            b.record_ns(ns);
+            combined.record_ns(ns);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &combined);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let merged_p = a.percentile_us(q);
+            let combined_p = combined.percentile_us(q);
+            prop_assert_eq!(merged_p, combined_p, "q={}", q);
+        }
+    }
+
+    /// An interior percentile is within one bucket (×RATIO) of the true
+    /// sample quantile, and q=0 / q=1 are exact.
+    #[test]
+    fn percentiles_are_within_bucket_resolution(
+        seed in 0u64..1000,
+        n in 1usize..300,
+    ) {
+        let mut data = samples(seed, n);
+        let mut h = Histogram::new();
+        for &ns in &data {
+            h.record_ns(ns);
+        }
+        data.sort_unstable();
+        prop_assert_eq!(h.percentile_us(0.0), data[0] as f64 / 1_000.0);
+        prop_assert_eq!(h.percentile_us(1.0), data[n - 1] as f64 / 1_000.0);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let rank = ((q * n as f64).ceil().max(1.0) as usize).min(n);
+            let truth_us = data[rank - 1] as f64 / 1_000.0;
+            let read = h.percentile_us(q);
+            // The bucket's upper edge can only overestimate, by at most
+            // one ratio step; sub-µs samples all read as the first
+            // bucket edge (1 µs).
+            prop_assert!(read >= truth_us.min(1.0) - 1e-9,
+                "q={} read={} truth={}", q, read, truth_us);
+            prop_assert!(read <= truth_us.max(1.0) * Histogram::RATIO + 1e-9,
+                "q={} read={} truth={}", q, read, truth_us);
+        }
+    }
+
+    /// Compact-rendered records survive a JSONL write/parse cycle.
+    #[test]
+    fn jsonl_round_trips_random_records(seed in 0u64..1000, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<Json> = (0..n)
+            .map(|i| {
+                Json::obj([
+                    ("type", Json::str("update")),
+                    ("round", Json::num(i as f64)),
+                    ("loss", Json::num(rng.gen_range(-10.0..10.0))),
+                    ("note", Json::str(format!("r{}\t\"q\"", rng.gen_range(0..100u32)))),
+                    ("flag", Json::Bool(rng.gen_range(0..2u32) == 1)),
+                ])
+            })
+            .collect();
+        let text: String = records.iter().map(|r| r.compact() + "\n").collect();
+        let (parsed, warnings) = parse_jsonl(&text);
+        prop_assert!(warnings.is_empty());
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -190,6 +190,7 @@ impl RolloutBuffer {
     ///
     /// Panics if `last_values` length differs from the agent count.
     pub fn compute_targets(&mut self, last_values: &[f32], gamma: f32, lambda: f32) {
+        let _span = tsc_obs::span!("gae.compute_targets");
         assert_eq!(last_values.len(), self.agents.len());
         let mut all_adv = Vec::with_capacity(self.total());
         let mut per_agent = Vec::with_capacity(self.agents.len());

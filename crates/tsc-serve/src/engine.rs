@@ -214,6 +214,9 @@ pub struct ServeRuntime {
     injected_delay: Option<Duration>,
     rng: StdRng,
     extra_allocs: u64,
+    /// Optional JSONL sink for per-step serve events (out-of-band;
+    /// dropped with a warning on the first write failure).
+    obs_sink: Option<tsc_obs::EventSink>,
 }
 
 impl ServeRuntime {
@@ -243,6 +246,7 @@ impl ServeRuntime {
             injected_delay: None,
             rng: StdRng::seed_from_u64(seed),
             extra_allocs: 0,
+            obs_sink: None,
         };
         rt.reset_state();
         rt
@@ -306,6 +310,20 @@ impl ServeRuntime {
     /// Accumulated serving metrics.
     pub fn telemetry(&self) -> &ServeTelemetry {
         &self.telemetry
+    }
+
+    /// Attaches a JSONL sink for per-step serve events. Out-of-band:
+    /// serving behavior is unchanged; the sink is dropped (with a
+    /// warning on stderr) on the first write failure rather than ever
+    /// failing a step.
+    pub fn attach_obs(&mut self, sink: tsc_obs::EventSink) {
+        self.obs_sink = Some(sink);
+    }
+
+    /// Detaches the per-step event sink, returning it (e.g. to flush
+    /// or to summarize the file). `None` when none was attached.
+    pub fn detach_obs(&mut self) -> Option<tsc_obs::EventSink> {
+        self.obs_sink.take()
     }
 
     /// Total tensor (re)allocation events in the inference hot path so
@@ -405,6 +423,7 @@ impl ServeRuntime {
     /// [`ServeError::AgentCountMismatch`] when `obs` does not match the
     /// policy's agent count.
     pub fn serve_step(&mut self, obs: &[IntersectionObs]) -> Result<ServeStep, ServeError> {
+        let _span = tsc_obs::span!("serve.step");
         let n = self.policy.num_agents();
         if obs.len() != n {
             return Err(ServeError::AgentCountMismatch {
@@ -452,6 +471,32 @@ impl ServeRuntime {
         let degraded = causes.iter().find_map(|&c| c);
         let latency = t0.elapsed();
         self.telemetry.record(latency, &causes, degraded.is_some());
+        if let Some(sink) = self.obs_sink.as_mut() {
+            use tsc_obs::Json;
+            let record = Json::obj([
+                ("type", Json::str("serve_step")),
+                ("step", Json::num(f64::from(self.step_index - 1))),
+                ("latency_us", Json::num(latency.as_nanos() as f64 / 1_000.0)),
+                (
+                    "fallbacks",
+                    Json::num(causes.iter().filter(|c| c.is_some()).count() as f64),
+                ),
+                (
+                    "degraded",
+                    match degraded {
+                        Some(reason) => Json::str(format!("{reason:?}")),
+                        None => Json::Null,
+                    },
+                ),
+            ]);
+            if let Err(e) = sink.emit(&record) {
+                eprintln!(
+                    "tsc-obs: serve event logging disabled after write failure on {}: {e}",
+                    sink.path().display()
+                );
+                self.obs_sink = None;
+            }
+        }
         Ok(ServeStep {
             actions,
             fell_back,
@@ -536,6 +581,7 @@ impl ServeRuntime {
         mut causes: Vec<Option<DegradeReason>>,
         t0: Instant,
     ) -> (Vec<usize>, Vec<Option<DegradeReason>>) {
+        let _span = tsc_obs::span!("serve.infer");
         let n = self.policy.num_agents();
         let cfg = *self.policy.config();
         let local_dim = self.policy.encoder().local_dim();
@@ -603,6 +649,7 @@ impl ServeRuntime {
         mut causes: Vec<Option<DegradeReason>>,
         t0: Instant,
     ) -> (Vec<usize>, Vec<Option<DegradeReason>>) {
+        let _span = tsc_obs::span!("serve.infer");
         let n = self.policy.num_agents();
         let cfg = *self.policy.config();
         let local_dim = self.policy.encoder().local_dim();

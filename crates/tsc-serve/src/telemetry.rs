@@ -1,29 +1,25 @@
 //! Serving telemetry: decision throughput, latency percentiles, and
 //! fallback accounting — all recorded with zero per-step allocation.
 //!
-//! Latencies go into a fixed array of log-spaced buckets (a streaming
-//! histogram); percentiles are read off the cumulative bucket counts,
-//! so `record` is a handful of integer operations no matter how long
-//! the runtime serves.
+//! Latencies go into a [`tsc_obs::Histogram`] — the workspace-wide
+//! mergeable streaming histogram (64 log-spaced buckets, 1 µs … ≈1.2 s
+//! at ×1.25) — so serve-side latency distributions can be merged with,
+//! and exported alongside, every other histogram in the observability
+//! layer. Percentiles are read off the cumulative bucket counts, so
+//! [`record`](ServeTelemetry::record) is a handful of integer
+//! operations no matter how long the runtime serves.
 
 use std::time::Duration;
 
-use crate::engine::DegradeReason;
+use tsc_obs::Histogram;
 
-/// Number of log-spaced latency buckets.
-const BUCKETS: usize = 64;
-/// Lower edge of the first bucket, nanoseconds (1 µs).
-const BASE_NS: f64 = 1_000.0;
-/// Geometric ratio between bucket edges. 64 buckets at ×1.25 span
-/// 1 µs … ≈ 1.2 s, far beyond any sane per-step deadline.
-const RATIO: f64 = 1.25;
+use crate::engine::DegradeReason;
 
 /// Streaming serving metrics. Create with [`ServeTelemetry::new`],
 /// feed with [`record`](ServeTelemetry::record) once per served step.
 #[derive(Debug, Clone)]
 pub struct ServeTelemetry {
-    buckets: [u64; BUCKETS],
-    steps: u64,
+    latency: Histogram,
     decisions: u64,
     fallback_decisions: u64,
     degraded_steps: u64,
@@ -31,39 +27,19 @@ pub struct ServeTelemetry {
     /// Per agent, fallback decisions broken down by [`DegradeReason`]
     /// (indexed by [`DegradeReason::index`]).
     per_agent_causes: Vec<[u64; DegradeReason::COUNT]>,
-    total_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
 }
 
 impl ServeTelemetry {
     /// Empty telemetry for a grid of `num_agents` intersections.
     pub fn new(num_agents: usize) -> Self {
         ServeTelemetry {
-            buckets: [0; BUCKETS],
-            steps: 0,
+            latency: Histogram::new(),
             decisions: 0,
             fallback_decisions: 0,
             degraded_steps: 0,
             per_agent_fallbacks: vec![0; num_agents],
             per_agent_causes: vec![[0; DegradeReason::COUNT]; num_agents],
-            total_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
         }
-    }
-
-    fn bucket_for(ns: u64) -> usize {
-        if (ns as f64) <= BASE_NS {
-            return 0;
-        }
-        let idx = ((ns as f64) / BASE_NS).ln() / RATIO.ln();
-        (idx.ceil() as usize).min(BUCKETS - 1)
-    }
-
-    /// Upper edge of bucket `i` in microseconds.
-    fn bucket_edge_us(i: usize) -> f64 {
-        BASE_NS * RATIO.powi(i as i32) / 1_000.0
     }
 
     /// Records one served step: its wall-clock latency, which agents
@@ -71,13 +47,8 @@ impl ServeTelemetry {
     /// by the policy), and whether the step as a whole was degraded.
     /// Allocation-free.
     pub fn record(&mut self, latency: Duration, causes: &[Option<DegradeReason>], degraded: bool) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_for(ns)] += 1;
-        self.steps += 1;
+        self.latency.record(latency);
         self.decisions += causes.len() as u64;
-        self.total_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
         if degraded {
             self.degraded_steps += 1;
         }
@@ -94,9 +65,49 @@ impl ServeTelemetry {
         }
     }
 
+    /// Folds another runtime's telemetry into this one (histograms
+    /// merge bucket-wise; agent breakdowns require equal grid sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides track different numbers of agents.
+    pub fn merge(&mut self, other: &ServeTelemetry) {
+        assert_eq!(
+            self.per_agent_fallbacks.len(),
+            other.per_agent_fallbacks.len(),
+            "merging telemetry from different grid sizes"
+        );
+        self.latency.merge(&other.latency);
+        self.decisions += other.decisions;
+        self.fallback_decisions += other.fallback_decisions;
+        self.degraded_steps += other.degraded_steps;
+        for (slot, o) in self
+            .per_agent_fallbacks
+            .iter_mut()
+            .zip(&other.per_agent_fallbacks)
+        {
+            *slot += o;
+        }
+        for (slots, os) in self
+            .per_agent_causes
+            .iter_mut()
+            .zip(&other.per_agent_causes)
+        {
+            for (slot, o) in slots.iter_mut().zip(os) {
+                *slot += o;
+            }
+        }
+    }
+
+    /// The step-latency histogram (for export through the
+    /// observability layer).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
     /// Steps served so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.latency.count()
     }
 
     /// Per-agent decisions issued so far (steps × agents).
@@ -145,28 +156,20 @@ impl ServeTelemetry {
 
     /// Per-agent decisions per wall-clock second of serving.
     pub fn decisions_per_sec(&self) -> f64 {
-        if self.total_ns == 0 {
+        let total_ns = self.latency.total_ns();
+        if total_ns == 0 {
             0.0
         } else {
-            self.decisions as f64 / (self.total_ns as f64 / 1e9)
+            self.decisions as f64 / (total_ns as f64 / 1e9)
         }
     }
 
-    /// Latency at quantile `q` in microseconds (upper edge of the
-    /// histogram bucket containing it), or 0 when nothing was recorded.
+    /// Latency at quantile `q` in microseconds: 0 when nothing was
+    /// recorded, the *exact* extrema at `q ≤ 0` / `q ≥ 1`, and
+    /// otherwise the upper edge of the histogram bucket containing the
+    /// quantile (see [`Histogram::percentile_us`]).
     pub fn percentile_us(&self, q: f64) -> f64 {
-        if self.steps == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.steps as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, &count) in self.buckets.iter().enumerate() {
-            cum += count;
-            if cum >= rank {
-                return Self::bucket_edge_us(i);
-            }
-        }
-        Self::bucket_edge_us(BUCKETS - 1)
+        self.latency.percentile_us(q)
     }
 
     /// Median step latency in microseconds.
@@ -186,25 +189,17 @@ impl ServeTelemetry {
 
     /// Mean step latency in microseconds.
     pub fn mean_us(&self) -> f64 {
-        if self.steps == 0 {
-            0.0
-        } else {
-            self.total_ns as f64 / self.steps as f64 / 1_000.0
-        }
+        self.latency.mean_us()
     }
 
     /// Fastest recorded step in microseconds (0 when empty).
     pub fn min_us(&self) -> f64 {
-        if self.steps == 0 {
-            0.0
-        } else {
-            self.min_ns as f64 / 1_000.0
-        }
+        self.latency.min_us()
     }
 
     /// Slowest recorded step in microseconds.
     pub fn max_us(&self) -> f64 {
-        self.max_ns as f64 / 1_000.0
+        self.latency.max_us()
     }
 }
 
@@ -217,6 +212,8 @@ mod tests {
         let t = ServeTelemetry::new(4);
         assert_eq!(t.steps(), 0);
         assert_eq!(t.p50_us(), 0.0);
+        assert_eq!(t.percentile_us(0.0), 0.0);
+        assert_eq!(t.percentile_us(1.0), 0.0);
         assert_eq!(t.fallback_rate(), 0.0);
         assert_eq!(t.decisions_per_sec(), 0.0);
         assert_eq!(t.min_us(), 0.0);
@@ -231,11 +228,54 @@ mod tests {
         let (p50, p95, p99) = (t.p50_us(), t.p95_us(), t.p99_us());
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
         // Bucket upper edges overestimate by at most one ratio step.
-        assert!((500.0..=500.0 * RATIO).contains(&p50), "{p50}");
-        assert!((990.0..=990.0 * RATIO).contains(&p99), "{p99}");
+        let ratio = Histogram::RATIO;
+        assert!((500.0..=500.0 * ratio).contains(&p50), "{p50}");
+        assert!((990.0..=990.0 * ratio).contains(&p99), "{p99}");
         assert_eq!(t.decisions(), 200);
         assert!(t.max_us() >= 1000.0);
         assert_eq!(t.min_us(), 10.0); // min/max are exact, not bucketed
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact_even_for_a_single_sample() {
+        let mut t = ServeTelemetry::new(1);
+        t.record(Duration::from_micros(123), &[None], false);
+        // One sample: every quantile is that sample; the extrema are
+        // exact while interior quantiles pay bucket resolution.
+        assert_eq!(t.percentile_us(0.0), 123.0);
+        assert_eq!(t.percentile_us(1.0), 123.0);
+        let p50 = t.p50_us();
+        assert!((123.0..=123.0 * Histogram::RATIO).contains(&p50), "{p50}");
+
+        let mut t = ServeTelemetry::new(1);
+        t.record(Duration::from_micros(10), &[None], false);
+        t.record(Duration::from_micros(990), &[None], false);
+        assert_eq!(t.percentile_us(0.0), 10.0);
+        assert_eq!(t.percentile_us(-3.0), 10.0); // clamped, still exact min
+        assert_eq!(t.percentile_us(1.0), 990.0);
+        assert_eq!(t.percentile_us(7.0), 990.0); // clamped, still exact max
+    }
+
+    #[test]
+    fn merge_folds_counters_and_latency() {
+        use DegradeReason::*;
+        let mut a = ServeTelemetry::new(2);
+        a.record(Duration::from_micros(10), &[Some(SensorHealth), None], true);
+        let mut b = ServeTelemetry::new(2);
+        b.record(Duration::from_micros(1000), &[None, None], false);
+        b.record(
+            Duration::from_micros(1000),
+            &[None, Some(CommsHealth)],
+            true,
+        );
+        a.merge(&b);
+        assert_eq!(a.steps(), 3);
+        assert_eq!(a.decisions(), 6);
+        assert_eq!(a.fallback_decisions(), 2);
+        assert_eq!(a.degraded_steps(), 2);
+        assert_eq!(a.per_agent_fallbacks(), &[1, 1]);
+        assert_eq!(a.min_us(), 10.0);
+        assert_eq!(a.max_us(), 1000.0);
     }
 
     #[test]

@@ -184,6 +184,7 @@ impl TscEnv {
     /// responsible for emitting valid indices (see
     /// [`clamp_action`](Self::clamp_action)).
     pub fn step(&mut self, actions: &[usize]) -> Result<EnvStep, SimError> {
+        let _span = tsc_obs::span!("sim.env_step");
         if actions.len() != self.agents.len() {
             return Err(SimError::ActionLengthMismatch {
                 got: actions.len(),

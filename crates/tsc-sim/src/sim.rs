@@ -363,6 +363,7 @@ impl Simulation {
     /// turn-connected routes. The simulation state is unspecified (but
     /// memory-safe) after an error; discard it.
     pub fn step(&mut self) -> Result<(), SimError> {
+        let _span = tsc_obs::span!("sim.tick");
         let t = f64::from(self.time);
         // 0. Chaos bookkeeping: freeze/unfreeze stuck-sensor readings.
         self.update_stuck_readings();

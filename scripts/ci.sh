@@ -22,4 +22,7 @@ cargo run --release -q -p tsc-bench --bin serve_grid -- --smoke
 echo "==> chaos --smoke (mixed faults + resilient serving end-to-end)"
 cargo run --release -q -p tsc-bench --bin chaos -- --smoke
 
+echo "==> obs_report --smoke (instrumented training + JSONL stream end-to-end)"
+cargo run --release -q -p tsc-bench --bin obs_report -- --smoke
+
 echo "ci.sh: all gates passed"

@@ -3,6 +3,7 @@ pub use pairuplight;
 pub use tsc_baselines;
 pub use tsc_bench;
 pub use tsc_nn;
+pub use tsc_obs;
 pub use tsc_rl;
 pub use tsc_serve;
 pub use tsc_sim;

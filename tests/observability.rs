@@ -1,0 +1,276 @@
+//! Observability integration tests — the acceptance criteria of the
+//! `tsc-obs` layer:
+//!
+//! * attaching the run logger and enabling span tracing changes
+//!   **nothing** about training (bit-identical final parameters and
+//!   reward history);
+//! * the JSONL stream carries the manifest, one update record per PPO
+//!   round, and the sentinel's divergence/rollback and worker-panic
+//!   events;
+//! * a write fault mid-record never corrupts prior records, and the
+//!   reader skips the torn tail with a typed warning.
+
+use pairuplight::{FaultPlan, PairUpLight, PairUpLightConfig};
+use tsc_obs::{read_jsonl, EventSink, Json, JsonlWarning, WriteFault};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn tiny_env() -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .expect("grid");
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::Five, &PatternConfig::default())
+        .expect("scenario");
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 140,
+        },
+        0,
+    )
+    .expect("env")
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    let mut cfg = PairUpLightConfig {
+        hidden: 12,
+        lstm_hidden: 12,
+        ..Default::default()
+    };
+    cfg.ppo.epochs = 2;
+    cfg.ppo.minibatch = 32;
+    cfg
+}
+
+fn param_bits(model: &PairUpLight) -> Vec<u32> {
+    model
+        .parameter_vector()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pairuplight-obs-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+fn updates(records: &[Json]) -> Vec<&Json> {
+    records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("update"))
+        .collect()
+}
+
+/// The tentpole guarantee: instrumentation is out-of-band. A run with
+/// the JSONL logger attached AND span tracing enabled produces exactly
+/// the parameters and rewards of a bare run.
+#[test]
+fn instrumented_training_is_bit_identical_to_uninstrumented() {
+    const EPISODES: usize = 6;
+    let path = tmp("bitident.jsonl");
+
+    let mut env = tiny_env();
+    let mut bare = PairUpLight::new(&env, small_cfg());
+    let bare_history = bare.train(&mut env, EPISODES, 7, |_| {}).expect("train");
+
+    let mut env = tiny_env();
+    let instrumented = PairUpLight::new(&env, small_cfg());
+    instrumented.attach_obs(EventSink::create(&path).expect("sink"));
+    tsc_obs::span::set_enabled(true);
+    let mut instrumented = instrumented;
+    let inst_history = instrumented
+        .train(&mut env, EPISODES, 7, |_| {})
+        .expect("train");
+    tsc_obs::span::set_enabled(false);
+    instrumented.finish_obs().expect("logger attached");
+
+    assert_eq!(
+        param_bits(&bare),
+        param_bits(&instrumented),
+        "final parameters must be bit-identical"
+    );
+    let rewards = |h: &[pairuplight::TrainEpisode]| -> Vec<u64> {
+        h.iter().map(|e| e.stats.total_reward.to_bits()).collect()
+    };
+    assert_eq!(rewards(&bare_history), rewards(&inst_history));
+    std::fs::remove_file(&path).ok();
+}
+
+/// The stream schema: manifest first (fingerprint, seed, build info),
+/// one `update` record per PPO round with finite diagnostics, and the
+/// `summary` record last.
+#[test]
+fn run_stream_has_manifest_updates_and_summary() {
+    const EPISODES: usize = 5;
+    let path = tmp("stream.jsonl");
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, small_cfg());
+    model.attach_obs(EventSink::create(&path).expect("sink"));
+    let mut model = model;
+    model.train(&mut env, EPISODES, 3, |_| {}).expect("train");
+    let metrics = model.finish_obs().expect("logger attached");
+
+    let (records, warnings) = read_jsonl(&path).expect("read stream");
+    assert!(
+        warnings.is_empty(),
+        "clean shutdown leaves no torn tail: {warnings:?}"
+    );
+
+    let manifest = &records[0];
+    assert_eq!(manifest.get_str("type"), Some("manifest"));
+    assert_eq!(manifest.get_str("schema"), Some("pairuplight-obs v1"));
+    assert_eq!(
+        manifest.get_str("fingerprint").map(str::len),
+        Some(16),
+        "fingerprint is a 16-hex-digit string"
+    );
+    assert_eq!(manifest.get_str("seed"), Some("0"));
+    assert_eq!(manifest.get_num("num_agents"), Some(4.0));
+    let build = manifest.get("build").expect("build info");
+    assert!(build.get_str("version").is_some());
+    assert!(build.get_str("git").is_some());
+
+    let ups = updates(&records);
+    assert!(ups.len() >= EPISODES, "one update per round: {}", ups.len());
+    for (i, u) in ups.iter().enumerate() {
+        assert_eq!(u.get_num("round"), Some(i as f64));
+        for key in [
+            "policy_loss",
+            "value_loss",
+            "entropy",
+            "grad_norm",
+            "approx_kl",
+            "clip_fraction",
+            "mean_reward",
+            "mean_queue",
+            "mean_wait_s",
+        ] {
+            let v = u
+                .get_num(key)
+                .unwrap_or_else(|| panic!("update missing {key}"));
+            assert!(v.is_finite(), "{key} = {v}");
+        }
+        assert!(u.get_num("mean_queue").unwrap() >= 0.0);
+        assert!(u.get_num("update_wall_us").unwrap() > 0.0);
+    }
+    assert_eq!(records.last().unwrap().get_str("type"), Some("summary"));
+    assert_eq!(metrics.counter("train.updates"), ups.len() as u64);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite: the divergence sentinel streams NaN-gradient trips and
+/// rollbacks with the triggering round index.
+#[test]
+fn divergence_and_rollback_events_are_streamed() {
+    let path = tmp("diverge.jsonl");
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, small_cfg());
+    model.inject_faults(FaultPlan::new().nan_gradient(1));
+    model.attach_obs(EventSink::create(&path).expect("sink"));
+    let mut model = model;
+    let history = model
+        .train_checkpointed(&mut env, 4, 11, None, |_| {})
+        .expect("training recovers from the injected NaN");
+    assert_eq!(history.len(), 4);
+    let metrics = model.finish_obs().expect("logger attached");
+    assert_eq!(metrics.counter("train.divergences"), 1);
+    assert_eq!(metrics.counter("train.rollbacks"), 1);
+
+    let (records, warnings) = read_jsonl(&path).expect("read stream");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    let div = records
+        .iter()
+        .find(|r| r.get_str("type") == Some("divergence"))
+        .expect("divergence record");
+    assert_eq!(div.get_num("round"), Some(1.0), "triggering update index");
+    let reason = div.get_str("reason").expect("reason");
+    assert!(
+        reason.to_lowercase().contains("finite") || reason.to_lowercase().contains("nan"),
+        "reason names the NaN: {reason}"
+    );
+    let rb = records
+        .iter()
+        .find(|r| r.get_str("type") == Some("rollback"))
+        .expect("rollback record");
+    assert_eq!(rb.get_num("round"), Some(1.0));
+    assert_eq!(rb.get("will_retry"), Some(&Json::Bool(true)));
+    // The retried round still produced an update record, so the stream
+    // shows 4 updates for rounds 0..4 plus the aborted attempt's one.
+    assert!(updates(&records).len() >= 4);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite: retries of panicked rollout workers are counted and
+/// carry (round, env, retry index).
+#[test]
+fn worker_panic_retries_are_streamed_and_counted() {
+    let path = tmp("panic.jsonl");
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, small_cfg());
+    model.inject_faults(FaultPlan::new().panic_worker(0, 0).panic_worker(2, 0));
+    model.attach_obs(EventSink::create(&path).expect("sink"));
+    let mut model = model;
+    model
+        .train_checkpointed(&mut env, 3, 5, None, |_| {})
+        .expect("training retries panicked workers");
+    let metrics = model.finish_obs().expect("logger attached");
+    assert_eq!(metrics.counter("train.worker_panic_retries"), 2);
+
+    let (records, warnings) = read_jsonl(&path).expect("read stream");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    let retries: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get_str("type") == Some("worker_panic_retry"))
+        .collect();
+    assert_eq!(retries.len(), 2);
+    assert_eq!(retries[0].get_num("round"), Some(0.0));
+    assert_eq!(retries[0].get_num("env"), Some(0.0));
+    assert_eq!(retries[0].get_num("retries"), Some(1.0));
+    assert_eq!(retries[1].get_num("round"), Some(2.0));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite: a write fault tearing a record mid-line must not corrupt
+/// prior records, must not interrupt training, and the reader must
+/// skip the torn tail with a typed warning.
+#[test]
+fn torn_write_mid_training_preserves_prior_records() {
+    let path = tmp("torn.jsonl");
+    let mut env = tiny_env();
+    let model = PairUpLight::new(&env, small_cfg());
+    let mut sink = EventSink::create(&path).expect("sink");
+    // Manifest + train_start + two updates land, the third update tears.
+    sink.inject_write_fault(WriteFault {
+        after_records: 4,
+        keep_bytes: 17,
+    });
+    model.attach_obs(sink);
+    let mut model = model;
+    let history = model
+        .train(&mut env, 5, 9, |_| {})
+        .expect("a logging failure must never fail training");
+    assert_eq!(history.len(), 5, "training ran to completion");
+    assert!(
+        model.finish_obs().is_some(),
+        "logger still attached (quiesced)"
+    );
+
+    let (records, warnings) = read_jsonl(&path).expect("read stream");
+    assert_eq!(records.len(), 4, "all records before the fault survive");
+    assert_eq!(records[0].get_str("type"), Some("manifest"));
+    assert_eq!(updates(&records).len(), 2);
+    assert_eq!(warnings.len(), 1, "exactly the torn tail: {warnings:?}");
+    assert!(
+        matches!(warnings[0], JsonlWarning::TornTail { .. }),
+        "typed torn-tail warning: {warnings:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
