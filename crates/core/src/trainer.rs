@@ -1520,7 +1520,7 @@ mod tests {
     use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
     use tsc_sim::{EnvConfig, SimConfig};
 
-    fn tiny_env(horizon: u32) -> TscEnv {
+    fn tiny_scenario() -> tsc_sim::Scenario {
         let grid = Grid::build(GridConfig {
             cols: 2,
             rows: 2,
@@ -1528,9 +1528,27 @@ mod tests {
         })
         .unwrap();
         let f = flows(&grid, FlowPattern::Five, &PatternConfig::default()).unwrap();
-        let scenario = grid.scenario("tiny", f).unwrap();
+        grid.scenario("tiny", f).unwrap()
+    }
+
+    fn tiny_env(horizon: u32) -> TscEnv {
         TscEnv::new(
-            scenario,
+            tiny_scenario(),
+            SimConfig::default(),
+            EnvConfig {
+                decision_interval: 5,
+                episode_horizon: horizon,
+            },
+            0,
+        )
+        .unwrap()
+    }
+
+    /// Same environment, but stepped by the legacy tick oracle instead
+    /// of the event core.
+    fn tiny_env_legacy(horizon: u32) -> TscEnv {
+        TscEnv::new_legacy(
+            tiny_scenario(),
             SimConfig::default(),
             EnvConfig {
                 decision_interval: 5,
@@ -1563,6 +1581,38 @@ mod tests {
         assert!(ep.stats.spawned > 0);
         assert_eq!(model.episodes_trained(), 1);
         assert!(ep.mean_message > 0.0, "messages flow by default");
+    }
+
+    /// End-to-end pin of the simulator migration: a short training run
+    /// must produce bit-identical weights whether the environment is
+    /// stepped by the event core or the legacy tick oracle. This pushes
+    /// the parity contract through the full stack — observations,
+    /// rewards, rollout collection, GAE and PPO updates.
+    #[test]
+    fn training_bitwise_identical_on_event_and_legacy_cores() {
+        let run = |legacy: bool| {
+            let mut env = if legacy {
+                tiny_env_legacy(140)
+            } else {
+                tiny_env(140)
+            };
+            let mut model = PairUpLight::new(&env, small_cfg());
+            let history = model.train(&mut env, 2, 42, |_| {}).unwrap();
+            let bits: Vec<u32> = model
+                .parameter_vector()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            let rewards: Vec<u64> = history
+                .iter()
+                .map(|r| r.stats.total_reward.to_bits())
+                .collect();
+            (bits, rewards)
+        };
+        let (event_bits, event_rewards) = run(false);
+        let (legacy_bits, legacy_rewards) = run(true);
+        assert_eq!(event_rewards, legacy_rewards, "episode rewards diverged");
+        assert_eq!(event_bits, legacy_bits, "trained weights diverged");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use tsc_bench::report::{write_report, Json};
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
-use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+use tsc_sim::{EnvConfig, Scenario, SimConfig, Simulation, TscEnv};
 
 fn main() {
     let mut json = false;
@@ -40,6 +40,41 @@ fn main() {
         eprintln!("rollout_throughput failed: {e}");
         std::process::exit(1);
     }
+}
+
+/// Simulator ticks per second on one engine. `control` adds the full
+/// consumer-side loop — phase rotation plus `observe_all` at every
+/// 10 s decision boundary; without it the measurement isolates the
+/// stepping hot loop itself.
+fn sim_core_ticks_per_sec(
+    scenario: &Scenario,
+    legacy: bool,
+    control: bool,
+    horizon: u32,
+    rounds: u64,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let agents = scenario.agents();
+    let start = Instant::now();
+    let mut ticks: u64 = 0;
+    for round in 0..rounds {
+        let mut sim = if legacy {
+            Simulation::new_legacy(scenario, SimConfig::default(), round)?
+        } else {
+            Simulation::new(scenario, SimConfig::default(), round)?
+        };
+        for t in 0..horizon {
+            if control && t % 10 == 0 {
+                for (i, &node) in agents.iter().enumerate() {
+                    let phase = ((t / 10) as usize + i) % scenario.signal_plans[i].num_phases();
+                    sim.request_phase(node, phase)?;
+                }
+                let _ = sim.observe_all();
+            }
+            sim.step()?;
+        }
+        ticks += u64::from(horizon);
+    }
+    Ok(ticks as f64 / start.elapsed().as_secs_f64())
 }
 
 fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::Error>> {
@@ -119,6 +154,38 @@ fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::
         "(each episode simulates {sim_seconds_per_episode}s of traffic; \
          decision steps = episodes x steps/episode)"
     );
+
+    // Simulator-core comparison: the discrete-event engine vs the
+    // legacy per-second tick stepper, isolated from model inference.
+    // 3600 s is a fully-loaded demand cycle (worst case for the event
+    // core: no idle time to skip); 7200 s adds the drain tail every
+    // episode also pays. "raw" times only the stepping hot loop;
+    // "control" adds phase rotation + observation every 10 s boundary,
+    // which costs both engines alike and so dilutes the ratio.
+    let mut sim_rows = Vec::new();
+    println!("sim core (6x6 grid; legacy tick stepper vs discrete-event engine):");
+    for sim_horizon in [3600u32, 7200] {
+        for control in [false, true] {
+            let workload = if control { "control" } else { "raw" };
+            let legacy_tps =
+                sim_core_ticks_per_sec(env.scenario(), true, control, sim_horizon, rounds)?;
+            let event_tps =
+                sim_core_ticks_per_sec(env.scenario(), false, control, sim_horizon, rounds)?;
+            let core_speedup = event_tps / legacy_tps;
+            println!(
+                "  {workload:>7} {sim_horizon:>5}s: legacy {legacy_tps:>7.0} ticks/s, \
+                 event {event_tps:>8.0} ticks/s, {core_speedup:>4.1}x"
+            );
+            sim_rows.push(Json::obj([
+                ("workload", Json::str(workload)),
+                ("horizon_s", Json::num(f64::from(sim_horizon))),
+                ("legacy_ticks_per_sec", Json::num(legacy_tps)),
+                ("event_ticks_per_sec", Json::num(event_tps)),
+                ("speedup", Json::num(core_speedup)),
+            ]));
+        }
+    }
+
     if json {
         let report = Json::obj([
             ("bench", Json::str("rollout_throughput")),
@@ -130,6 +197,7 @@ fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::
                 Json::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
             ),
             ("cells", Json::Arr(rows)),
+            ("sim_core", Json::Arr(sim_rows)),
         ]);
         let path = write_report("BENCH_rollout.json", &report)?;
         println!("wrote {}", path.display());

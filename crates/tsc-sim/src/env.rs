@@ -71,6 +71,11 @@ pub struct TscEnv {
     /// Installed chaos plan, re-installed into the fresh simulation on
     /// every [`reset`](Self::reset).
     chaos: ChaosPlan,
+    /// Whether episodes run on the legacy tick oracle instead of the
+    /// event core (see [`Simulation::new_legacy`]); preserved across
+    /// [`reset`](Self::reset).
+    #[cfg_attr(not(feature = "legacy-oracle"), allow(dead_code))]
+    legacy: bool,
 }
 
 impl TscEnv {
@@ -95,6 +100,36 @@ impl TscEnv {
             sim,
             agents,
             chaos: ChaosPlan::default(),
+            legacy: false,
+        })
+    }
+
+    /// Creates the environment on the legacy per-second tick stepper
+    /// instead of the event core. Episodes started via
+    /// [`reset`](Self::reset) stay on the legacy engine. Exists so the
+    /// differential parity harness and the end-to-end training pin can
+    /// compare whole training runs across engines.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    #[cfg(feature = "legacy-oracle")]
+    pub fn new_legacy(
+        scenario: Scenario,
+        sim_config: SimConfig,
+        env_config: EnvConfig,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let sim = Simulation::new_legacy(&scenario, sim_config, seed)?;
+        let agents = scenario.agents();
+        Ok(TscEnv {
+            scenario,
+            sim_config,
+            env_config,
+            sim,
+            agents,
+            chaos: ChaosPlan::default(),
+            legacy: true,
         })
     }
 
@@ -168,6 +203,17 @@ impl TscEnv {
 
     /// Starts a new episode with `seed` and returns initial observations.
     pub fn reset(&mut self, seed: u64) -> Vec<IntersectionObs> {
+        #[cfg(feature = "legacy-oracle")]
+        if self.legacy {
+            self.sim = Simulation::with_chaos_legacy(
+                &self.scenario,
+                self.sim_config,
+                seed,
+                self.chaos.clone(),
+            )
+            .expect("scenario validated at construction");
+            return self.sim.observe_all();
+        }
         self.sim =
             Simulation::with_chaos(&self.scenario, self.sim_config, seed, self.chaos.clone())
                 .expect("scenario validated at construction");

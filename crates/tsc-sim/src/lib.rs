@@ -44,6 +44,8 @@ pub mod demand;
 pub mod detector;
 pub mod env;
 pub mod error;
+mod event;
+pub mod events;
 pub mod ids;
 pub mod metrics;
 pub mod network;

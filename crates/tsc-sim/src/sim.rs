@@ -1,13 +1,28 @@
-//! The discrete-time traffic simulation engine.
+//! The traffic simulation engine.
 //!
 //! This is the repository's substitute for SUMO (see DESIGN.md): a
-//! seeded, deterministic queue model stepping at 1 s. Vehicles run at
-//! free-flow speed to the back of a per-lane FIFO queue, pick the
-//! shortest permitted lane for their upcoming turn, and discharge at the
-//! lane saturation flow while their movement has green. Shared lanes
-//! exhibit head-of-line blocking; full downstream links block discharge
-//! (spillback); full entry links defer insertion (an insertion backlog,
-//! as in SUMO).
+//! seeded, deterministic queue model observed at 1 s resolution.
+//! Vehicles run at free-flow speed to the back of a per-lane FIFO
+//! queue, pick the shortest permitted lane for their upcoming turn, and
+//! discharge at the lane saturation flow while their movement has
+//! green. Shared lanes exhibit head-of-line blocking; full downstream
+//! links block discharge (spillback); full entry links defer insertion
+//! (an insertion backlog, as in SUMO).
+//!
+//! Two steppers implement the model (DESIGN.md §12):
+//!
+//! * the **event core** (default; [`crate::event`]) — a discrete-event
+//!   engine that skips provably-inert work: freeflow vehicles are
+//!   inert until their link's next possible queue-join tick, blocked
+//!   lanes until the signal or downstream link changes. Per-vehicle
+//!   halted-time counters are materialized lazily when a vehicle
+//!   leaves its queue (see [`Simulation::vehicles`]).
+//! * the **legacy tick stepper** (behind the default-on
+//!   `legacy-oracle` feature) — the original stepper that polls every
+//!   entity every second. It is retained verbatim as the test oracle:
+//!   the differential parity harness (`tests/parity.rs`) asserts that
+//!   both engines produce bit-identical observation, reward, and
+//!   metric streams at the 1 s observation boundary.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -86,20 +101,25 @@ impl SimConfig {
 }
 
 #[derive(Debug, Clone, Default)]
-struct LaneQueue {
-    vehicles: VecDeque<VehicleId>,
+pub(crate) struct LaneQueue {
+    pub(crate) vehicles: VecDeque<VehicleId>,
     /// Fractional discharge budget; accumulates `dt / headway` per tick,
     /// capped at 1 so a long red cannot produce a burst.
-    budget: f64,
+    pub(crate) budget: f64,
+    /// First tick whose budget share has *not* yet been folded into
+    /// `budget`. The event core materializes the per-tick capped adds
+    /// lazily (only when a lane is actually processed); the legacy
+    /// stepper adds every tick and leaves this field at 0.
+    pub(crate) budget_tick: u32,
 }
 
 #[derive(Debug, Clone)]
-struct LinkState {
-    running: Vec<VehicleId>,
-    lanes: Vec<LaneQueue>,
+pub(crate) struct LinkState {
+    pub(crate) running: Vec<VehicleId>,
+    pub(crate) lanes: Vec<LaneQueue>,
     /// Total vehicles currently on the link (running + queued).
-    count: usize,
-    capacity: usize,
+    pub(crate) count: usize,
+    pub(crate) capacity: usize,
 }
 
 impl LinkState {
@@ -111,32 +131,36 @@ impl LinkState {
 /// The simulation engine. See the module docs for the model.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    scenario: Scenario,
-    config: SimConfig,
-    time: u32,
-    vehicles: Vec<Vehicle>,
-    links: Vec<LinkState>,
-    signals: Vec<SignalState>,
-    signal_index: HashMap<NodeId, usize>,
-    demand: DemandGenerator,
+    pub(crate) scenario: Scenario,
+    pub(crate) config: SimConfig,
+    pub(crate) time: u32,
+    pub(crate) vehicles: Vec<Vehicle>,
+    pub(crate) links: Vec<LinkState>,
+    pub(crate) signals: Vec<SignalState>,
+    pub(crate) signal_index: HashMap<NodeId, usize>,
+    pub(crate) demand: DemandGenerator,
     /// Vehicles spawned but not yet physically inserted, per origin link.
-    backlog: HashMap<LinkId, VecDeque<VehicleId>>,
-    backlog_len: usize,
-    routes: Vec<Vec<LinkId>>,
-    metrics: Metrics,
-    rng: StdRng,
-    active: usize,
+    pub(crate) backlog: HashMap<LinkId, VecDeque<VehicleId>>,
+    pub(crate) backlog_len: usize,
+    pub(crate) routes: Vec<Vec<LinkId>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) rng: StdRng,
+    pub(crate) active: usize,
     /// Seed for the deterministic detector-degradation hash.
-    degradation_seed: u64,
+    pub(crate) degradation_seed: u64,
     /// Scheduled chaos faults (empty by default; an empty plan leaves
     /// every step and observation bit-identical to a plan-free run).
-    chaos: ChaosPlan,
+    pub(crate) chaos: ChaosPlan,
     /// Seed for the chaos fault hash streams.
-    chaos_seed: u64,
+    pub(crate) chaos_seed: u64,
     /// Readings frozen by active stuck-at-last sensing windows, keyed
     /// by `(fault index, link)`; captured at each window's first second
     /// and discarded when the window closes.
-    stuck_readings: HashMap<(usize, LinkId), LinkObs>,
+    pub(crate) stuck_readings: HashMap<(usize, LinkId), LinkObs>,
+    /// Discrete-event engine state. `Some` selects the event core (the
+    /// default); `None` selects the legacy per-second tick stepper
+    /// (`legacy-oracle` feature), kept as the parity-test oracle.
+    pub(crate) ev: Option<Box<crate::event::EventState>>,
 }
 
 impl Simulation {
@@ -150,6 +174,30 @@ impl Simulation {
     /// Returns [`SimError::NoRoute`] for unreachable OD pairs and
     /// [`SimError::InvalidConfig`] for invalid parameters.
     pub fn new(scenario: &Scenario, config: SimConfig, seed: u64) -> Result<Self, SimError> {
+        Self::build(scenario, config, seed, true)
+    }
+
+    /// Builds a simulation driven by the legacy per-second tick stepper
+    /// instead of the event core. The two engines implement the same
+    /// model and are asserted bit-identical at the observation boundary
+    /// by the parity harness (`tests/parity.rs`); the legacy engine
+    /// exists as that harness's oracle and is compiled only with the
+    /// default-on `legacy-oracle` feature.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    #[cfg(feature = "legacy-oracle")]
+    pub fn new_legacy(scenario: &Scenario, config: SimConfig, seed: u64) -> Result<Self, SimError> {
+        Self::build(scenario, config, seed, false)
+    }
+
+    fn build(
+        scenario: &Scenario,
+        config: SimConfig,
+        seed: u64,
+        event: bool,
+    ) -> Result<Self, SimError> {
         config.validate()?;
         let mut routes = Vec::with_capacity(scenario.flows.len());
         for flow in &scenario.flows {
@@ -184,7 +232,7 @@ impl Simulation {
                 SignalState::new(plan.clone(), config.yellow_time)
             })
             .collect();
-        Ok(Simulation {
+        let mut sim = Simulation {
             demand: DemandGenerator::new(scenario.flows.clone(), config.arrival_model),
             scenario: scenario.clone(),
             config,
@@ -203,7 +251,12 @@ impl Simulation {
             chaos: ChaosPlan::default(),
             chaos_seed: seed ^ 0xC4A0_55ED,
             stuck_readings: HashMap::new(),
-        })
+            ev: None,
+        };
+        if event {
+            sim.ev = Some(Box::new(crate::event::EventState::new(&sim)));
+        }
+        Ok(sim)
     }
 
     /// Builds a simulation with a chaos plan installed from the start
@@ -222,6 +275,30 @@ impl Simulation {
         let mut sim = Self::new(scenario, config, seed)?;
         sim.set_chaos(chaos);
         Ok(sim)
+    }
+
+    /// [`with_chaos`](Self::with_chaos) on the legacy tick stepper (see
+    /// [`new_legacy`](Self::new_legacy)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    #[cfg(feature = "legacy-oracle")]
+    pub fn with_chaos_legacy(
+        scenario: &Scenario,
+        config: SimConfig,
+        seed: u64,
+        chaos: ChaosPlan,
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::new_legacy(scenario, config, seed)?;
+        sim.set_chaos(chaos);
+        Ok(sim)
+    }
+
+    /// Whether this simulation is driven by the discrete-event core
+    /// (`true`, the default) or the legacy tick stepper.
+    pub fn is_event_core(&self) -> bool {
+        self.ev.is_some()
     }
 
     /// Installs (or replaces) the chaos plan. Pending stuck-sensor
@@ -293,7 +370,16 @@ impl Simulation {
         if self.command_dropped(node) {
             return self.signals[i].validate_phase(phase);
         }
-        self.signals[i].request_phase(phase)
+        // With zero yellow time a green-to-green phase change takes
+        // effect immediately (outside `tick()`), so lanes the event core
+        // parked waiting for a signal change must be woken here.
+        let watch = self.ev.is_some() && !self.signals[i].in_yellow();
+        let before = self.signals[i].phase();
+        self.signals[i].request_phase(phase)?;
+        if watch && !self.signals[i].in_yellow() && self.signals[i].phase() != before {
+            self.unstall_signal_permitted(i);
+        }
+        Ok(())
     }
 
     /// Whether an active actuation fault swallows a phase command at
@@ -320,11 +406,7 @@ impl Simulation {
     /// Whether an active all-red window blocks every discharge through
     /// `node` right now.
     fn forced_all_red(&self, node: NodeId) -> bool {
-        self.chaos.actuation().iter().any(|f| {
-            matches!(f.kind, ActuationKind::AllRed)
-                && f.window.contains(self.time)
-                && f.nodes.matches(node)
-        })
+        forced_all_red_in(&self.chaos, self.time, node)
     }
 
     /// Vehicles currently on the network or in the insertion backlog.
@@ -335,6 +417,11 @@ impl Simulation {
     /// Vehicles waiting in the insertion backlog.
     pub fn backlog_vehicles(&self) -> usize {
         self.backlog_len
+    }
+
+    /// Vehicles waiting in the insertion backlog of one entry link.
+    pub fn link_backlog(&self, link: LinkId) -> usize {
+        self.backlog.get(&link).map_or(0, VecDeque::len)
     }
 
     /// Sum of `now - depart` over every unfinished vehicle — the
@@ -363,6 +450,19 @@ impl Simulation {
     /// turn-connected routes. The simulation state is unspecified (but
     /// memory-safe) after an error; discard it.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.ev.is_some() {
+            return self.step_event();
+        }
+        #[cfg(feature = "legacy-oracle")]
+        return self.step_legacy();
+        #[cfg(not(feature = "legacy-oracle"))]
+        unreachable!("legacy stepper requested but the `legacy-oracle` feature is disabled");
+    }
+
+    /// The original per-second tick stepper, kept verbatim as the parity
+    /// oracle for the event core (DESIGN.md §12).
+    #[cfg(feature = "legacy-oracle")]
+    fn step_legacy(&mut self) -> Result<(), SimError> {
         let _span = tsc_obs::span!("sim.tick");
         let t = f64::from(self.time);
         // 0. Chaos bookkeeping: freeze/unfreeze stuck-sensor readings.
@@ -391,7 +491,7 @@ impl Simulation {
         Ok(())
     }
 
-    fn spawn_vehicle(&mut self, flow_idx: usize) {
+    pub(crate) fn spawn_vehicle(&mut self, flow_idx: usize) {
         let route = self.routes[flow_idx].clone();
         let id = VehicleId(self.vehicles.len());
         let v = Vehicle::new(id, route, self.time);
@@ -400,8 +500,12 @@ impl Simulation {
         self.backlog.entry(entry).or_default().push_back(id);
         self.backlog_len += 1;
         self.metrics.record_spawn();
+        if let Some(ev) = &mut self.ev {
+            ev.on_spawn();
+        }
     }
 
+    #[cfg(feature = "legacy-oracle")]
     fn insert_backlog(&mut self) {
         for (link, queue) in self.backlog.iter_mut() {
             let state = &mut self.links[link.index()];
@@ -427,19 +531,10 @@ impl Simulation {
     /// links are not joined by a legal turn (a malformed hand-built
     /// scenario; router-produced routes are always turn-connected).
     fn head_step(&self, vehicle: &Vehicle) -> Result<Option<(Movement, LinkId)>, SimError> {
-        let cur = vehicle.current_link();
-        match vehicle.next_link() {
-            None => Ok(None),
-            Some(next) => match self.scenario.network.movement_between(cur, next) {
-                Some(m) => Ok(Some((m, next))),
-                None => Err(SimError::DisconnectedRoute {
-                    from: cur,
-                    to: next,
-                }),
-            },
-        }
+        head_step_in(&self.scenario.network, vehicle)
     }
 
+    #[cfg(feature = "legacy-oracle")]
     fn discharge(&mut self) -> Result<(), SimError> {
         let rate = 1.0 / self.config.saturation_headway;
         // Iterate links in id order for determinism.
@@ -512,6 +607,7 @@ impl Simulation {
         Ok(())
     }
 
+    #[cfg(feature = "legacy-oracle")]
     fn advance_running(&mut self) -> Result<(), SimError> {
         let dt = 1.0;
         let speed = self.config.free_speed;
@@ -557,6 +653,7 @@ impl Simulation {
         Ok(())
     }
 
+    #[cfg(feature = "legacy-oracle")]
     fn accrue_waits(&mut self) {
         for link in &self.links {
             for lane in &link.lanes {
@@ -567,6 +664,7 @@ impl Simulation {
         }
     }
 
+    #[cfg(feature = "legacy-oracle")]
     fn mean_of_max_waits(&self) -> f64 {
         if self.signals.is_empty() {
             return 0.0;
@@ -602,8 +700,8 @@ impl Simulation {
             self.apply_sensing_chaos(&mut obs);
             incoming.push(obs);
         }
-        let mut outgoing_counts = Vec::new();
-        let mut outgoing_links = Vec::new();
+        let mut outgoing_counts = Vec::with_capacity(network.outgoing(node).len());
+        let mut outgoing_links = Vec::with_capacity(network.outgoing(node).len());
         for &l in network.outgoing(node) {
             let state = &self.links[l.index()];
             let length = network.link(l).length();
@@ -611,7 +709,7 @@ impl Simulation {
             for &id in &state.running {
                 if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position()
                 {
-                    if length - distance <= range {
+                    if length - self.running_distance(id, distance) <= range {
                         count += 1.0;
                     }
                 }
@@ -641,40 +739,78 @@ impl Simulation {
         }
     }
 
+    /// Stop-line distance of running vehicle `id`, materializing the
+    /// event core's lazily-advanced position. `distance` is the stored
+    /// [`VehiclePosition::Running`] value; the event core stores the
+    /// position as of the vehicle's last advance pass and catches up
+    /// with the same per-tick subtraction the legacy stepper performs,
+    /// so both engines read bit-identical positions.
+    #[inline]
+    fn running_distance(&self, id: VehicleId, distance: f64) -> f64 {
+        match &self.ev {
+            Some(ev) => {
+                let behind = i64::from(self.time) - 1 - ev.pos_tick[id.index()];
+                let mut d = distance;
+                for _ in 0..behind.max(0) {
+                    d -= self.config.free_speed;
+                }
+                d
+            }
+            None => distance,
+        }
+    }
+
     /// The raw (fault-free) detector reading for one incoming link.
     fn sense_link(&self, l: LinkId) -> LinkObs {
         let range = self.config.detector.range;
         let gap = self.config.vehicle_gap;
         let state = &self.links[l.index()];
+        let ev = self.ev.as_deref();
         let mut count = 0.0;
         let mut halting = 0.0;
         let mut halting_by_movement = [0.0f64; 3];
         let mut head_wait: f64 = 0.0;
         for lane in &state.lanes {
             for (pos_idx, &id) in lane.vehicles.iter().enumerate() {
-                if (pos_idx as f64) * gap <= range {
-                    count += 1.0;
-                    halting += 1.0;
-                    // Attribute the vehicle to the movement it is
-                    // queued for (exits — and, defensively, broken
-                    // routes, which only the step path reports —
-                    // count as through).
-                    let m = self
+                if (pos_idx as f64) * gap > range {
+                    // Queue positions grow back from the stop line, so
+                    // everything deeper is out of range too.
+                    break;
+                }
+                count += 1.0;
+                halting += 1.0;
+                // Attribute the vehicle to the movement it is queued
+                // for (exits — and, defensively, broken routes, which
+                // only the step path reports — count as through). The
+                // event core caches the movement at queue-join time;
+                // the route cannot change while the vehicle queues.
+                let mi = match ev {
+                    Some(ev) => usize::from(ev.queued_move[id.index()]),
+                    None => self
                         .head_step(&self.vehicles[id.index()])
                         .ok()
                         .flatten()
                         .map(|(m, _)| m)
-                        .unwrap_or(Movement::Through);
-                    halting_by_movement[m.index()] += 1.0;
-                    if pos_idx == 0 {
-                        head_wait = head_wait.max(self.vehicles[id.index()].current_wait());
-                    }
+                        .unwrap_or(Movement::Through)
+                        .index(),
+                };
+                halting_by_movement[mi] += 1.0;
+                if pos_idx == 0 {
+                    // Head wait: seconds since the head joined this
+                    // queue. The legacy stepper accrues it 1 s at a
+                    // time; the event core derives the identical
+                    // integer from the join tick.
+                    let w = match ev {
+                        Some(ev) => f64::from(self.time.saturating_sub(ev.join_tick[id.index()])),
+                        None => self.vehicles[id.index()].current_wait(),
+                    };
+                    head_wait = head_wait.max(w);
                 }
             }
         }
         for &id in &state.running {
             if let VehiclePosition::Running { distance } = self.vehicles[id.index()].position() {
-                if distance <= range {
+                if self.running_distance(id, distance) <= range {
                     count += 1.0;
                 }
             }
@@ -743,7 +879,7 @@ impl Simulation {
     /// first second and discards captures of windows that have closed.
     /// Runs at the top of every [`step`](Self::step); free when the
     /// plan schedules no sensing faults.
-    fn update_stuck_readings(&mut self) {
+    pub(crate) fn update_stuck_readings(&mut self) {
         if self.chaos.sensing().is_empty() {
             return;
         }
@@ -812,6 +948,16 @@ impl Simulation {
     /// Iterates over every vehicle ever spawned this run (finished and
     /// active), in spawn order — the raw material for
     /// [`TripStats`](crate::stats::TripStats).
+    ///
+    /// Under the event core (the default engine), the kinematic fields
+    /// of vehicles still *on* the network are lazily materialized:
+    /// a running vehicle's stored distance is its position as of its
+    /// last advance pass, and a queued vehicle's wait counters are
+    /// settled when it leaves the queue. Identifiers, routes, departure
+    /// / insertion / finish times and every field of *finished*
+    /// vehicles are always exact; waits and positions of in-flight
+    /// vehicles should be read through the observation API
+    /// ([`observe`](Self::observe)), which materializes them.
     pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
         self.vehicles.iter()
     }
@@ -825,6 +971,40 @@ impl Simulation {
     pub fn link_queue(&self, link: LinkId) -> usize {
         self.links[link.index()].queued()
     }
+}
+
+/// The movement the head vehicle needs, as a free function so the event
+/// core can call it while holding disjoint field borrows of the
+/// simulation. See [`Simulation`] internals.
+///
+/// # Errors
+///
+/// Returns [`SimError::DisconnectedRoute`] when consecutive route links
+/// are not joined by a legal turn (a malformed hand-built scenario;
+/// router-produced routes are always turn-connected).
+pub(crate) fn head_step_in(
+    network: &crate::network::Network,
+    vehicle: &Vehicle,
+) -> Result<Option<(Movement, LinkId)>, SimError> {
+    let cur = vehicle.current_link();
+    match vehicle.next_link() {
+        None => Ok(None),
+        Some(next) => match network.movement_between(cur, next) {
+            Some(m) => Ok(Some((m, next))),
+            None => Err(SimError::DisconnectedRoute {
+                from: cur,
+                to: next,
+            }),
+        },
+    }
+}
+
+/// Whether an all-red actuation window covers `node` at `time` (free
+/// function twin of `Simulation::forced_all_red`, for the event core).
+pub(crate) fn forced_all_red_in(chaos: &ChaosPlan, time: u32, node: NodeId) -> bool {
+    chaos.actuation().iter().any(|f| {
+        matches!(f.kind, ActuationKind::AllRed) && f.window.contains(time) && f.nodes.matches(node)
+    })
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@ cargo build --release
 echo "==> cargo test --workspace -q (tier 1)"
 cargo test --workspace -q
 
+echo "==> parity smoke (event core vs legacy oracle, all flow patterns)"
+cargo test --release -q -p tsc-sim --test parity
+cargo test --release -q -p tsc-sim --test golden
+
 echo "==> serve_grid --smoke (serving runtime end-to-end)"
 cargo run --release -q -p tsc-bench --bin serve_grid -- --smoke
 
