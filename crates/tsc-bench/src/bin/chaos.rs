@@ -19,7 +19,8 @@
 
 use pairuplight::{HealthConfig, PairUpLight, PairUpLightConfig};
 use tsc_baselines::MaxPressureController;
-use tsc_bench::report::{write_report, Json};
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::Json;
 use tsc_serve::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime};
 use tsc_sim::chaos::AgentSel;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
@@ -30,21 +31,9 @@ const INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
 const SEED: u64 = 42;
 
 fn main() {
-    let mut json = false;
-    let mut smoke = false;
-    let mut horizon: Option<u32> = None;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--smoke" => smoke = true,
-            other => horizon = other.parse().ok().or(horizon),
-        }
-    }
-    let horizon = horizon.unwrap_or(if smoke { 120 } else { 300 });
-    if let Err(e) = run(horizon, smoke, json) {
-        eprintln!("chaos bench failed: {e}");
-        std::process::exit(1);
-    }
+    let args = BenchArgs::parse();
+    let horizon = args.pos_or(0, if args.smoke { 120 } else { 300 });
+    exit_on_error("chaos bench", run(horizon, &args));
 }
 
 /// A mixed-surface fault schedule scaled by `intensity` in [0, 1]:
@@ -117,7 +106,8 @@ fn serve_episode(
     })
 }
 
-fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = args.smoke;
     let grid_size = if smoke { 2 } else { 3 };
     let grid = Grid::build(GridConfig {
         cols: grid_size,
@@ -217,26 +207,23 @@ fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::
         rl.travel
     );
 
-    if json {
-        let report = Json::obj([
-            ("bench", Json::str("chaos")),
-            ("grid", Json::str(format!("{grid_size}x{grid_size}"))),
-            ("agents", Json::num(env.num_agents() as f64)),
-            ("horizon_s", Json::num(f64::from(horizon))),
-            ("smoke", Json::Bool(smoke)),
-            ("seed", Json::num(SEED as f64)),
-            ("sweep", Json::Arr(rows)),
-            (
-                "cut_cable_bound",
-                Json::obj([
-                    ("resilient_travel_s", Json::num(rl.travel)),
-                    ("max_pressure_travel_s", Json::num(mp_travel)),
-                    ("bound_factor", Json::num(1.05)),
-                ]),
-            ),
-        ]);
-        let path = write_report("BENCH_chaos.json", &report)?;
-        println!("wrote {}", path.display());
-    }
+    let report = Json::obj([
+        ("bench", Json::str("chaos")),
+        ("grid", Json::str(format!("{grid_size}x{grid_size}"))),
+        ("agents", Json::num(env.num_agents() as f64)),
+        ("horizon_s", Json::num(f64::from(horizon))),
+        ("smoke", Json::Bool(smoke)),
+        ("seed", Json::num(SEED as f64)),
+        ("sweep", Json::Arr(rows)),
+        (
+            "cut_cable_bound",
+            Json::obj([
+                ("resilient_travel_s", Json::num(rl.travel)),
+                ("max_pressure_travel_s", Json::num(mp_travel)),
+                ("bound_factor", Json::num(1.05)),
+            ]),
+        ),
+    ]);
+    args.write_report_if_json("BENCH_chaos.json", &report)?;
     Ok(())
 }

@@ -14,28 +14,19 @@
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
-use tsc_bench::report::{write_report, Json};
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::Json;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
-    let mut json = false;
-    let mut reps: u32 = 5;
-    for arg in std::env::args().skip(1) {
-        if arg == "--json" {
-            json = true;
-        } else if let Ok(n) = arg.parse() {
-            reps = n;
-        }
-    }
-    if let Err(e) = run(reps, json) {
-        eprintln!("checkpoint_overhead failed: {e}");
-        std::process::exit(1);
-    }
+    let args = BenchArgs::parse();
+    let reps: u32 = args.pos_or(0, 5);
+    exit_on_error("checkpoint_overhead", run(reps, &args));
 }
 
-fn run(reps: u32, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(reps: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     println!("checkpoint overhead ({reps} reps per cell)");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
@@ -109,14 +100,11 @@ fn run(reps: u32, json: bool) -> Result<(), Box<dyn std::error::Error>> {
          file parsing; the checkpoint text format trades size for dependency-free\n\
          inspectability (see DESIGN.md, Fault tolerance)."
     );
-    if json {
-        let report = Json::obj([
-            ("bench", Json::str("checkpoint_overhead")),
-            ("reps", Json::num(f64::from(reps))),
-            ("cells", Json::Arr(rows_out)),
-        ]);
-        let path = write_report("BENCH_checkpoint.json", &report)?;
-        println!("wrote {}", path.display());
-    }
+    let report = Json::obj([
+        ("bench", Json::str("checkpoint_overhead")),
+        ("reps", Json::num(f64::from(reps))),
+        ("cells", Json::Arr(rows_out)),
+    ]);
+    args.write_report_if_json("BENCH_checkpoint.json", &report)?;
     Ok(())
 }

@@ -23,31 +23,18 @@
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
-use tsc_bench::report::{read_report, write_report, Json};
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::{read_report, Json};
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
-    let mut json = false;
-    let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--json" {
-            json = true;
-        } else {
-            positional.push(arg);
-        }
-    }
-    let horizon: u32 = positional
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
-    let rounds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    if let Err(e) = run(horizon, rounds, json) {
-        eprintln!("obs_overhead failed: {e}");
-        std::process::exit(1);
-    }
+    let args = BenchArgs::parse();
+    let horizon: u32 = args.pos_or(0, 300);
+    let rounds: u64 = args.pos_or(1, 2);
+    exit_on_error("obs_overhead", run(horizon, rounds, &args));
 }
 
 /// One measurement pass: the K=1 serial collection loop of
@@ -68,7 +55,7 @@ fn measure(
     Ok(steps_done as f64 / start.elapsed().as_secs_f64())
 }
 
-fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(horizon: u32, rounds: u64, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::build(GridConfig::default())?;
     let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
     let env = TscEnv::new(
@@ -151,28 +138,25 @@ fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::
         _ => println!("BENCH_rollout.json baseline not found; skipping cross-run comparison"),
     }
 
-    if json {
-        let report = Json::obj([
-            ("bench", Json::str("obs_overhead")),
-            ("grid", Json::str("6x6")),
-            ("horizon_s", Json::num(f64::from(horizon))),
-            ("rounds", Json::num(rounds as f64)),
-            ("disabled_steps_per_sec", Json::num(disabled)),
-            ("enabled_steps_per_sec", Json::num(enabled)),
-            ("enabled_overhead_pct", Json::num(enabled_overhead_pct)),
-            (
-                "baseline_steps_per_sec",
-                baseline.map_or(Json::Null, Json::num),
-            ),
-            (
-                "disabled_overhead_pct",
-                disabled_overhead_pct.map_or(Json::Null, Json::num),
-            ),
-            ("overhead_bar_pct", Json::num(2.0)),
-            ("spans", Json::Arr(span_rows)),
-        ]);
-        let path = write_report("BENCH_obs.json", &report)?;
-        println!("wrote {}", path.display());
-    }
+    let report = Json::obj([
+        ("bench", Json::str("obs_overhead")),
+        ("grid", Json::str("6x6")),
+        ("horizon_s", Json::num(f64::from(horizon))),
+        ("rounds", Json::num(rounds as f64)),
+        ("disabled_steps_per_sec", Json::num(disabled)),
+        ("enabled_steps_per_sec", Json::num(enabled)),
+        ("enabled_overhead_pct", Json::num(enabled_overhead_pct)),
+        (
+            "baseline_steps_per_sec",
+            baseline.map_or(Json::Null, Json::num),
+        ),
+        (
+            "disabled_overhead_pct",
+            disabled_overhead_pct.map_or(Json::Null, Json::num),
+        ),
+        ("overhead_bar_pct", Json::num(2.0)),
+        ("spans", Json::Arr(span_rows)),
+    ]);
+    args.write_report_if_json("BENCH_obs.json", &report)?;
     Ok(())
 }

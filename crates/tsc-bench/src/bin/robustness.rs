@@ -13,10 +13,11 @@
 //! writes `BENCH_robustness.json` at the repository root.
 
 use tsc_baselines::FixedTimeController;
+use tsc_bench::cli::BenchArgs;
 use tsc_bench::eval::{evaluate_with_chaos, EvalConfig};
 use tsc_bench::experiments::{self, ExperimentScale};
 use tsc_bench::models::{train_model, ModelKind};
-use tsc_bench::report::{write_report, Json};
+use tsc_bench::report::Json;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{ChaosPlan, EnvConfig, LinkSel, SimConfig, TscEnv, Window};
@@ -35,7 +36,7 @@ fn degradation_plan(dropout: f64, noise: f64) -> ChaosPlan {
 }
 
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let args = BenchArgs::parse();
     let scale = ExperimentScale::from_args(std::env::args().skip(1));
     eprintln!("robustness study at scale {scale:?}");
     let run = || -> Result<(String, Vec<Json>), tsc_sim::SimError> {
@@ -131,18 +132,15 @@ fn main() {
                 Ok(p) => eprintln!("wrote {}", p.display()),
                 Err(e) => eprintln!("could not write results: {e}"),
             }
-            if json {
-                let report = Json::obj([
-                    ("bench", Json::str("robustness")),
-                    ("grid", Json::str(format!("{0}x{0}", scale.grid))),
-                    ("episodes", Json::num(scale.episodes as f64)),
-                    ("seed", Json::num(scale.seed as f64)),
-                    ("rows", Json::Arr(rows)),
-                ]);
-                match write_report("BENCH_robustness.json", &report) {
-                    Ok(p) => println!("wrote {}", p.display()),
-                    Err(e) => eprintln!("could not write report: {e}"),
-                }
+            let report = Json::obj([
+                ("bench", Json::str("robustness")),
+                ("grid", Json::str(format!("{0}x{0}", scale.grid))),
+                ("episodes", Json::num(scale.episodes as f64)),
+                ("seed", Json::num(scale.seed as f64)),
+                ("rows", Json::Arr(rows)),
+            ]);
+            if let Err(e) = args.write_report_if_json("BENCH_robustness.json", &report) {
+                eprintln!("could not write report: {e}");
             }
         }
         Err(e) => {

@@ -15,31 +15,18 @@
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
-use tsc_bench::report::{write_report, Json};
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::Json;
 use tsc_sim::rollout::{derive_rollout_seed, RolloutSet};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, Scenario, SimConfig, Simulation, TscEnv};
 
 fn main() {
-    let mut json = false;
-    let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--json" {
-            json = true;
-        } else {
-            positional.push(arg);
-        }
-    }
-    let horizon: u32 = positional
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
-    let rounds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    if let Err(e) = run(horizon, rounds, json) {
-        eprintln!("rollout_throughput failed: {e}");
-        std::process::exit(1);
-    }
+    let args = BenchArgs::parse();
+    let horizon: u32 = args.pos_or(0, 300);
+    let rounds: u64 = args.pos_or(1, 2);
+    exit_on_error("rollout_throughput", run(horizon, rounds, &args));
 }
 
 /// Simulator ticks per second on one engine. `control` adds the full
@@ -77,7 +64,7 @@ fn sim_core_ticks_per_sec(
     Ok(ticks as f64 / start.elapsed().as_secs_f64())
 }
 
-fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(horizon: u32, rounds: u64, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::build(GridConfig::default())?;
     let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
     let env = TscEnv::new(
@@ -186,21 +173,18 @@ fn run(horizon: u32, rounds: u64, json: bool) -> Result<(), Box<dyn std::error::
         }
     }
 
-    if json {
-        let report = Json::obj([
-            ("bench", Json::str("rollout_throughput")),
-            ("grid", Json::str("6x6")),
-            ("horizon_s", Json::num(f64::from(horizon))),
-            ("rounds", Json::num(rounds as f64)),
-            (
-                "host_cores",
-                Json::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
-            ),
-            ("cells", Json::Arr(rows)),
-            ("sim_core", Json::Arr(sim_rows)),
-        ]);
-        let path = write_report("BENCH_rollout.json", &report)?;
-        println!("wrote {}", path.display());
-    }
+    let report = Json::obj([
+        ("bench", Json::str("rollout_throughput")),
+        ("grid", Json::str("6x6")),
+        ("horizon_s", Json::num(f64::from(horizon))),
+        ("rounds", Json::num(rounds as f64)),
+        (
+            "host_cores",
+            Json::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
+        ),
+        ("cells", Json::Arr(rows)),
+        ("sim_core", Json::Arr(sim_rows)),
+    ]);
+    args.write_report_if_json("BENCH_rollout.json", &report)?;
     Ok(())
 }

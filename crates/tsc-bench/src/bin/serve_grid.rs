@@ -15,31 +15,21 @@
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
-use tsc_bench::report::{write_report, Json};
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::Json;
 use tsc_serve::{ServeConfig, ServeRuntime};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
-    let mut json = false;
-    let mut smoke = false;
-    let mut horizon: Option<u32> = None;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--smoke" => smoke = true,
-            other => horizon = other.parse().ok().or(horizon),
-        }
-    }
-    let horizon = horizon.unwrap_or(if smoke { 60 } else { 300 });
-    if let Err(e) = run(horizon, smoke, json) {
-        eprintln!("serve_grid failed: {e}");
-        std::process::exit(1);
-    }
+    let args = BenchArgs::parse();
+    let horizon = args.pos_or(0, if args.smoke { 60 } else { 300 });
+    exit_on_error("serve_grid", run(horizon, &args));
 }
 
-fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = args.smoke;
     let grid = Grid::build(GridConfig::default())?;
     let env_cfg = EnvConfig {
         decision_interval: 5,
@@ -111,23 +101,20 @@ fn run(horizon: u32, smoke: bool, json: bool) -> Result<(), Box<dyn std::error::
         ]));
     }
 
-    if json {
-        let report = Json::obj([
-            ("bench", Json::str("serve_grid")),
-            ("grid", Json::str("6x6")),
-            ("agents", Json::num(env.num_agents() as f64)),
-            ("horizon_s", Json::num(f64::from(horizon))),
-            (
-                "steps_per_pattern",
-                Json::num(env.steps_per_episode() as f64),
-            ),
-            ("batched", Json::Bool(snapshot.shared())),
-            ("smoke", Json::Bool(smoke)),
-            ("checkpoint_load_ms", Json::num(load_ms)),
-            ("patterns", Json::Arr(rows)),
-        ]);
-        let path = write_report("BENCH_serve.json", &report)?;
-        println!("wrote {}", path.display());
-    }
+    let report = Json::obj([
+        ("bench", Json::str("serve_grid")),
+        ("grid", Json::str("6x6")),
+        ("agents", Json::num(env.num_agents() as f64)),
+        ("horizon_s", Json::num(f64::from(horizon))),
+        (
+            "steps_per_pattern",
+            Json::num(env.steps_per_episode() as f64),
+        ),
+        ("batched", Json::Bool(snapshot.shared())),
+        ("smoke", Json::Bool(smoke)),
+        ("checkpoint_load_ms", Json::num(load_ms)),
+        ("patterns", Json::Arr(rows)),
+    ]);
+    args.write_report_if_json("BENCH_serve.json", &report)?;
     Ok(())
 }

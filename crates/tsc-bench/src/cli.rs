@@ -1,0 +1,126 @@
+//! Shared command-line plumbing for the performance bench binaries.
+//!
+//! Every `BENCH_*`-writing binary speaks the same tiny grammar —
+//! `--json`, `--smoke`, then lenient positionals — and ends its `main`
+//! with the same epilogue (print the failure, exit non-zero) and its
+//! report path with the same announcement. Before this module each
+//! binary hand-rolled that loop; now the grammar lives in one place
+//! and a new bench bin starts at [`BenchArgs::parse`].
+
+use std::fmt::Display;
+use std::io;
+use std::str::FromStr;
+
+use crate::report::{write_report, Json};
+
+/// Parsed command line of a performance bench binary.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--json`: also write the binary's `BENCH_*.json` report at the
+    /// repository root.
+    pub json: bool,
+    /// `--smoke`: shrink the workload to CI-gate size.
+    pub smoke: bool,
+    positional: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (everything after the binary name).
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument stream — the testable core of
+    /// [`BenchArgs::parse`]. Flags may appear anywhere; every
+    /// non-flag token is kept as a positional in order.
+    pub fn from_args<I>(args: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = Self::default();
+        for arg in args {
+            match arg.as_str() {
+                "--json" => out.json = true,
+                "--smoke" => out.smoke = true,
+                _ => out.positional.push(arg),
+            }
+        }
+        out
+    }
+
+    /// The raw positional arguments, in order.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The `idx`-th positional parsed as `T`, or `default` when the
+    /// argument is absent or does not parse — the lenient behavior
+    /// every bench bin has always had.
+    pub fn pos_or<T: FromStr>(&self, idx: usize, default: T) -> T {
+        self.positional
+            .get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Writes `report` as `<repo root>/<name>` and announces the path
+    /// on stdout — but only when `--json` was passed; otherwise a
+    /// no-op, so callers can build the report unconditionally and let
+    /// the flag decide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures from the underlying
+    /// [`write_report`].
+    pub fn write_report_if_json(&self, name: &str, report: &Json) -> io::Result<()> {
+        if self.json {
+            let path = write_report(name, report)?;
+            println!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// The shared `main` epilogue: on `Err`, prints `<name> failed: <e>`
+/// to stderr and exits with status 1; on `Ok`, returns normally.
+pub fn exit_on_error<E: Display>(name: &str, result: Result<(), E>) {
+    if let Err(e) = result {
+        eprintln!("{name} failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_parse_anywhere_and_positionals_keep_order() {
+        let a = parse(&["--json", "300", "--smoke", "2"]);
+        assert!(a.json && a.smoke);
+        assert_eq!(a.positional(), ["300", "2"]);
+        let b = parse(&["120", "--json"]);
+        assert!(b.json && !b.smoke);
+        assert_eq!(b.positional(), ["120"]);
+    }
+
+    #[test]
+    fn pos_or_parses_with_lenient_fallback() {
+        let a = parse(&["250", "junk"]);
+        assert_eq!(a.pos_or(0, 300u32), 250);
+        assert_eq!(a.pos_or(1, 7u64), 7, "unparseable falls back");
+        assert_eq!(a.pos_or(5, 2usize), 2, "absent falls back");
+    }
+
+    #[test]
+    fn empty_args_are_all_defaults() {
+        let a = parse(&[]);
+        assert!(!a.json && !a.smoke && a.positional().is_empty());
+    }
+}

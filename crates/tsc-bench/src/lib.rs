@@ -17,17 +17,20 @@
 //! time; results are printed and written under `results/`.
 //!
 //! Performance bins (`rollout_throughput`, `checkpoint_overhead`,
-//! `serve_grid`) additionally accept `--json`, writing `BENCH_*.json`
-//! at the repository root via [`report`].
+//! `serve_grid`, `fleet`, …) additionally accept `--json`, writing
+//! `BENCH_*.json` at the repository root via [`report`]; their shared
+//! argument grammar lives in [`cli`].
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod eval;
 pub mod experiments;
 pub mod models;
 pub mod report;
 
+pub use cli::{exit_on_error, BenchArgs};
 pub use eval::{evaluate, evaluate_seeds, EvalConfig, EvalResult};
 pub use experiments::{ExperimentScale, TravelTimeTable};
 pub use models::{train_model, ModelKind, TrainSetup, TrainedModel};

@@ -1,0 +1,93 @@
+//! Fleet supervision events: the lifecycle records a multi-tenant
+//! serving fleet emits through an [`EventSink`](crate::EventSink).
+//!
+//! The kinds mirror the supervisor lifecycle in `tsc-serve`: a
+//! tenant's circuit breaker opening and closing, quarantine entry and
+//! exit, and the outcome of checkpoint-reload recovery attempts. They
+//! live here (not in `tsc-serve`) so log consumers — `obs_report`,
+//! external tooling — can name them without depending on the serving
+//! stack.
+
+use crate::json::Json;
+
+/// What happened to a supervised tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEventKind {
+    /// The tenant's windowed fault rate tripped its circuit breaker:
+    /// the standby controller takes over while backoff runs.
+    BreakerOpen,
+    /// The tenant completed probation cleanly: the policy serves again
+    /// with the breaker closed.
+    BreakerClose,
+    /// The tenant panicked (or failed unrecoverably) and was
+    /// quarantined.
+    QuarantineEnter,
+    /// A checkpoint reload restored the quarantined tenant to
+    /// probation.
+    QuarantineExit,
+    /// A quarantined tenant came all the way back to Healthy.
+    RecoveryOk,
+    /// A checkpoint reload attempt failed (one unit of the tenant's
+    /// retry budget consumed).
+    RecoveryFailed,
+}
+
+impl FleetEventKind {
+    /// Stable wire name (the `"kind"` field of the JSONL record).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FleetEventKind::BreakerOpen => "breaker_open",
+            FleetEventKind::BreakerClose => "breaker_close",
+            FleetEventKind::QuarantineEnter => "quarantine_enter",
+            FleetEventKind::QuarantineExit => "quarantine_exit",
+            FleetEventKind::RecoveryOk => "recovery_ok",
+            FleetEventKind::RecoveryFailed => "recovery_failed",
+        }
+    }
+}
+
+/// Builds the JSONL record for one fleet event: tagged
+/// `"type": "fleet"`, with the fleet step, tenant index and name, and
+/// the event kind.
+pub fn fleet_event(step: u64, tenant: usize, name: &str, kind: FleetEventKind) -> Json {
+    Json::obj([
+        ("type", Json::str("fleet")),
+        ("step", Json::num(step as f64)),
+        ("tenant", Json::num(tenant as f64)),
+        ("name", Json::str(name)),
+        ("kind", Json::str(kind.as_str())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_are_stable_and_distinct() {
+        let all = [
+            FleetEventKind::BreakerOpen,
+            FleetEventKind::BreakerClose,
+            FleetEventKind::QuarantineEnter,
+            FleetEventKind::QuarantineExit,
+            FleetEventKind::RecoveryOk,
+            FleetEventKind::RecoveryFailed,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+        assert_eq!(FleetEventKind::BreakerOpen.as_str(), "breaker_open");
+    }
+
+    #[test]
+    fn record_carries_identity_and_kind() {
+        let rec = fleet_event(42, 3, "uptown", FleetEventKind::QuarantineEnter);
+        let text = rec.compact();
+        assert!(text.contains("\"type\":\"fleet\""), "{text}");
+        assert!(text.contains("\"kind\":\"quarantine_enter\""), "{text}");
+        assert!(text.contains("\"tenant\":3"), "{text}");
+        assert!(text.contains("\"name\":\"uptown\""), "{text}");
+    }
+}

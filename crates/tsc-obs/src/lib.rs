@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod events;
+pub mod fleet;
 pub mod hist;
 pub mod json;
 pub mod manifest;
@@ -39,6 +40,7 @@ pub mod metrics;
 pub mod span;
 
 pub use events::{parse_jsonl, read_jsonl, EventSink, JsonlWarning, WriteFault};
+pub use fleet::{fleet_event, FleetEventKind};
 pub use hist::Histogram;
 pub use json::{Json, ParseError};
 pub use manifest::{build_info, BuildInfo};

@@ -421,7 +421,11 @@ impl ServeRuntime {
     /// # Errors
     ///
     /// [`ServeError::AgentCountMismatch`] when `obs` does not match the
-    /// policy's agent count.
+    /// policy's agent count; [`ServeError::PhaseCountMismatch`] when an
+    /// observation's phase count does not match the policy's topology
+    /// for that agent (the signature of wiring a runtime to the wrong
+    /// grid). Both are checked before any state is touched — a failed
+    /// step leaves the runtime exactly as it was.
     pub fn serve_step(&mut self, obs: &[IntersectionObs]) -> Result<ServeStep, ServeError> {
         let _span = tsc_obs::span!("serve.step");
         let n = self.policy.num_agents();
@@ -430,6 +434,19 @@ impl ServeRuntime {
                 got: obs.len(),
                 expected: n,
             });
+        }
+        let max_phases = self.policy.config().max_phases;
+        for (a, (ob, &expected)) in obs.iter().zip(self.policy.phases_per_agent()).enumerate() {
+            // The policy's per-agent phase counts are the scenario's
+            // clamped to `max_phases`, so clamp the observation the
+            // same way before comparing.
+            if ob.num_phases.min(max_phases) != expected {
+                return Err(ServeError::PhaseCountMismatch {
+                    agent: a,
+                    got: ob.num_phases,
+                    expected,
+                });
+            }
         }
         let t0 = Instant::now();
         // Health filtering (identity when disabled): both the fallback
@@ -714,7 +731,7 @@ impl Controller for ServeRuntime {
 
     fn decide(&mut self, obs: &[IntersectionObs]) -> Vec<usize> {
         self.serve_step(obs)
-            .expect("environment agent count matches the served policy")
+            .expect("environment topology matches the served policy")
             .actions
     }
 }

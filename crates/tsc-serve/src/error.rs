@@ -34,6 +34,32 @@ pub enum ServeError {
         /// Agents the policy controls.
         agents: usize,
     },
+    /// An observation's phase count does not match the served policy's
+    /// topology for that agent — the symptom of wiring a tenant to the
+    /// wrong grid.
+    PhaseCountMismatch {
+        /// The offending agent index.
+        agent: usize,
+        /// Phase count in the observation (pre-clamp).
+        got: usize,
+        /// Phase count the policy was built for.
+        expected: usize,
+    },
+    /// The fleet was stepped with observations for the wrong number of
+    /// tenants.
+    TenantCountMismatch {
+        /// Tenant observation sets supplied.
+        got: usize,
+        /// Tenants the fleet hosts.
+        expected: usize,
+    },
+    /// An infra-chaos plan references a tenant outside the fleet.
+    InvalidInfraChaos {
+        /// The out-of-range tenant index in the plan.
+        tenant: usize,
+        /// Tenants the fleet hosts.
+        tenants: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -53,6 +79,28 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "chaos plan targets agent {agent}, policy controls {agents}"
+                )
+            }
+            ServeError::PhaseCountMismatch {
+                agent,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "agent {agent} observation reports {got} phases, policy expects {expected}"
+                )
+            }
+            ServeError::TenantCountMismatch { got, expected } => {
+                write!(
+                    f,
+                    "fleet step supplied {got} tenant observation sets, fleet hosts {expected}"
+                )
+            }
+            ServeError::InvalidInfraChaos { tenant, tenants } => {
+                write!(
+                    f,
+                    "infra-chaos plan targets tenant {tenant}, fleet hosts {tenants}"
                 )
             }
         }

@@ -1,0 +1,644 @@
+//! The multi-tenant serving fleet: N independent [`ServeRuntime`]s
+//! under per-tenant supervision, with crash isolation, circuit
+//! breakers, deterministic recovery, and infrastructure chaos.
+//!
+//! ## Isolation model
+//!
+//! Each tenant owns its grid, its policy runtime, its warm-standby
+//! [`MaxPressureController`], and its [`Supervisor`] — there is **no
+//! shared mutable state between tenants**, so any tenant's failure is
+//! invisible in every other tenant's output (pinned bit-for-bit by a
+//! tier-1 test). A tenant's policy step runs under
+//! [`catch_unwind`](std::panic::catch_unwind): a panic never takes the
+//! process down; the panicking tenant answers with its standby's
+//! MaxPressure actions for that step and is quarantined.
+//!
+//! The fleet keeps its own standby *outside* the [`ServeRuntime`]
+//! (which has an internal fallback of its own) because after a panic
+//! the runtime's in-memory state is untrusted and after a reload the
+//! runtime is rebuilt from scratch — the fleet-level standby's
+//! min-hold counters stay continuous across both, so degraded service
+//! never cold-resets mid-episode.
+//!
+//! ## Supervision loop
+//!
+//! Per tenant and step (see [`Supervisor`] for the state machine):
+//! Healthy/Recovering tenants serve their policy and feed the breaker
+//! window with step outcomes (typed errors and deadline overruns are
+//! soft faults); Degraded tenants serve standby until their
+//! deterministic backoff expires, then re-try the policy on probation;
+//! Quarantined tenants serve standby and periodically reload their
+//! last good checkpoint under a bounded retry budget — with the budget
+//! exhausted they stay quarantined quietly forever (no hot-looping).
+//!
+//! ## Determinism
+//!
+//! With the default [`FleetClock::Steps`] clock there is **zero
+//! wall-clock dependence**: backoff, retries, and every
+//! [`InfraChaosPlan`] decision are functions of the fleet step index
+//! and pure hashes. An empty plan is bit-identical to no plan, and the
+//! same seed + plan replays bit-for-bit ([`FleetStep::digest`] pins
+//! whole runs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pairuplight::{Checkpoint, PolicySnapshot, TrainError};
+use tsc_baselines::MaxPressureController;
+use tsc_obs::{fleet_event, EventSink, FleetEventKind, Histogram};
+use tsc_sim::{Controller, IntersectionObs};
+
+use crate::engine::{DegradeReason, ServeConfig, ServeRuntime};
+use crate::error::ServeError;
+use crate::infra_chaos::{InfraChaosPlan, TenantSel};
+use crate::supervisor::{Supervisor, SupervisorConfig, TenantState};
+use crate::telemetry::ServeTelemetry;
+
+/// What drives the fleet's supervision timers (backoff, retry
+/// schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetClock {
+    /// One tick per fleet step — fully virtual, bit-reproducible, the
+    /// default (and the only mode the determinism pins run under).
+    #[default]
+    Steps,
+    /// Milliseconds of wall time since the fleet was built — for
+    /// production loops whose step cadence is externally paced.
+    Wall,
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetConfig {
+    /// Supervision knobs applied to every tenant.
+    pub supervisor: SupervisorConfig,
+    /// Timer source for backoff/retry scheduling.
+    pub clock: FleetClock,
+    /// Seed keying infra-chaos draws and per-tenant backoff jitter.
+    pub seed: u64,
+}
+
+/// Everything needed to host one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Operator-facing tenant name (events, reports).
+    pub name: String,
+    /// The deployed policy.
+    pub snapshot: PolicySnapshot,
+    /// Serving knobs for this tenant's runtime.
+    pub serve_cfg: ServeConfig,
+    /// Last good checkpoint on disk — the quarantine-recovery source
+    /// (and the reload-storm target). `None` recovers from the
+    /// in-memory last good snapshot instead.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// Who produced a tenant's actions this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The tenant's policy runtime (possibly with its own internal
+    /// per-agent fallbacks — see the tenant's [`ServeTelemetry`]).
+    Policy,
+    /// The fleet-level warm-standby MaxPressure controller.
+    Standby,
+}
+
+/// One tenant's slice of a [`FleetStep`].
+#[derive(Debug, Clone)]
+pub struct TenantStep {
+    /// Chosen phase per intersection of this tenant's grid.
+    pub actions: Vec<usize>,
+    /// Supervisor state *after* this step.
+    pub state: TenantState,
+    /// Which controller answered.
+    pub served_by: ServedBy,
+    /// Whether the tenant's policy step panicked this step (caught and
+    /// isolated; `actions` are the standby's).
+    pub panicked: bool,
+}
+
+/// The outcome of one fleet step: every tenant answered, every step,
+/// no matter what failed.
+#[derive(Debug, Clone)]
+pub struct FleetStep {
+    /// Per-tenant outcomes, in tenant order.
+    pub tenants: Vec<TenantStep>,
+}
+
+impl FleetStep {
+    /// FNV-1a digest over every tenant's actions, state, and serving
+    /// source — fold the per-step digests to pin a whole run
+    /// bit-for-bit.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u64| {
+            h ^= byte;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for t in &self.tenants {
+            mix(t.state.index() as u64);
+            mix(matches!(t.served_by, ServedBy::Policy) as u64);
+            mix(t.panicked as u64);
+            mix(t.actions.len() as u64);
+            for &a in &t.actions {
+                mix(a as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Fleet-level counters for one tenant (the supervision story the
+/// per-runtime [`ServeTelemetry`] cannot see: panics, breaker cycles,
+/// quarantines, reload attempts, recovery latency).
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Fleet steps this tenant has been served for.
+    pub steps: u64,
+    /// Steps answered by the fleet-level standby.
+    pub standby_steps: u64,
+    /// Caught policy panics.
+    pub panics: u64,
+    /// Policy soft faults (typed errors + deadline overruns).
+    pub soft_faults: u64,
+    /// Circuit-breaker openings.
+    pub breaker_trips: u64,
+    /// Breaker closings (probation passed).
+    pub breaker_closes: u64,
+    /// Quarantine entries.
+    pub quarantines: u64,
+    /// Full quarantine → Healthy recovery cycles.
+    pub recoveries: u64,
+    /// Checkpoint reload attempts while quarantined.
+    pub reload_attempts: u64,
+    /// Failed reload attempts (corrupt checkpoint, injected fault).
+    pub reload_failures: u64,
+    /// Clock ticks spent from each quarantine entry to the completed
+    /// recovery, summed (divide by [`recoveries`](Self::recoveries)
+    /// for the mean recovery latency).
+    pub recovery_ticks_total: u64,
+    /// Steps spent in each supervisor state, indexed by
+    /// [`TenantState::index`].
+    pub state_steps: [u64; TenantState::COUNT],
+}
+
+/// One hosted tenant: runtime + standby + supervisor + recovery
+/// sources.
+#[derive(Debug)]
+struct Tenant {
+    name: String,
+    runtime: ServeRuntime,
+    standby: MaxPressureController,
+    supervisor: Supervisor,
+    /// The snapshot recovery falls back to when no on-disk checkpoint
+    /// is configured; refreshed on every successful reload.
+    last_good: PolicySnapshot,
+    serve_cfg: ServeConfig,
+    checkpoint: Option<PathBuf>,
+    /// Telemetry of runtimes retired by reloads, folded together so
+    /// [`FleetRuntime::tenant_telemetry`] spans the tenant's whole
+    /// life ([`ServeTelemetry::merge`] is load-bearing here).
+    archive: ServeTelemetry,
+    /// Clock tick of the current quarantine entry (recovery latency).
+    quarantined_since: Option<u64>,
+    stats: TenantStats,
+    /// Wall time of each full tenant step (supervision included).
+    step_latency: Histogram,
+}
+
+/// A supervised multi-tenant serving fleet. See the module docs for
+/// the isolation and supervision model.
+#[derive(Debug)]
+pub struct FleetRuntime {
+    cfg: FleetConfig,
+    tenants: Vec<Tenant>,
+    plan: InfraChaosPlan,
+    /// Fleet steps served so far (the `Steps` clock and the chaos
+    /// plan's time base).
+    step: u64,
+    epoch: Instant,
+    obs_sink: Option<EventSink>,
+}
+
+impl FleetRuntime {
+    /// Builds a fleet hosting `specs`, all tenants Healthy, no infra
+    /// chaos installed.
+    pub fn new(cfg: FleetConfig, specs: Vec<TenantSpec>) -> Self {
+        let tenants = specs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, spec)| {
+                // Same salt scheme as the chaos engine: decorrelate
+                // each tenant's jitter stream from the shared seed.
+                let salt = tsc_sim::chaos::fault_salt(cfg.seed ^ 0x000F_1EE7, idx);
+                Tenant {
+                    standby: MaxPressureController::new(spec.serve_cfg.fallback_min_hold.max(1)),
+                    runtime: ServeRuntime::new(spec.snapshot.clone(), spec.serve_cfg),
+                    supervisor: Supervisor::new(cfg.supervisor, salt),
+                    archive: ServeTelemetry::new(spec.snapshot.num_agents()),
+                    last_good: spec.snapshot,
+                    serve_cfg: spec.serve_cfg,
+                    checkpoint: spec.checkpoint,
+                    name: spec.name,
+                    quarantined_since: None,
+                    stats: TenantStats::default(),
+                    step_latency: Histogram::new(),
+                }
+            })
+            .collect();
+        FleetRuntime {
+            cfg,
+            tenants,
+            plan: InfraChaosPlan::new(),
+            step: 0,
+            epoch: Instant::now(),
+            obs_sink: None,
+        }
+    }
+
+    /// Number of hosted tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenant names, in tenant order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Fleet steps served so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// The supervisor state of tenant `t`.
+    pub fn tenant_state(&self, t: usize) -> TenantState {
+        self.tenants[t].supervisor.state()
+    }
+
+    /// Fleet-level counters for tenant `t`.
+    pub fn tenant_stats(&self, t: usize) -> &TenantStats {
+        &self.tenants[t].stats
+    }
+
+    /// Wall-time histogram of tenant `t`'s full fleet steps
+    /// (supervision + whichever controller served).
+    pub fn tenant_step_latency(&self, t: usize) -> &Histogram {
+        &self.tenants[t].step_latency
+    }
+
+    /// Serving telemetry of tenant `t` across its whole life: the
+    /// live runtime's telemetry merged with every runtime retired by a
+    /// recovery reload.
+    pub fn tenant_telemetry(&self, t: usize) -> ServeTelemetry {
+        let tenant = &self.tenants[t];
+        let mut out = tenant.archive.clone();
+        out.merge(tenant.runtime.telemetry());
+        out
+    }
+
+    /// Installs an infrastructure chaos plan (replacing any previous
+    /// one). An empty plan leaves the fleet bit-identical to one that
+    /// never had a plan installed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInfraChaos`] when a fault targets a tenant
+    /// index outside the fleet.
+    pub fn set_infra_chaos(&mut self, plan: InfraChaosPlan) -> Result<(), ServeError> {
+        let n = self.tenants.len();
+        for fault in plan.faults() {
+            if let TenantSel::One(t) = fault.tenants {
+                if t >= n {
+                    return Err(ServeError::InvalidInfraChaos {
+                        tenant: t,
+                        tenants: n,
+                    });
+                }
+            }
+        }
+        self.plan = plan;
+        Ok(())
+    }
+
+    /// Attaches a JSONL sink for fleet lifecycle events (breaker
+    /// open/close, quarantine enter/exit, recovery outcomes).
+    /// Out-of-band: fleet behavior is unchanged; the sink is dropped
+    /// with a stderr warning on the first write failure.
+    pub fn attach_obs(&mut self, sink: EventSink) {
+        self.obs_sink = Some(sink);
+    }
+
+    /// Detaches the event sink, returning it. `None` when none was
+    /// attached.
+    pub fn detach_obs(&mut self) -> Option<EventSink> {
+        self.obs_sink.take()
+    }
+
+    /// Current supervision clock tick.
+    fn now(&self) -> u64 {
+        match self.cfg.clock {
+            FleetClock::Steps => self.step,
+            FleetClock::Wall => u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Serves one decision step for every tenant. `obs[t]` is tenant
+    /// `t`'s joint observation. Always returns actions for every
+    /// tenant — panics are caught, faults are absorbed by the
+    /// fallback ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TenantCountMismatch`] when `obs` does not match
+    /// the fleet's tenant count. (Per-tenant failures never surface
+    /// here — they degrade that tenant only.)
+    pub fn step(&mut self, obs: &[&[IntersectionObs]]) -> Result<FleetStep, ServeError> {
+        if obs.len() != self.tenants.len() {
+            return Err(ServeError::TenantCountMismatch {
+                got: obs.len(),
+                expected: self.tenants.len(),
+            });
+        }
+        let step = self.step;
+        let now = self.now();
+        let seed = self.cfg.seed;
+        let mut events: Vec<(usize, FleetEventKind)> = Vec::new();
+        let mut out = Vec::with_capacity(self.tenants.len());
+        for (idx, tenant) in self.tenants.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            let step_out = Self::step_tenant(
+                tenant,
+                idx,
+                obs[idx],
+                &self.plan,
+                seed,
+                step,
+                now,
+                &mut events,
+            );
+            tenant.step_latency.record(t0.elapsed());
+            tenant.stats.steps += 1;
+            tenant.stats.state_steps[step_out.state.index()] += 1;
+            if matches!(step_out.served_by, ServedBy::Standby) {
+                tenant.stats.standby_steps += 1;
+            }
+            out.push(step_out);
+        }
+        self.step += 1;
+        self.emit(step, &events);
+        Ok(FleetStep { tenants: out })
+    }
+
+    /// One tenant's slice of a fleet step: chaos injection, state
+    /// dispatch, crash isolation, supervision bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn step_tenant(
+        tenant: &mut Tenant,
+        idx: usize,
+        obs: &[IntersectionObs],
+        plan: &InfraChaosPlan,
+        seed: u64,
+        step: u64,
+        now: u64,
+        events: &mut Vec<(usize, FleetEventKind)>,
+    ) -> TenantStep {
+        // Warm standby first: its min-hold counters must advance every
+        // step regardless of who answers, so a degraded step continues
+        // the plan instead of cold-resetting it.
+        let fb_actions = tenant.standby.decide(obs);
+        // Latency spikes are injected unconditionally (None clears):
+        // the code path is identical with and without a plan, which is
+        // what makes the empty plan bit-identical to no plan.
+        tenant.runtime.inject_delay(plan.spike(seed, step, idx));
+        // Reload storm: commit last step's staged reload, then stage
+        // the next one. Only meaningful for policy-serving tenants
+        // with an on-disk checkpoint.
+        if tenant.supervisor.state().serves_policy() {
+            if tenant.runtime.reload_in_flight() {
+                let _ = tenant.runtime.commit_reload();
+            }
+            if plan.storm_due(step, idx) {
+                if let Some(path) = &tenant.checkpoint {
+                    let _ = tenant.runtime.begin_reload(path);
+                }
+            }
+        }
+
+        match tenant.supervisor.state() {
+            TenantState::Quarantined => {
+                if tenant.supervisor.retry_due(now) {
+                    Self::attempt_reload(tenant, idx, plan, seed, step, now, events);
+                }
+                TenantStep {
+                    actions: fb_actions,
+                    state: tenant.supervisor.state(),
+                    served_by: ServedBy::Standby,
+                    panicked: false,
+                }
+            }
+            TenantState::Degraded => {
+                if tenant.supervisor.retry_due(now) {
+                    tenant.supervisor.begin_trial();
+                    Self::policy_step(tenant, idx, obs, fb_actions, plan, seed, step, now, events)
+                } else {
+                    TenantStep {
+                        actions: fb_actions,
+                        state: TenantState::Degraded,
+                        served_by: ServedBy::Standby,
+                        panicked: false,
+                    }
+                }
+            }
+            TenantState::Healthy | TenantState::Recovering => {
+                Self::policy_step(tenant, idx, obs, fb_actions, plan, seed, step, now, events)
+            }
+        }
+    }
+
+    /// Runs the tenant's policy under crash isolation and feeds the
+    /// breaker with the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn policy_step(
+        tenant: &mut Tenant,
+        idx: usize,
+        obs: &[IntersectionObs],
+        fb_actions: Vec<usize>,
+        plan: &InfraChaosPlan,
+        seed: u64,
+        step: u64,
+        now: u64,
+        events: &mut Vec<(usize, FleetEventKind)>,
+    ) -> TenantStep {
+        let was = tenant.supervisor.state();
+        let inject_panic = plan.panics(seed, step, idx);
+        let runtime = &mut tenant.runtime;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected tenant panic (infra chaos)");
+            }
+            runtime.serve_step(obs)
+        }));
+        match result {
+            Ok(Ok(served)) => {
+                // Deadline overruns are the tenant's soft faults; the
+                // runtime's own health/reload degradations are already
+                // the fallback ladder doing its job, not breaker food.
+                let fault = served
+                    .causes
+                    .iter()
+                    .any(|c| matches!(c, Some(DegradeReason::DeadlineOverrun)));
+                if fault {
+                    tenant.stats.soft_faults += 1;
+                }
+                if let Some(state) = tenant.supervisor.record_step(fault, now) {
+                    Self::note_transition(tenant, idx, was, state, now, events);
+                }
+                let state = tenant.supervisor.state();
+                // A trip this very step keeps the policy's actions: the
+                // forward already ran and answered; standby takes over
+                // from the next step.
+                TenantStep {
+                    actions: served.actions,
+                    state,
+                    served_by: ServedBy::Policy,
+                    panicked: false,
+                }
+            }
+            Ok(Err(_)) => {
+                // Typed serve error (e.g. wired to the wrong grid):
+                // the standby answers, the breaker counts a fault.
+                tenant.stats.soft_faults += 1;
+                if let Some(state) = tenant.supervisor.record_step(true, now) {
+                    Self::note_transition(tenant, idx, was, state, now, events);
+                }
+                TenantStep {
+                    actions: fb_actions,
+                    state: tenant.supervisor.state(),
+                    served_by: ServedBy::Standby,
+                    panicked: false,
+                }
+            }
+            Err(_) => {
+                tenant.stats.panics += 1;
+                let state = tenant.supervisor.record_panic(now);
+                Self::note_transition(tenant, idx, was, state, now, events);
+                TenantStep {
+                    actions: fb_actions,
+                    state,
+                    served_by: ServedBy::Standby,
+                    panicked: true,
+                }
+            }
+        }
+    }
+
+    /// One quarantine-recovery reload attempt: load the last good
+    /// checkpoint (or clone the in-memory snapshot), rebuild the
+    /// runtime, and report the outcome to the supervisor.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_reload(
+        tenant: &mut Tenant,
+        idx: usize,
+        plan: &InfraChaosPlan,
+        seed: u64,
+        step: u64,
+        now: u64,
+        events: &mut Vec<(usize, FleetEventKind)>,
+    ) {
+        tenant.stats.reload_attempts += 1;
+        let loaded: Result<PolicySnapshot, ServeError> = if plan.corrupts_reload(seed, step, idx) {
+            Err(ServeError::Load(TrainError::Load(
+                tsc_nn::LoadError::Format("injected reload corruption (infra chaos)".into()),
+            )))
+        } else if let Some(path) = &tenant.checkpoint {
+            Checkpoint::read(path)
+                .map_err(TrainError::from)
+                .map_err(ServeError::from)
+                .and_then(|ck| {
+                    tenant
+                        .last_good
+                        .with_checkpoint(&ck)
+                        .map_err(ServeError::from)
+                })
+        } else {
+            Ok(tenant.last_good.clone())
+        };
+        match loaded {
+            Ok(snapshot) => {
+                // Retire the untrusted runtime, preserving its
+                // telemetry, and start the replacement clean.
+                tenant.archive.merge(tenant.runtime.telemetry());
+                tenant.runtime = ServeRuntime::new(snapshot.clone(), tenant.serve_cfg);
+                tenant.last_good = snapshot;
+                let state = tenant.supervisor.reload_result(true, now);
+                Self::note_transition(tenant, idx, TenantState::Quarantined, state, now, events);
+            }
+            Err(_) => {
+                tenant.stats.reload_failures += 1;
+                tenant.supervisor.reload_result(false, now);
+                events.push((idx, FleetEventKind::RecoveryFailed));
+            }
+        }
+    }
+
+    /// Books a supervisor transition into stats + events. `now` feeds
+    /// recovery-latency accounting.
+    fn note_transition(
+        tenant: &mut Tenant,
+        idx: usize,
+        from: TenantState,
+        to: TenantState,
+        now: u64,
+        events: &mut Vec<(usize, FleetEventKind)>,
+    ) {
+        match to {
+            TenantState::Degraded => {
+                tenant.stats.breaker_trips += 1;
+                events.push((idx, FleetEventKind::BreakerOpen));
+            }
+            TenantState::Quarantined => {
+                tenant.stats.quarantines += 1;
+                if tenant.quarantined_since.is_none() {
+                    tenant.quarantined_since = Some(now);
+                }
+                events.push((idx, FleetEventKind::QuarantineEnter));
+            }
+            TenantState::Recovering => {
+                if from == TenantState::Quarantined {
+                    events.push((idx, FleetEventKind::QuarantineExit));
+                }
+            }
+            TenantState::Healthy => {
+                tenant.stats.breaker_closes += 1;
+                events.push((idx, FleetEventKind::BreakerClose));
+                if let Some(since) = tenant.quarantined_since.take() {
+                    tenant.stats.recoveries += 1;
+                    tenant.stats.recovery_ticks_total += now.saturating_sub(since);
+                    events.push((idx, FleetEventKind::RecoveryOk));
+                }
+            }
+        }
+    }
+
+    /// Writes the step's lifecycle events to the attached sink, if
+    /// any. Out-of-band by construction: called after all supervision
+    /// decisions are made.
+    fn emit(&mut self, step: u64, events: &[(usize, FleetEventKind)]) {
+        let Some(sink) = self.obs_sink.as_mut() else {
+            return;
+        };
+        for &(idx, kind) in events {
+            let record = fleet_event(step, idx, &self.tenants[idx].name, kind);
+            if let Err(e) = sink.emit(&record) {
+                eprintln!(
+                    "tsc-obs: fleet event logging disabled after write failure on {}: {e}",
+                    sink.path().display()
+                );
+                self.obs_sink = None;
+                return;
+            }
+        }
+    }
+}

@@ -31,6 +31,14 @@
 //!   validates a new checkpoint while serving continues degraded;
 //!   [`ServeRuntime::commit_reload`] swaps it in atomically between
 //!   steps.
+//! * **Fleet supervision** — [`FleetRuntime`] hosts many tenants (one
+//!   runtime per grid) with per-tenant circuit breakers, crash
+//!   isolation (`catch_unwind`; a panicking tenant answers with
+//!   MaxPressure, never kills the process), deterministic
+//!   hash-jittered backoff, bounded checkpoint-reload recovery, and a
+//!   pure-hash [`InfraChaosPlan`] (injected panics, reload corruption,
+//!   latency spikes, reload storms) with the chaos engine's guarantee:
+//!   empty plan == no plan, bit for bit.
 //!
 //! ## Quickstart
 //!
@@ -61,8 +69,16 @@
 
 mod engine;
 mod error;
+mod fleet;
+mod infra_chaos;
+mod supervisor;
 mod telemetry;
 
 pub use engine::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime, ServeStep};
 pub use error::ServeError;
+pub use fleet::{
+    FleetClock, FleetConfig, FleetRuntime, FleetStep, ServedBy, TenantSpec, TenantStats, TenantStep,
+};
+pub use infra_chaos::{InfraChaosPlan, InfraFault, InfraKind, TenantSel};
+pub use supervisor::{Supervisor, SupervisorConfig, TenantEvent, TenantState};
 pub use telemetry::ServeTelemetry;

@@ -1,0 +1,127 @@
+//! `serve_step` input-validation audit: malformed joint observations
+//! must come back as typed [`ServeError`]s — never a panic, never
+//! partial state mutation. A failed step must leave the runtime
+//! serving exactly as if the bad call never happened.
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_serve::{ServeConfig, ServeError, ServeRuntime};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv};
+
+fn env(cols: usize, rows: usize) -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols,
+        rows,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, FlowPattern::One, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("serve-audit", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 600,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn runtime_for(env: &TscEnv) -> ServeRuntime {
+    let model = PairUpLight::new(
+        env,
+        PairUpLightConfig {
+            hidden: 16,
+            lstm_hidden: 16,
+            ..Default::default()
+        },
+    );
+    ServeRuntime::new(model.policy_snapshot(), ServeConfig::default())
+}
+
+#[test]
+fn wrong_agent_count_is_a_typed_error() {
+    let mut small = env(2, 2);
+    let big = env(3, 3);
+    let mut serve = runtime_for(&small);
+    let wrong = big.clone().reset(0);
+    match serve.serve_step(&wrong) {
+        Err(ServeError::AgentCountMismatch {
+            got: 9,
+            expected: 4,
+        }) => {}
+        other => panic!("expected AgentCountMismatch, got {other:?}"),
+    }
+    // Empty input is just another count mismatch, not a panic.
+    assert!(matches!(
+        serve.serve_step(&[]),
+        Err(ServeError::AgentCountMismatch {
+            got: 0,
+            expected: 4
+        })
+    ));
+    // The runtime is untouched: a correct step still serves.
+    let obs = small.reset(0);
+    assert!(serve.serve_step(&obs).is_ok());
+}
+
+#[test]
+fn wrong_phase_count_is_a_typed_error_and_mutates_nothing() {
+    let mut grid_env = env(2, 2);
+    let mut serve = runtime_for(&grid_env);
+    let obs = grid_env.reset(0);
+
+    // Establish a healthy baseline trace first.
+    let baseline = serve.serve_step(&obs).unwrap();
+
+    // An observation claiming a different signal plan than the policy
+    // topology — the signature of cross-wiring a tenant to the wrong
+    // grid.
+    let mut tampered = obs.clone();
+    let real = tampered[2].num_phases;
+    tampered[2].num_phases = 2;
+    assert_ne!(real, 2, "tampering must actually change the count");
+    match serve.serve_step(&tampered) {
+        Err(ServeError::PhaseCountMismatch {
+            agent: 2,
+            got: 2,
+            expected,
+        }) => assert_eq!(expected, real),
+        other => panic!("expected PhaseCountMismatch, got {other:?}"),
+    }
+    // Telemetry did not count the rejected step...
+    assert_eq!(serve.telemetry().steps(), 1);
+
+    // ...and serving state (LSTM, messages, fallback hold counters)
+    // was not advanced: a fresh runtime replaying the same two good
+    // steps produces identical actions.
+    let second = serve.serve_step(&obs).unwrap();
+    let mut mirror = runtime_for(&grid_env);
+    assert_eq!(mirror.serve_step(&obs).unwrap().actions, baseline.actions);
+    assert_eq!(
+        mirror.serve_step(&obs).unwrap().actions,
+        second.actions,
+        "rejected call must not have advanced any state"
+    );
+}
+
+#[test]
+fn error_messages_name_the_offender() {
+    let text = ServeError::PhaseCountMismatch {
+        agent: 3,
+        got: 6,
+        expected: 4,
+    }
+    .to_string();
+    assert!(text.contains("agent 3"), "{text}");
+    assert!(text.contains('6') && text.contains('4'), "{text}");
+    let text = ServeError::TenantCountMismatch {
+        got: 2,
+        expected: 5,
+    }
+    .to_string();
+    assert!(text.contains('2') && text.contains('5'), "{text}");
+}

@@ -1,0 +1,108 @@
+//! Exhaustive coverage of the supervisor state machine: every
+//! `(state, event)` pair of the pure transition table, checked against
+//! an independently-written expectation — plus invariants the table
+//! must keep no matter how it evolves.
+
+use tsc_serve::{Supervisor, TenantEvent, TenantState};
+
+/// Independent restatement of the intended semantics, written out
+/// pair-by-pair (not by copying the implementation's match shape) so
+/// a typo in either side fails the build of expectations below.
+fn expected(state: TenantState, event: TenantEvent) -> TenantState {
+    use TenantEvent::*;
+    use TenantState::*;
+    match (state, event) {
+        // Healthy: only a fault signal moves it.
+        (Healthy, StepOk) => Healthy,
+        (Healthy, SoftFault) => Healthy, // single faults feed the window, not the state
+        (Healthy, Panic) => Quarantined,
+        (Healthy, BreakerTripped) => Degraded,
+        (Healthy, BackoffElapsed) => Healthy,
+        (Healthy, ReloadOk) => Healthy,
+        (Healthy, ReloadFailed) => Healthy,
+        (Healthy, ProbationPassed) => Healthy,
+        // Degraded: waits out backoff; a panic while waiting (e.g.
+        // from a storm commit) still quarantines.
+        (Degraded, StepOk) => Degraded,
+        (Degraded, SoftFault) => Degraded,
+        (Degraded, Panic) => Quarantined,
+        (Degraded, BreakerTripped) => Degraded,
+        (Degraded, BackoffElapsed) => Recovering,
+        (Degraded, ReloadOk) => Degraded,
+        (Degraded, ReloadFailed) => Degraded,
+        (Degraded, ProbationPassed) => Degraded,
+        // Quarantined: only a successful reload gets it out.
+        (Quarantined, StepOk) => Quarantined,
+        (Quarantined, SoftFault) => Quarantined,
+        (Quarantined, Panic) => Quarantined, // its policy never runs
+        (Quarantined, BreakerTripped) => Quarantined,
+        (Quarantined, BackoffElapsed) => Quarantined,
+        (Quarantined, ReloadOk) => Recovering,
+        (Quarantined, ReloadFailed) => Quarantined,
+        (Quarantined, ProbationPassed) => Quarantined,
+        // Recovering: clean streak closes, any fault re-opens.
+        (Recovering, StepOk) => Recovering,
+        (Recovering, SoftFault) => Degraded,
+        (Recovering, Panic) => Quarantined,
+        (Recovering, BreakerTripped) => Degraded,
+        (Recovering, BackoffElapsed) => Recovering,
+        (Recovering, ReloadOk) => Recovering,
+        (Recovering, ReloadFailed) => Recovering,
+        (Recovering, ProbationPassed) => Healthy,
+    }
+}
+
+#[test]
+fn every_state_event_pair_matches_the_specification() {
+    for &state in &TenantState::ALL {
+        for &event in &TenantEvent::ALL {
+            assert_eq!(
+                Supervisor::transition(state, event),
+                expected(state, event),
+                "transition({state:?}, {event:?})"
+            );
+        }
+    }
+    // The exhaustiveness claim itself: 4 × 8 pairs were covered.
+    assert_eq!(TenantState::ALL.len() * TenantEvent::ALL.len(), 32);
+}
+
+#[test]
+fn structural_invariants_hold_for_every_pair() {
+    for &state in &TenantState::ALL {
+        for &event in &TenantEvent::ALL {
+            let next = Supervisor::transition(state, event);
+            // A panic from any policy-serving state always quarantines.
+            if state.serves_policy() && event == TenantEvent::Panic {
+                assert_eq!(next, TenantState::Quarantined);
+            }
+            // Nothing ever leaves Quarantined except a successful
+            // reload (budget enforcement lives outside the table).
+            if state == TenantState::Quarantined && event != TenantEvent::ReloadOk {
+                assert_eq!(next, TenantState::Quarantined);
+            }
+            // Healthy is only reachable from completed probation.
+            if next == TenantState::Healthy && state != TenantState::Healthy {
+                assert_eq!(
+                    (state, event),
+                    (TenantState::Recovering, TenantEvent::ProbationPassed)
+                );
+            }
+            // The standby serves in exactly the non-policy states.
+            assert_eq!(
+                next.serves_policy(),
+                matches!(next, TenantState::Healthy | TenantState::Recovering)
+            );
+        }
+    }
+}
+
+#[test]
+fn state_indices_are_a_dense_permutation() {
+    let mut seen = [false; TenantState::COUNT];
+    for &s in &TenantState::ALL {
+        assert!(!seen[s.index()], "duplicate index {}", s.index());
+        seen[s.index()] = true;
+    }
+    assert!(seen.iter().all(|&b| b));
+}

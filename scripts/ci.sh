@@ -26,6 +26,9 @@ cargo run --release -q -p tsc-bench --bin serve_grid -- --smoke
 echo "==> chaos --smoke (mixed faults + resilient serving end-to-end)"
 cargo run --release -q -p tsc-bench --bin chaos -- --smoke
 
+echo "==> fleet --smoke (supervised fleet: no abort, replay digest, recovery cycle)"
+cargo run --release -q -p tsc-bench --bin fleet -- --smoke
+
 echo "==> obs_report --smoke (instrumented training + JSONL stream end-to-end)"
 cargo run --release -q -p tsc-bench --bin obs_report -- --smoke
 

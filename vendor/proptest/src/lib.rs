@@ -61,6 +61,89 @@ pub trait Strategy {
     }
 }
 
+/// Tuples of strategies generate tuples of values (drawn left to
+/// right from one RNG stream), matching upstream's tuple strategies.
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// One boxed generator arm of a [`Union`] (built via [`arm`]).
+pub type BoxedGen<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Boxes a strategy into a [`Union`] arm with the given weight.
+pub fn arm<T, S>(weight: u32, strat: S) -> (u32, BoxedGen<T>)
+where
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Box::new(move |rng| strat.generate(rng)))
+}
+
+/// The weighted-choice strategy behind [`prop_oneof!`]: each draw
+/// picks one arm with probability proportional to its weight, then
+/// draws from it.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedGen<T>)>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// A union over weighted arms. Panics if `arms` is empty or all
+    /// weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedGen<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one non-zero weight");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, gen_fn) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return gen_fn(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed above")
+    }
+}
+
+/// Chooses between strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`. All arms
+/// must generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $crate::arm($weight as u32, $strat) ),+ ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $crate::arm(1u32, $strat) ),+ ])
+    };
+}
+
 /// The strategy returned by [`Strategy::prop_map`].
 #[derive(Debug, Clone)]
 pub struct Map<S, F> {
@@ -121,8 +204,8 @@ pub fn case_rng(case: u64) -> StdRng {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -283,6 +366,26 @@ mod tests {
             v.push(99);
             prop_assert!(v.contains(&99));
         }
+
+        #[test]
+        fn tuples_draw_componentwise((x, y) in (0u64..10, 10u64..20)) {
+            prop_assert!(x < 10);
+            prop_assert!((10..20).contains(&y));
+        }
+
+        #[test]
+        fn oneof_honors_arms(v in prop_oneof![1 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_skews_toward_heavy_arms() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..200)
+            .filter(|&c| s.generate(&mut crate::case_rng(c)))
+            .count();
+        assert!(hits > 120, "heavy arm should dominate: {hits}/200");
     }
 
     #[test]
