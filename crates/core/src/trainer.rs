@@ -575,7 +575,13 @@ impl PairUpLight {
                 for ((env, &seed), slot) in
                     set.envs_mut().iter_mut().zip(seeds).zip(slots.iter_mut())
                 {
-                    scope.spawn(move || *slot = Some(this.collect_rollout(env, seed)));
+                    scope.spawn(move || {
+                        *slot = Some(this.collect_rollout(env, seed));
+                        // thread::scope waits for this closure, not for
+                        // TLS destructors: fold span stats in now so a
+                        // report taken right after the scope sees them.
+                        tsc_obs::span::flush_thread();
+                    });
                 }
             });
         } else {
@@ -1083,7 +1089,10 @@ impl PairUpLight {
                     .zip(slots.iter_mut())
                     .enumerate()
                 {
-                    scope.spawn(move || *slot = Some(run(env, seed, e)));
+                    scope.spawn(move || {
+                        *slot = Some(run(env, seed, e));
+                        tsc_obs::span::flush_thread();
+                    });
                 }
             });
         } else {

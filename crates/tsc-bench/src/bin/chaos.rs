@@ -12,20 +12,23 @@
 //! degrades to exactly those actions, so the bound holds by
 //! construction — the assertion checks the wiring end to end).
 //!
-//! Usage: `chaos [--json] [--smoke] [horizon_seconds]`
-//! (default horizon: 300; `--smoke` shrinks the grid, nets and
-//! horizon for CI; `--json` also writes `BENCH_chaos.json` at the
-//! repo root).
+//! Usage: `chaos [--json] [--smoke] [--scenario <name-or-path>]
+//! [horizon_seconds]` (default horizon: 300; `--smoke` shrinks the
+//! grid, nets and horizon for CI; `--json` also writes
+//! `BENCH_chaos.json` at the repo root). With `--scenario` the sweep
+//! and the cut-cable bound run on the compiled world instead of the
+//! grid patterns.
 
 use pairuplight::{HealthConfig, PairUpLight, PairUpLightConfig};
 use tsc_baselines::MaxPressureController;
 use tsc_bench::cli::{exit_on_error, BenchArgs};
 use tsc_bench::report::Json;
+use tsc_bench::world::resolve_scenario;
 use tsc_serve::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime};
 use tsc_sim::chaos::AgentSel;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
-use tsc_sim::{ChaosPlan, EnvConfig, LinkSel, NodeSel, SimConfig, TscEnv, Window};
+use tsc_sim::{ChaosPlan, EnvConfig, LinkSel, NodeSel, Scenario, SimConfig, TscEnv, Window};
 
 const INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
 const SEED: u64 = 42;
@@ -109,11 +112,33 @@ fn serve_episode(
 fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let smoke = args.smoke;
     let grid_size = if smoke { 2 } else { 3 };
-    let grid = Grid::build(GridConfig {
-        cols: grid_size,
-        rows: grid_size,
-        spacing: if smoke { 150.0 } else { 200.0 },
-    })?;
+    // Worlds to sweep: the grid patterns by default, or the one
+    // compiled world when `--scenario` is given.
+    let (label, worlds): (String, Vec<(String, Scenario)>) = match resolve_scenario(args, SEED)? {
+        Some(compiled) => (
+            format!(
+                "{} ({})",
+                compiled.scenario.name,
+                compiled.fingerprint_hex()
+            ),
+            vec![(compiled.scenario.name.clone(), compiled.scenario)],
+        ),
+        None => {
+            let grid = Grid::build(GridConfig {
+                cols: grid_size,
+                rows: grid_size,
+                spacing: if smoke { 150.0 } else { 200.0 },
+            })?;
+            let worlds = FlowPattern::ALL
+                .into_iter()
+                .map(|p| {
+                    patterns::grid_scenario(&grid, p, &PatternConfig::default())
+                        .map(|s| (format!("{p:?}"), s))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (format!("{grid_size}x{grid_size} grid"), worlds)
+        }
+    };
     let env_cfg = EnvConfig {
         decision_interval: 5,
         episode_horizon: horizon,
@@ -128,12 +153,11 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
     } else {
         PairUpLightConfig::default()
     };
-    let base = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
-    let env = TscEnv::new(base, SimConfig::default(), env_cfg, SEED)?;
+    let env = TscEnv::new(worlds[0].1.clone(), SimConfig::default(), env_cfg, SEED)?;
     let snapshot = PairUpLight::new(&env, cfg).policy_snapshot();
 
     println!(
-        "chaos sweep: {grid_size}x{grid_size} grid ({} agents), horizon {horizon}s, \
+        "chaos sweep: {label} ({} agents), horizon {horizon}s, \
          intensities {INTENSITIES:?}, faults on sensing+actuation+comms",
         env.num_agents(),
     );
@@ -145,14 +169,13 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
     let mut rows = Vec::new();
     for &intensity in &INTENSITIES {
         let plan = plan_for(intensity, horizon);
-        for pattern in FlowPattern::ALL {
-            let scenario = patterns::grid_scenario(&grid, pattern, &PatternConfig::default())?;
-            let mut env = TscEnv::new(scenario, SimConfig::default(), env_cfg, SEED)?;
+        for (name, world) in &worlds {
+            let mut env = TscEnv::new(world.clone(), SimConfig::default(), env_cfg, SEED)?;
             let mut serve = ServeRuntime::new(snapshot.clone(), resilient_config());
             let out = serve_episode(&mut env, &mut serve, &plan, drain_cap)?;
             println!(
                 "{:<10} {:>9.2} {:>10.2} {:>10.0}% {:>8.1}% {:>8} {:>8}",
-                format!("{pattern:?}"),
+                name,
                 intensity,
                 out.travel,
                 out.completion * 100.0,
@@ -161,7 +184,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
                 out.comms_fallbacks,
             );
             rows.push(Json::obj([
-                ("pattern", Json::str(format!("{pattern:?}"))),
+                ("pattern", Json::str(name.clone())),
                 ("intensity", Json::num(intensity)),
                 ("travel_s", Json::num(out.travel)),
                 ("completion", Json::num(out.completion)),
@@ -176,7 +199,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
     // resilient runtime degrades to exactly the warm-standby MaxPressure
     // actions, so its travel time must match the standalone baseline.
     let cut_cable = ChaosPlan::default().message_drop(Window::always(), AgentSel::All, 1.0);
-    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let scenario = worlds[0].1.clone();
     let mut env = TscEnv::new(scenario.clone(), SimConfig::default(), env_cfg, SEED)?;
     let mut serve = ServeRuntime::new(
         snapshot.clone(),
@@ -209,7 +232,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
 
     let report = Json::obj([
         ("bench", Json::str("chaos")),
-        ("grid", Json::str(format!("{grid_size}x{grid_size}"))),
+        ("grid", Json::str(label)),
         ("agents", Json::num(env.num_agents() as f64)),
         ("horizon_s", Json::num(f64::from(horizon))),
         ("smoke", Json::Bool(smoke)),

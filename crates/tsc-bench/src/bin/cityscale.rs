@@ -1,0 +1,234 @@
+//! City-scale scaling sweep: compiled irregular city networks from 36
+//! to ~3000 intersections on the discrete-event core.
+//!
+//! For each size the bench compiles a `city-<n>` spec, runs a
+//! MaxPressure control loop over the raw simulation (observe_all →
+//! decide → request_phase → advance one decision interval), and
+//! reports wall-clock throughput (sim-seconds/s and env-steps/s), the
+//! share of wall time spent in `observe_all`, vehicle conservation,
+//! and travel-time statistics. Each size then *replays* with the same
+//! `(spec, seed)` and asserts that the compiled fingerprint and every
+//! metric bit are identical — the scenario compiler's determinism
+//! contract, checked end to end at scale.
+//!
+//! Usage: `cityscale [--json] [--smoke] [horizon_seconds]`
+//! (default horizon: 600; `--smoke` runs a single ~200-intersection
+//! city for 120 s — the CI gate; `--json` also writes
+//! `BENCH_cityscale.json` at the repo root).
+
+use std::time::{Duration, Instant};
+
+use tsc_baselines::MaxPressureController;
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::report::Json;
+use tsc_scenario::{city_spec, compile, CompiledScenario};
+use tsc_sim::{Controller, SimConfig, Simulation, TravelTimeSummary, TripStats};
+
+const SEED: u64 = 42;
+/// Yellow (2 s) + decision interval (5 s), matching the env default.
+const SECONDS_PER_STEP: u32 = 7;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let horizon = args.pos_or(0, if args.smoke { 120 } else { 600 });
+    exit_on_error("cityscale", run(horizon, &args));
+}
+
+/// Everything one measured run produces. `Eq`-comparable fields are
+/// the replay contract: wall-clock numbers are excluded.
+struct RunOutcome {
+    fingerprint: u64,
+    agents: usize,
+    links: usize,
+    steps: usize,
+    spawned: usize,
+    finished: usize,
+    active: usize,
+    backlog: usize,
+    all: TravelTimeSummary,
+    finished_stats: TravelTimeSummary,
+    wall: Duration,
+    observe_wall: Duration,
+}
+
+impl RunOutcome {
+    /// The deterministic face of the run: everything that must be
+    /// bit-identical when the same `(spec, seed)` replays.
+    fn replay_key(&self) -> (u64, usize, usize, usize, usize, u64, u64) {
+        (
+            self.fingerprint,
+            self.steps,
+            self.spawned,
+            self.finished,
+            self.backlog,
+            self.all.mean.to_bits(),
+            self.finished_stats.p99.to_bits(),
+        )
+    }
+}
+
+/// Compiles and drives one city for `horizon` sim-seconds under
+/// MaxPressure control, timing `observe_all` separately from the rest
+/// of the loop.
+fn drive(
+    compiled: &CompiledScenario,
+    horizon: u32,
+) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+    let scenario = &compiled.scenario;
+    let mut sim = Simulation::new(scenario, SimConfig::default(), SEED)?;
+    assert!(sim.is_event_core(), "cityscale must run on the event core");
+    let agents = sim.signalized();
+    let phase_counts: Vec<usize> = scenario
+        .signal_plans
+        .iter()
+        .map(tsc_sim::SignalPlan::num_phases)
+        .collect();
+    let mut controller = MaxPressureController::default();
+    controller.reset();
+
+    let start = Instant::now();
+    let mut observe_wall = Duration::ZERO;
+    let mut steps = 0usize;
+    while sim.time() < horizon {
+        let t = Instant::now();
+        let obs = sim.observe_all();
+        observe_wall += t.elapsed();
+        let actions = controller.decide(&obs);
+        for ((&node, &action), &phases) in agents.iter().zip(&actions).zip(&phase_counts) {
+            sim.request_phase(node, action % phases)?;
+        }
+        for _ in 0..SECONDS_PER_STEP {
+            sim.step()?;
+        }
+        steps += 1;
+    }
+    let wall = start.elapsed();
+
+    // Vehicle conservation on the event core: everything the demand
+    // stage spawned is on the network, queued at an entry link
+    // (`active_vehicles` counts both), or finished.
+    let spawned = sim.metrics().spawned();
+    let finished = sim.metrics().finished();
+    let active = sim.active_vehicles();
+    let backlog = sim.backlog_vehicles();
+    if spawned != active + finished {
+        return Err(format!(
+            "conservation violated: spawned {spawned} != (on-network + backlog) \
+             {active} + finished {finished}"
+        )
+        .into());
+    }
+
+    let trips = TripStats::collect(&sim);
+    Ok(RunOutcome {
+        fingerprint: compiled.fingerprint,
+        agents: agents.len(),
+        links: scenario.network.num_links(),
+        steps,
+        spawned,
+        finished,
+        active,
+        backlog,
+        all: trips.all,
+        finished_stats: trips.finished,
+        wall,
+        observe_wall,
+    })
+}
+
+fn summary_json(s: &TravelTimeSummary) -> Json {
+    Json::obj([
+        ("count", Json::num(s.count as f64)),
+        ("mean_s", Json::num(s.mean)),
+        ("min_s", Json::num(s.min)),
+        ("p50_s", Json::num(s.p50)),
+        ("p90_s", Json::num(s.p90)),
+        ("p99_s", Json::num(s.p99)),
+        ("max_s", Json::num(s.max)),
+    ])
+}
+
+fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let sizes: &[usize] = if args.smoke {
+        &[200]
+    } else {
+        &[36, 200, 1000, 3000]
+    };
+    println!(
+        "cityscale: irregular compiled cities {sizes:?}, horizon {horizon}s, \
+         MaxPressure control, seed {SEED}"
+    );
+    println!(
+        "{:<12} {:>7} {:>7} {:>8} {:>11} {:>11} {:>9} {:>10} {:>10}",
+        "city", "agents", "links", "steps", "sim-s/s", "steps/s", "obs %", "mean tt", "p99 tt"
+    );
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let spec = city_spec(n, SEED);
+        let compiled = compile(&spec)?;
+        let out = drive(&compiled, horizon)?;
+
+        // Replay: recompile from the same spec and drive again — the
+        // fingerprint and every metric bit must match.
+        let replay = drive(&compile(&spec)?, horizon)?;
+        if out.replay_key() != replay.replay_key() {
+            return Err(format!(
+                "replay divergence on {}: {:?} vs {:?}",
+                spec.name,
+                out.replay_key(),
+                replay.replay_key()
+            )
+            .into());
+        }
+
+        let wall_s = out.wall.as_secs_f64().max(1e-9);
+        let sim_per_s = f64::from(horizon) / wall_s;
+        let steps_per_s = out.steps as f64 / wall_s;
+        let obs_share = out.observe_wall.as_secs_f64() / wall_s;
+        println!(
+            "{:<12} {:>7} {:>7} {:>8} {:>11.0} {:>11.1} {:>8.1}% {:>9.1}s {:>9.1}s",
+            spec.name,
+            out.agents,
+            out.links,
+            out.steps,
+            sim_per_s,
+            steps_per_s,
+            obs_share * 100.0,
+            out.all.mean,
+            out.all.p99,
+        );
+        rows.push(Json::obj([
+            ("city", Json::str(spec.name.clone())),
+            (
+                "fingerprint",
+                Json::str(format!("{:016x}", out.fingerprint)),
+            ),
+            ("agents", Json::num(out.agents as f64)),
+            ("links", Json::num(out.links as f64)),
+            ("decision_steps", Json::num(out.steps as f64)),
+            ("sim_seconds_per_sec", Json::num(sim_per_s)),
+            ("steps_per_sec", Json::num(steps_per_s)),
+            ("observe_all_share", Json::num(obs_share)),
+            ("spawned", Json::num(out.spawned as f64)),
+            ("finished", Json::num(out.finished as f64)),
+            ("active", Json::num(out.active as f64)),
+            ("backlog", Json::num(out.backlog as f64)),
+            ("travel_time_all", summary_json(&out.all)),
+            ("travel_time_finished", summary_json(&out.finished_stats)),
+            ("replay_identical", Json::Bool(true)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("cityscale")),
+        ("horizon_s", Json::num(f64::from(horizon))),
+        ("seconds_per_step", Json::num(f64::from(SECONDS_PER_STEP))),
+        ("controller", Json::str("max_pressure")),
+        ("seed", Json::num(SEED as f64)),
+        ("smoke", Json::Bool(args.smoke)),
+        ("cities", Json::Arr(rows)),
+    ]);
+    args.write_report_if_json("BENCH_cityscale.json", &report)?;
+    Ok(())
+}

@@ -22,9 +22,11 @@
 //! (every injected panic is caught at the tenant boundary) and that at
 //! least one full quarantine → recovery cycle completed.
 //!
-//! Usage: `fleet [--json] [--smoke] [steps]` (default steps: 400;
-//! `--smoke` shrinks the fleet and run for CI; `--json` also writes
-//! `BENCH_fleet.json` at the repo root).
+//! Usage: `fleet [--json] [--smoke] [--scenario <name-or-path>]
+//! [steps]` (default steps: 400; `--smoke` shrinks the fleet and run
+//! for CI; `--json` also writes `BENCH_fleet.json` at the repo root).
+//! With `--scenario` every tenant serves the compiled world instead
+//! of the alternating grids.
 
 use std::panic;
 use std::path::PathBuf;
@@ -33,6 +35,8 @@ use std::time::{Duration, Instant};
 use pairuplight::{PairUpLight, PairUpLightConfig};
 use tsc_bench::cli::{exit_on_error, BenchArgs};
 use tsc_bench::report::Json;
+use tsc_bench::world::resolve_scenario;
+use tsc_scenario::CompiledScenario;
 use tsc_serve::{
     FleetConfig, FleetRuntime, InfraChaosPlan, ServeConfig, SupervisorConfig, TenantSel,
     TenantSpec, TenantState,
@@ -83,30 +87,43 @@ struct TenantSetup {
 /// A heterogeneous fleet: alternating 2×2 / 3×3 grids, flow patterns
 /// cycling through the paper's five, every tenant with a valid
 /// checkpoint on disk (the reload path the supervisor recovers from).
-fn build_tenants(n: usize) -> Result<Vec<TenantSetup>, Box<dyn std::error::Error>> {
+/// With a compiled world, every tenant serves that world instead.
+fn build_tenants(
+    n: usize,
+    world: Option<&CompiledScenario>,
+) -> Result<Vec<TenantSetup>, Box<dyn std::error::Error>> {
     let patterns = FlowPattern::ALL;
     let mut out = Vec::new();
     for i in 0..n {
+        // Generous horizon: the bench drives well under this many
+        // decision steps, so episodes never terminate.
+        let env_cfg = EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 1_000_000,
+        };
         let size = if i % 2 == 0 { 2 } else { 3 };
-        let grid = Grid::build(GridConfig {
-            cols: size,
-            rows: size,
-            spacing: 150.0,
-        })?;
-        let pattern = patterns[i % patterns.len()];
-        let f = flows(&grid, pattern, &PatternConfig::default())?;
-        let scenario = grid.scenario("fleet-bench", f)?;
-        let env = TscEnv::new(
-            scenario,
-            SimConfig::default(),
-            EnvConfig {
-                decision_interval: 5,
-                // Generous horizon: the bench drives well under this
-                // many decision steps, so episodes never terminate.
-                episode_horizon: 1_000_000,
-            },
-            SEED,
-        )?;
+        let (name, grid_label, env) = match world {
+            Some(compiled) => (
+                format!("tenant-{i}-{}", compiled.scenario.name),
+                compiled.scenario.name.clone(),
+                compiled.env(SimConfig::default(), env_cfg, SEED)?,
+            ),
+            None => {
+                let grid = Grid::build(GridConfig {
+                    cols: size,
+                    rows: size,
+                    spacing: 150.0,
+                })?;
+                let pattern = patterns[i % patterns.len()];
+                let f = flows(&grid, pattern, &PatternConfig::default())?;
+                let scenario = grid.scenario("fleet-bench", f)?;
+                (
+                    format!("tenant-{i}-{pattern:?}"),
+                    format!("{size}x{size}"),
+                    TscEnv::new(scenario, SimConfig::default(), env_cfg, SEED)?,
+                )
+            }
+        };
         let model = PairUpLight::new(
             &env,
             PairUpLightConfig {
@@ -118,8 +135,8 @@ fn build_tenants(n: usize) -> Result<Vec<TenantSetup>, Box<dyn std::error::Error
         let checkpoint = std::env::temp_dir().join(format!("tsc_fleet_bench_{i}.ckpt"));
         model.save_checkpoint(&checkpoint, SEED)?;
         out.push(TenantSetup {
-            name: format!("tenant-{i}-{pattern:?}"),
-            grid: format!("{size}x{size}"),
+            name,
+            grid: grid_label,
             env,
             model,
             checkpoint,
@@ -295,9 +312,14 @@ fn infra_plan(n: usize) -> InfraChaosPlan {
 
 fn run(steps: usize, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let n = if args.smoke { 3 } else { 6 };
-    let mut tenants = build_tenants(n)?;
+    let world = resolve_scenario(args, SEED)?;
+    let mut tenants = build_tenants(n, world.as_ref())?;
+    let fleet_label = match &world {
+        Some(c) => format!("{} ({})", c.scenario.name, c.fingerprint_hex()),
+        None => "alternating 2x2/3x3".into(),
+    };
     println!(
-        "fleet bench: {n} tenants (alternating 2x2/3x3), {steps} fleet steps per regime, seed {SEED}"
+        "fleet bench: {n} tenants ({fleet_label}), {steps} fleet steps per regime, seed {SEED}"
     );
 
     // Regime 1: clean. No faults, no deadline — supervision at rest.

@@ -8,18 +8,22 @@
 //! fallback rate (0 unless a deadline is set). Weights are freshly
 //! initialized — serving cost does not depend on their values.
 //!
-//! Usage: `serve_grid [--json] [--smoke] [horizon_seconds]`
-//! (default horizon: 300; `--smoke` shrinks the nets and horizon for
-//! CI; `--json` also writes `BENCH_serve.json` at the repo root).
+//! Usage: `serve_grid [--json] [--smoke] [--scenario <name-or-path>]
+//! [horizon_seconds]` (default horizon: 300; `--smoke` shrinks the
+//! nets and horizon for CI; `--json` also writes `BENCH_serve.json`
+//! at the repo root). With `--scenario` the episode runs on the
+//! compiled world instead of the five grid patterns.
 
 use std::time::Instant;
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
 use tsc_bench::cli::{exit_on_error, BenchArgs};
 use tsc_bench::report::Json;
+use tsc_bench::world::resolve_scenario;
 use tsc_serve::{ServeConfig, ServeRuntime};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
+use tsc_sim::Scenario;
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() {
@@ -30,10 +34,32 @@ fn main() {
 
 fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let smoke = args.smoke;
-    let grid = Grid::build(GridConfig::default())?;
     let env_cfg = EnvConfig {
         decision_interval: 5,
         episode_horizon: horizon,
+    };
+    // Worlds to serve: the five grid patterns by default, or the one
+    // compiled world when `--scenario` is given.
+    let (label, worlds): (String, Vec<(String, Scenario)>) = match resolve_scenario(args, 0)? {
+        Some(compiled) => (
+            format!(
+                "{} ({})",
+                compiled.scenario.name,
+                compiled.fingerprint_hex()
+            ),
+            vec![(compiled.scenario.name.clone(), compiled.scenario)],
+        ),
+        None => {
+            let grid = Grid::build(GridConfig::default())?;
+            let worlds = FlowPattern::ALL
+                .into_iter()
+                .map(|p| {
+                    patterns::grid_scenario(&grid, p, &PatternConfig::default())
+                        .map(|s| (format!("{p:?}"), s))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            ("6x6 grid".into(), worlds)
+        }
     };
     let cfg = if smoke {
         PairUpLightConfig {
@@ -47,8 +73,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
 
     // One checkpoint through the full load path; per-pattern runtimes
     // are built from the validated snapshot.
-    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
-    let env = TscEnv::new(scenario, SimConfig::default(), env_cfg, 0)?;
+    let env = TscEnv::new(worlds[0].1.clone(), SimConfig::default(), env_cfg, 0)?;
     let model = PairUpLight::new(&env, cfg);
     let ck = std::env::temp_dir().join("tsc_serve_grid_bench.ckpt");
     model.save_checkpoint(&ck, 0)?;
@@ -59,7 +84,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
     std::fs::remove_file(&ck).ok();
 
     println!(
-        "serve_grid: 6x6 grid ({} agents), horizon {horizon}s, {} decision steps/pattern, \
+        "serve_grid: {label} ({} agents), horizon {horizon}s, {} decision steps/world, \
          batched={}, checkpoint load {load_ms:.1}ms",
         env.num_agents(),
         env.steps_per_episode(),
@@ -71,15 +96,14 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
     );
 
     let mut rows = Vec::new();
-    for pattern in FlowPattern::ALL {
-        let scenario = patterns::grid_scenario(&grid, pattern, &PatternConfig::default())?;
-        let mut env = TscEnv::new(scenario, SimConfig::default(), env_cfg, 0)?;
+    for (name, scenario) in &worlds {
+        let mut env = TscEnv::new(scenario.clone(), SimConfig::default(), env_cfg, 0)?;
         let mut serve = ServeRuntime::new(snapshot.clone(), ServeConfig::default());
         env.run_episode(&mut serve, 0)?;
         let t = serve.telemetry();
         println!(
             "{:<10} {:>7} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.1}%",
-            format!("{pattern:?}"),
+            name,
             t.steps(),
             t.decisions_per_sec(),
             t.p50_us(),
@@ -88,7 +112,7 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
             t.fallback_rate() * 100.0,
         );
         rows.push(Json::obj([
-            ("pattern", Json::str(format!("{pattern:?}"))),
+            ("pattern", Json::str(name.clone())),
             ("steps", Json::num(t.steps() as f64)),
             ("decisions", Json::num(t.decisions() as f64)),
             ("decisions_per_sec", Json::num(t.decisions_per_sec())),
@@ -103,13 +127,10 @@ fn run(horizon: u32, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
 
     let report = Json::obj([
         ("bench", Json::str("serve_grid")),
-        ("grid", Json::str("6x6")),
+        ("grid", Json::str(label)),
         ("agents", Json::num(env.num_agents() as f64)),
         ("horizon_s", Json::num(f64::from(horizon))),
-        (
-            "steps_per_pattern",
-            Json::num(env.steps_per_episode() as f64),
-        ),
+        ("steps_per_world", Json::num(env.steps_per_episode() as f64)),
         ("batched", Json::Bool(snapshot.shared())),
         ("smoke", Json::Bool(smoke)),
         ("checkpoint_load_ms", Json::num(load_ms)),

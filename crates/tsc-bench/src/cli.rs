@@ -21,6 +21,11 @@ pub struct BenchArgs {
     pub json: bool,
     /// `--smoke`: shrink the workload to CI-gate size.
     pub smoke: bool,
+    /// `--scenario <name-or-path>`: run on a compiled scenario instead
+    /// of the binary's built-in world — a `tsc-scenario` preset name
+    /// (`monaco`, `grid`, `city-<n>`, `corridor-<n>`, `ring-<n>`) or a
+    /// path to a spec text file. See [`crate::world::resolve_scenario`].
+    pub scenario: Option<String>,
     positional: Vec<String>,
 }
 
@@ -39,10 +44,17 @@ impl BenchArgs {
         I: IntoIterator<Item = String>,
     {
         let mut out = Self::default();
+        let mut scenario_next = false;
         for arg in args {
+            if scenario_next {
+                out.scenario = Some(arg);
+                scenario_next = false;
+                continue;
+            }
             match arg.as_str() {
                 "--json" => out.json = true,
                 "--smoke" => out.smoke = true,
+                "--scenario" => scenario_next = true,
                 _ => out.positional.push(arg),
             }
         }
@@ -76,10 +88,29 @@ impl BenchArgs {
     /// [`write_report`].
     pub fn write_report_if_json(&self, name: &str, report: &Json) -> io::Result<()> {
         if self.json {
-            let path = write_report(name, report)?;
+            let report = stamp_scenario(report.clone());
+            let path = write_report(name, &report)?;
             println!("wrote {}", path.display());
         }
         Ok(())
+    }
+}
+
+/// Embeds the most recently constructed scenario (name + structural
+/// fingerprint, from the tsc-obs registry) into an object-shaped
+/// report under the `"scenario"` key, so every `BENCH_*.json` is
+/// attributable to an exact compiled world. A report that already
+/// carries the key, a non-object report, or a run that never built an
+/// environment passes through unchanged.
+fn stamp_scenario(report: Json) -> Json {
+    match report {
+        Json::Obj(mut fields) if !fields.iter().any(|(k, _)| k == "scenario") => {
+            if let Some(event) = tsc_obs::latest_scenario() {
+                fields.push(("scenario".into(), event.to_json()));
+            }
+            Json::Obj(fields)
+        }
+        other => other,
     }
 }
 
@@ -122,5 +153,24 @@ mod tests {
     fn empty_args_are_all_defaults() {
         let a = parse(&[]);
         assert!(!a.json && !a.smoke && a.positional().is_empty());
+        assert!(a.scenario.is_none());
+    }
+
+    #[test]
+    fn scenario_takes_the_next_token() {
+        let a = parse(&["--scenario", "city-200", "120", "--json"]);
+        assert_eq!(a.scenario.as_deref(), Some("city-200"));
+        assert_eq!(a.positional(), ["120"]);
+        assert!(a.json);
+        let b = parse(&["--scenario"]);
+        assert!(b.scenario.is_none(), "dangling flag is ignored");
+    }
+
+    #[test]
+    fn stamp_scenario_respects_existing_key_and_shape() {
+        let with_key = Json::obj([("scenario", Json::str("mine"))]);
+        assert_eq!(stamp_scenario(with_key.clone()), with_key);
+        let arr = Json::Arr(vec![]);
+        assert_eq!(stamp_scenario(arr.clone()), arr);
     }
 }

@@ -11,7 +11,6 @@
 use std::fmt::Write as _;
 
 use tsc_sim::scenario::grid::{Grid, GridConfig};
-use tsc_sim::scenario::monaco::{self, MonacoConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, Scenario, SimConfig, SimError, TscEnv};
 
@@ -378,7 +377,7 @@ pub fn fixed_time_reference(scale: &ExperimentScale) -> Result<f64, SimError> {
 ///
 /// Propagates scenario/simulation failures.
 pub fn monaco_training(scale: &ExperimentScale) -> Result<(Vec<Curve>, f64), SimError> {
-    let scenario = monaco::scenario(&MonacoConfig::default(), scale.seed)?;
+    let scenario = tsc_scenario::compile(&tsc_scenario::monaco_spec(scale.seed))?.scenario;
     let mut setup = scale.setup();
     setup.heterogeneous = true; // §VI-D: parameter sharing infeasible
     let mut curves = Vec::new();

@@ -17,9 +17,13 @@
 //! time; results are printed and written under `results/`.
 //!
 //! Performance bins (`rollout_throughput`, `checkpoint_overhead`,
-//! `serve_grid`, `fleet`, …) additionally accept `--json`, writing
-//! `BENCH_*.json` at the repository root via [`report`]; their shared
-//! argument grammar lives in [`cli`].
+//! `serve_grid`, `fleet`, `cityscale`, …) additionally accept
+//! `--json`, writing `BENCH_*.json` at the repository root via
+//! [`report`]; their shared argument grammar lives in [`cli`].
+//! `serve_grid`, `chaos` and `fleet` also take `--scenario
+//! <name-or-path>` to run on a compiled `tsc-scenario` world (see
+//! [`world`]), and every report embeds the compiled scenario's
+//! fingerprint.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,9 +33,11 @@ pub mod eval;
 pub mod experiments;
 pub mod models;
 pub mod report;
+pub mod world;
 
 pub use cli::{exit_on_error, BenchArgs};
 pub use eval::{evaluate, evaluate_seeds, EvalConfig, EvalResult};
 pub use experiments::{ExperimentScale, TravelTimeTable};
 pub use models::{train_model, ModelKind, TrainSetup, TrainedModel};
 pub use report::{repo_root, write_report, Json};
+pub use world::resolve_scenario;

@@ -22,6 +22,10 @@
 //!   into human tables.
 //! * **JSON** — [`Json`]: the hand-rolled value type (render + parse)
 //!   behind both the JSONL sink and the `BENCH_*.json` reports.
+//! * **Scenario events** — [`record_scenario`]/[`latest_scenario`]: a
+//!   bounded process-global ring of environment constructions (name +
+//!   compiled-scenario fingerprint), so every bench report and run log
+//!   is attributable to an exact world.
 //!
 //! Everything here is observation-only: attaching any of it to a
 //! training run changes no RNG stream and no parameter — an
@@ -37,6 +41,7 @@ pub mod hist;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod scenario;
 pub mod span;
 
 pub use events::{parse_jsonl, read_jsonl, EventSink, JsonlWarning, WriteFault};
@@ -45,4 +50,5 @@ pub use hist::Histogram;
 pub use json::{Json, ParseError};
 pub use manifest::{build_info, BuildInfo};
 pub use metrics::MetricsRegistry;
+pub use scenario::{drain_scenarios, latest_scenario, record_scenario, ScenarioEvent};
 pub use span::{SpanGuard, SpanStat};

@@ -1,0 +1,138 @@
+//! Scenario-construction events: which compiled world is a run using?
+//!
+//! Every [`TscEnv`](https://docs.rs) construction records a
+//! [`ScenarioEvent`] — the scenario's name, its structural FNV
+//! fingerprint, and its size — into a small process-global ring. Bench
+//! binaries read [`latest_scenario`] to stamp their `BENCH_*.json`
+//! reports, and tests use [`drain_scenarios`] to assert that a run is
+//! attributable to an exact world. Recording is observation-only: it
+//! consumes no RNG state and never fails, so an instrumented run stays
+//! bit-identical to an uninstrumented one (the crate-wide contract).
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// One environment construction on a compiled scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// Scenario name (e.g. "Pattern 1", "Monaco", "city-1024").
+    pub name: String,
+    /// Structural FNV-1a fingerprint of the compiled scenario.
+    pub fingerprint: u64,
+    /// Number of controlled intersections.
+    pub agents: usize,
+    /// Number of network links.
+    pub links: usize,
+}
+
+impl ScenarioEvent {
+    /// The fingerprint as the canonical 16-digit hex string used in
+    /// reports.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+
+    /// Renders the event as a JSON object (for JSONL sinks and
+    /// `BENCH_*.json` reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("event", Json::str("scenario_constructed")),
+            ("scenario", Json::str(self.name.clone())),
+            ("fingerprint", Json::str(self.fingerprint_hex())),
+            ("agents", Json::num(self.agents as f64)),
+            ("links", Json::num(self.links as f64)),
+        ])
+    }
+}
+
+/// Keep only the most recent constructions; environments are rebuilt
+/// every episode, so an unbounded log would grow with training length.
+const KEEP: usize = 64;
+
+fn registry() -> &'static Mutex<Vec<ScenarioEvent>> {
+    static REGISTRY: OnceLock<Mutex<Vec<ScenarioEvent>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a scenario construction. Called by the simulator's
+/// environment constructor; cheap (one mutex lock, no I/O).
+pub fn record_scenario(name: &str, fingerprint: u64, agents: usize, links: usize) {
+    let mut reg = registry().lock().expect("scenario registry poisoned");
+    if reg.len() == KEEP {
+        reg.remove(0);
+    }
+    reg.push(ScenarioEvent {
+        name: name.to_string(),
+        fingerprint,
+        agents,
+        links,
+    });
+}
+
+/// The most recently recorded construction, if any.
+pub fn latest_scenario() -> Option<ScenarioEvent> {
+    registry()
+        .lock()
+        .expect("scenario registry poisoned")
+        .last()
+        .cloned()
+}
+
+/// Removes and returns all recorded constructions, oldest first.
+pub fn drain_scenarios() -> Vec<ScenarioEvent> {
+    std::mem::take(&mut *registry().lock().expect("scenario registry poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; serialize the tests that mutate
+    /// it so the harness's default parallelism cannot interleave them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("test lock poisoned")
+    }
+
+    #[test]
+    fn record_latest_drain_roundtrip() {
+        let _guard = test_lock();
+        drain_scenarios();
+        record_scenario("a", 1, 4, 10);
+        record_scenario("b", 0xdead_beef, 36, 168);
+        let latest = latest_scenario().unwrap();
+        assert_eq!(latest.name, "b");
+        assert_eq!(latest.fingerprint_hex(), "00000000deadbeef");
+        let all = drain_scenarios();
+        assert_eq!(all.len(), 2);
+        assert!(latest_scenario().is_none());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _guard = test_lock();
+        drain_scenarios();
+        for i in 0..(KEEP + 10) {
+            record_scenario("x", i as u64, 1, 1);
+        }
+        let all = drain_scenarios();
+        assert_eq!(all.len(), KEEP);
+        assert_eq!(all.last().unwrap().fingerprint, (KEEP + 9) as u64);
+    }
+
+    #[test]
+    fn event_renders_to_json() {
+        let e = ScenarioEvent {
+            name: "city".into(),
+            fingerprint: 0xff,
+            agents: 200,
+            links: 900,
+        };
+        let text = e.to_json().compact();
+        assert!(text.contains("\"scenario_constructed\""));
+        assert!(text.contains("00000000000000ff"));
+    }
+}

@@ -96,16 +96,28 @@ pub fn enabled() -> bool {
 
 /// Snapshot of every span name's aggregated stats, sorted by name.
 /// Flushes the calling thread's local table first; other live threads'
-/// unflushed spans appear once those threads exit (scoped workers flush
-/// before their scope returns).
+/// unflushed spans appear once those threads fully exit. Note that
+/// `thread::scope` only waits for worker *closures* to return — the
+/// exit-time TLS flush can land after the scope does — so workers
+/// whose spans must be visible in a report taken right after the
+/// scope call [`flush_thread`] before returning.
 pub fn report() -> Vec<(&'static str, SpanStat)> {
-    LOCAL.with(|l| l.borrow_mut().flush());
+    flush_thread();
     global()
         .lock()
         .expect("span registry lock")
         .iter()
         .map(|(&name, &stat)| (name, stat))
         .collect()
+}
+
+/// Folds the calling thread's local span table into the global
+/// registry now, instead of waiting for the thread-local destructor
+/// at thread exit. Call at the end of a scoped worker closure whose
+/// spans must be visible to a [`report`] taken as soon as the scope
+/// returns. No-op when the thread has recorded nothing.
+pub fn flush_thread() {
+    LOCAL.with(|l| l.borrow_mut().flush());
 }
 
 /// Clears the global registry and the calling thread's local table.
@@ -235,8 +247,11 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    let _g = crate::span!("test.worker.span");
-                    std::thread::sleep(Duration::from_millis(1));
+                    {
+                        let _g = crate::span!("test.worker.span");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    flush_thread();
                 });
             }
         });

@@ -1,0 +1,264 @@
+//! # tsc-scenario — declarative scenario compiler
+//!
+//! The paper evaluates on a 6×6 grid and a 30-intersection Monaco
+//! network; this crate generalizes both into a declarative layer that
+//! compiles *arbitrary* networks and demand programs into runnable
+//! [`tsc_sim`] scenarios, scaling to thousands of intersections:
+//!
+//! * [`ScenarioSpec`] — plain builder structs plus a line-oriented text
+//!   format ([`ScenarioSpec::to_text`] / [`ScenarioSpec::from_text`])
+//!   that round-trips bit-exactly (the vendored serde stand-in has
+//!   no-op derives, so the format is hand-rolled);
+//! * [`TopologySpec`] — rectangular grids, irregular jittered city
+//!   graphs (the generalized Monaco generator), arterial corridors
+//!   with side streets, and ring roads;
+//! * [`DemandProgram`] — the paper's flow patterns, uniform background
+//!   traffic, staggered rush-hour ramps, piecewise day profiles, jam
+//!   waves, and event surges;
+//! * [`IncidentSpec`] — lane closures lowered onto the chaos-plan
+//!   fault machinery (full sensor dropout + downstream all-red).
+//!
+//! [`compile`] is a pure function of `(spec, seed)`: same spec ⇒
+//! bit-identical network, flows, and FNV-1a [`CompiledScenario::fingerprint`].
+//! See DESIGN.md §14 for the lowering pipeline and determinism
+//! contract.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tsc_scenario::{compile, corridor_spec};
+//!
+//! // A 1000-intersection arterial corridor with rush-hour demand.
+//! let spec = corridor_spec(1000, 42);
+//! let compiled = compile(&spec).unwrap();
+//! assert_eq!(compiled.num_agents(), 1000);
+//! println!("fingerprint {}", compiled.fingerprint_hex());
+//! ```
+
+pub mod compile;
+pub mod demand;
+pub mod spec;
+pub mod topology;
+
+pub use compile::{compile, CompiledScenario};
+pub use spec::{DemandProgram, IncidentSpec, ScenarioSpec, TopologySpec, SPEC_HEADER};
+pub use topology::World;
+
+use tsc_sim::scenario::patterns::FlowPattern;
+
+/// The Monaco scenario as a spec: compiles bit-identically to the
+/// retired `tsc_sim::scenario::monaco` builder (pinned by the
+/// `monaco_port` integration test).
+pub fn monaco_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "Monaco".into(),
+        seed,
+        topology: TopologySpec::City {
+            cols: 6,
+            rows: 5,
+            spacing: 250.0,
+            edge_removal: 0.18,
+            two_lane_frac: 0.4,
+            jitter: 0.18,
+        },
+        demand: vec![DemandProgram::Conflicts {
+            flows: 10,
+            peak_rate: 975.0,
+            horizon: 2700.0,
+        }],
+        incidents: vec![],
+    }
+}
+
+/// The paper's 6×6 grid with one of the five flow patterns, as a spec.
+pub fn grid_spec(pattern: FlowPattern, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("Pattern {}", pattern.number()),
+        seed,
+        topology: TopologySpec::Grid {
+            cols: 6,
+            rows: 6,
+            spacing: 200.0,
+        },
+        demand: vec![DemandProgram::Pattern {
+            pattern,
+            peak_rate: 500.0,
+            base_rate: 100.0,
+        }],
+        incidents: vec![],
+    }
+}
+
+/// An irregular city graph with roughly `n` intersections (nearest
+/// `cols × rows` lattice), carrying staggered rush-hour demand over a
+/// uniform background. Used by the `cityscale` scaling sweep.
+pub fn city_spec(n: usize, seed: u64) -> ScenarioSpec {
+    let cols = (n as f64).sqrt().ceil().max(3.0) as usize;
+    let rows = n.div_ceil(cols).max(3);
+    let pairs = (cols + rows).max(8);
+    ScenarioSpec {
+        name: format!("city-{}", cols * rows),
+        seed,
+        topology: TopologySpec::City {
+            cols,
+            rows,
+            spacing: 200.0,
+            edge_removal: 0.12,
+            two_lane_frac: 0.4,
+            jitter: 0.15,
+        },
+        demand: vec![
+            DemandProgram::RushHour {
+                pairs,
+                peak_rate: 600.0,
+                base_rate: 60.0,
+                onset: 0.0,
+                ramp: 900.0,
+                stagger: 300.0,
+            },
+            DemandProgram::Uniform {
+                pairs,
+                rate: 120.0,
+                start: 0.0,
+                end: 3600.0,
+            },
+        ],
+        incidents: vec![],
+    }
+}
+
+/// An east–west arterial corridor with `n` four-way intersections and
+/// rush-hour demand (plus side-street background traffic).
+pub fn corridor_spec(n: usize, seed: u64) -> ScenarioSpec {
+    let pairs = (n / 8).clamp(8, 64);
+    ScenarioSpec {
+        name: format!("corridor-{n}"),
+        seed,
+        topology: TopologySpec::Corridor {
+            length: n,
+            spacing: 200.0,
+        },
+        demand: vec![
+            DemandProgram::RushHour {
+                pairs,
+                peak_rate: 700.0,
+                base_rate: 80.0,
+                onset: 0.0,
+                ramp: 900.0,
+                stagger: 300.0,
+            },
+            DemandProgram::Uniform {
+                pairs,
+                rate: 100.0,
+                start: 0.0,
+                end: 3600.0,
+            },
+        ],
+        incidents: vec![],
+    }
+}
+
+/// A ring road with roughly `n` perimeter intersections, with uniform
+/// circulating traffic plus an event surge into a few venues.
+pub fn ring_spec(n: usize, seed: u64) -> ScenarioSpec {
+    // Perimeter of a cols×rows lattice is 2(cols+rows)−4; use a square.
+    let side = (n + 4).div_ceil(4).max(3);
+    let pairs = n.clamp(8, 48);
+    ScenarioSpec {
+        name: format!("ring-{}", 4 * side - 4),
+        seed,
+        topology: TopologySpec::Ring {
+            cols: side,
+            rows: side,
+            spacing: 180.0,
+        },
+        demand: vec![
+            DemandProgram::Uniform {
+                pairs,
+                rate: 150.0,
+                start: 0.0,
+                end: 3600.0,
+            },
+            DemandProgram::Surge {
+                sinks: 3,
+                pairs,
+                peak_rate: 500.0,
+                start: 600.0,
+                width: 1200.0,
+            },
+        ],
+        incidents: vec![],
+    }
+}
+
+/// Resolves a preset by name (`monaco`, `grid`, `city-<n>`,
+/// `corridor-<n>`, `ring-<n>`), or `None` for unknown names. This is
+/// the vocabulary `--scenario` accepts in the bench binaries, alongside
+/// spec file paths.
+pub fn preset(name: &str, seed: u64) -> Option<ScenarioSpec> {
+    if name == "monaco" {
+        return Some(monaco_spec(seed));
+    }
+    if name == "grid" {
+        return Some(grid_spec(FlowPattern::One, seed));
+    }
+    let (kind, n) = name.split_once('-')?;
+    let n: usize = n.parse().ok()?;
+    match kind {
+        "city" => Some(city_spec(n, seed)),
+        "corridor" => Some(corridor_spec(n, seed)),
+        "ring" => Some(ring_spec(n, seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_compile_and_roundtrip_through_text() {
+        for spec in [
+            monaco_spec(11),
+            grid_spec(FlowPattern::Three, 1),
+            city_spec(36, 2),
+            corridor_spec(12, 3),
+            ring_spec(16, 4),
+        ] {
+            let compiled = compile(&spec).expect("preset compiles");
+            assert!(compiled.num_agents() > 0);
+            let text = spec.to_text();
+            let back = ScenarioSpec::from_text(&text).expect("roundtrip parses");
+            let recompiled = compile(&back).expect("roundtrip compiles");
+            assert_eq!(
+                compiled.fingerprint, recompiled.fingerprint,
+                "text roundtrip preserves identity for {}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn preset_lookup_resolves_names() {
+        assert_eq!(preset("monaco", 1).unwrap().name, "Monaco");
+        assert!(preset("grid", 1).is_some());
+        assert_eq!(preset("city-200", 1).unwrap().name, "city-210");
+        assert!(preset("corridor-50", 1).is_some());
+        assert!(preset("ring-20", 1).is_some());
+        assert!(preset("nope", 1).is_none());
+        assert!(preset("city-x", 1).is_none());
+    }
+
+    #[test]
+    fn city_spec_sizes_track_request() {
+        for n in [36, 200, 1000, 3000] {
+            let spec = city_spec(n, 0);
+            if let TopologySpec::City { cols, rows, .. } = spec.topology {
+                let total = cols * rows;
+                assert!(total >= n && total < n + 2 * cols + 2 * rows);
+            } else {
+                panic!("city_spec must produce a City topology");
+            }
+        }
+    }
+}

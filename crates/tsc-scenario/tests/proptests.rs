@@ -1,0 +1,236 @@
+//! Property tests over *random* scenario specs: whatever shape and
+//! demand mix the generator draws, the compiled world must be
+//! well-formed, routable, conservative, and bit-deterministic.
+
+use proptest::{arm, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, Union};
+use tsc_scenario::{compile, DemandProgram, ScenarioSpec, TopologySpec};
+use tsc_sim::{shortest_route, SimConfig, Simulation};
+
+const FREE_SPEED: f64 = 13.89;
+
+fn topologies() -> Union<TopologySpec> {
+    Union::new(vec![
+        arm(
+            2,
+            (2..6usize, 2..6usize).prop_map(|(cols, rows)| TopologySpec::Grid {
+                cols,
+                rows,
+                spacing: 150.0,
+            }),
+        ),
+        arm(
+            3,
+            (3..7usize, 3..7usize, 0.0..0.3f64, 0.0..1.0f64).prop_map(
+                |(cols, rows, edge_removal, two_lane_frac)| TopologySpec::City {
+                    cols,
+                    rows,
+                    spacing: 200.0,
+                    edge_removal,
+                    two_lane_frac,
+                    jitter: 0.15,
+                },
+            ),
+        ),
+        arm(
+            2,
+            (2..24usize).prop_map(|length| TopologySpec::Corridor {
+                length,
+                spacing: 180.0,
+            }),
+        ),
+        arm(
+            1,
+            (3..6usize, 3..6usize).prop_map(|(cols, rows)| TopologySpec::Ring {
+                cols,
+                rows,
+                spacing: 160.0,
+            }),
+        ),
+    ])
+}
+
+fn programs() -> Union<DemandProgram> {
+    Union::new(vec![
+        arm(
+            2,
+            (1..8usize, 50.0..400.0f64).prop_map(|(pairs, rate)| DemandProgram::Uniform {
+                pairs,
+                rate,
+                start: 0.0,
+                end: 1800.0,
+            }),
+        ),
+        arm(
+            2,
+            (1..6usize, 300.0..900.0f64).prop_map(|(pairs, peak_rate)| DemandProgram::RushHour {
+                pairs,
+                peak_rate,
+                base_rate: 50.0,
+                onset: 0.0,
+                ramp: 600.0,
+                stagger: 300.0,
+            }),
+        ),
+        arm(
+            1,
+            (1..4usize, 200.0..800.0f64).prop_map(|(pairs, peak_rate)| DemandProgram::Day {
+                pairs,
+                peak_rate,
+                horizon: 3600.0,
+            }),
+        ),
+        arm(
+            1,
+            (1..4usize, 1..4usize).prop_map(|(waves, pairs_per_wave)| DemandProgram::JamWave {
+                waves,
+                pairs_per_wave,
+                peak_rate: 700.0,
+                period: 500.0,
+                width: 300.0,
+            }),
+        ),
+        arm(
+            1,
+            (1..3usize, 1..6usize).prop_map(|(sinks, pairs)| DemandProgram::Surge {
+                sinks,
+                pairs,
+                peak_rate: 500.0,
+                start: 120.0,
+                width: 900.0,
+            }),
+        ),
+    ])
+}
+
+fn specs() -> impl Strategy<Value = ScenarioSpec> {
+    (topologies(), programs(), programs(), 0..1_000u64).prop_map(
+        |(topology, prog_a, prog_b, seed)| ScenarioSpec {
+            name: "prop".into(),
+            seed,
+            topology,
+            demand: vec![prog_a, prog_b],
+            incidents: vec![],
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Well-formedness, part 1: on the *regular* topologies (grid,
+    /// corridor, ring — where the generator controls every lane),
+    /// every lane of every approach to a signalized intersection has
+    /// at least one movement that is (a) connected to an outgoing
+    /// link and (b) permitted by some phase of that intersection's
+    /// plan. No vehicle can ever be stranded in a lane the controller
+    /// cannot serve. (Irregular city graphs inherit the legacy Monaco
+    /// property that a pruned neighbor may leave a dead left-turn
+    /// lane; part 2 covers what routing actually uses there.)
+    #[test]
+    fn every_lane_is_signal_served_on_regular_topologies(spec in specs()) {
+        let regular = !matches!(spec.topology, TopologySpec::City { .. });
+        if !regular {
+            return Ok(());
+        }
+        let compiled = compile(&spec).expect("regular specs always compile");
+        let network = &compiled.scenario.network;
+        for plan in &compiled.scenario.signal_plans {
+            let node = plan.node();
+            for &link in network.incoming(node) {
+                for lane in network.link(link).lanes() {
+                    let served = lane.movements().iter().any(|&m| {
+                        network.turn_target(link, m).is_some()
+                            && plan.phases().iter().any(|p| p.permits(link, m))
+                    });
+                    prop_assert!(
+                        served,
+                        "lane {:?} on link {} into node {} has no signal-served movement",
+                        lane.movements(), link.index(), node.index()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Well-formedness, part 2 (all topologies, including irregular
+    /// cities): every movement every compiled *route* actually uses is
+    /// lane-permitted, turn-connected, and green under some phase of
+    /// the intersection it crosses — so every flow can traverse its
+    /// route end to end. Also: routing reaches every flow's sink.
+    #[test]
+    fn every_route_movement_is_permitted(spec in specs()) {
+        let Ok(compiled) = compile(&spec) else {
+            // A sparse city draw can fail to place a program's flows;
+            // that is a clean error, not a well-formedness violation.
+            return Ok(());
+        };
+        let network = &compiled.scenario.network;
+        for flow in &compiled.scenario.flows {
+            let route = shortest_route(network, flow.origin, flow.destination, FREE_SPEED)
+                .expect("every compiled flow must reach its sink");
+            prop_assert_eq!(network.link(*route.last().unwrap()).to(), flow.destination);
+            for pair in route.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let m = network.movement_between(a, b)
+                    .expect("consecutive route links must be joined by a movement");
+                prop_assert!(
+                    network.link(a).lanes().iter().any(|l| l.permits(m)),
+                    "route movement {m:?} has no serving lane on link {}", a.index()
+                );
+                prop_assert_eq!(network.turn_target(a, m), Some(b));
+                let node = network.link(a).to();
+                if network.node(node).is_signalized() {
+                    let plan = compiled.scenario.signal_plans.iter()
+                        .find(|p| p.node() == node)
+                        .expect("signalized node has a plan");
+                    prop_assert!(
+                        plan.phases().iter().any(|p| p.permits(a, m)),
+                        "route movement {m:?} at node {} is never green", node.index()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Vehicle conservation for 600 simulated seconds on the event
+    /// core: spawned == (on-network + backlog) + finished at every
+    /// sampled instant, for arbitrary compiled worlds.
+    #[test]
+    fn compiled_worlds_conserve_vehicles(spec in specs()) {
+        let Ok(compiled) = compile(&spec) else { return Ok(()); };
+        let mut sim = Simulation::new(&compiled.scenario, SimConfig::default(), spec.seed)
+            .expect("compiled scenario simulates");
+        prop_assert!(sim.is_event_core());
+        for _ in 0..60 {
+            for _ in 0..10 {
+                sim.step().expect("step");
+            }
+            prop_assert_eq!(
+                sim.metrics().spawned(),
+                sim.active_vehicles() + sim.metrics().finished(),
+                "t={}: spawned {} != active {} + finished {}",
+                sim.time(), sim.metrics().spawned(),
+                sim.active_vehicles(), sim.metrics().finished()
+            );
+        }
+        prop_assert!(sim.metrics().spawned() > 0, "600s of demand must spawn something");
+    }
+
+    /// Determinism: compiling the same spec twice — or its text
+    /// round-trip — yields the same fingerprint, flow list, and
+    /// network size.
+    #[test]
+    fn compile_and_text_roundtrip_are_deterministic(spec in specs()) {
+        let Ok(a) = compile(&spec) else { return Ok(()); };
+        let b = compile(&spec).expect("recompile");
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).expect("roundtrip");
+        let c = compile(&parsed).expect("roundtrip compiles");
+        prop_assert_eq!(a.fingerprint, c.fingerprint);
+        prop_assert_eq!(a.scenario.flows.len(), c.scenario.flows.len());
+        prop_assert_eq!(
+            a.scenario.network.num_links(),
+            c.scenario.network.num_links()
+        );
+    }
+}

@@ -365,6 +365,82 @@ impl ChaosPlan {
     pub fn comms(&self) -> &[CommsFault] {
         &self.comms
     }
+
+    /// A stable FNV-1a fingerprint of the full fault schedule (windows,
+    /// selectors, kinds, parameter bits). An empty plan hashes to a
+    /// fixed value; combined with [`Scenario::fingerprint`]
+    /// (crate::Scenario::fingerprint) it identifies a compiled world
+    /// including its injected incidents.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::scenario::Fnv64;
+        let mut h = Fnv64::new();
+        let window = |h: &mut Fnv64, w: &Window| {
+            h.write_u64(u64::from(w.start));
+            h.write_u64(u64::from(w.end));
+        };
+        h.write_usize(self.sensing.len());
+        for f in &self.sensing {
+            window(&mut h, &f.window);
+            match f.links {
+                LinkSel::All => h.write_u64(u64::MAX),
+                LinkSel::One(l) => h.write_usize(l.index()),
+            }
+            match f.kind {
+                SensingKind::Dropout { p } => {
+                    h.write_u64(0);
+                    h.write_f64(p);
+                }
+                SensingKind::StuckAtLast => h.write_u64(1),
+                SensingKind::Noise { sigma } => {
+                    h.write_u64(2);
+                    h.write_f64(sigma);
+                }
+                SensingKind::Bias { delta } => {
+                    h.write_u64(3);
+                    h.write_f64(delta);
+                }
+            }
+        }
+        h.write_usize(self.actuation.len());
+        for f in &self.actuation {
+            window(&mut h, &f.window);
+            match f.nodes {
+                NodeSel::All => h.write_u64(u64::MAX),
+                NodeSel::One(n) => h.write_usize(n.index()),
+            }
+            match f.kind {
+                ActuationKind::CommandLoss { p } => {
+                    h.write_u64(0);
+                    h.write_f64(p);
+                }
+                ActuationKind::StuckPhase => h.write_u64(1),
+                ActuationKind::AllRed => h.write_u64(2),
+            }
+        }
+        h.write_usize(self.comms.len());
+        for f in &self.comms {
+            window(&mut h, &f.window);
+            match f.receivers {
+                AgentSel::All => h.write_u64(u64::MAX),
+                AgentSel::One(a) => h.write_usize(a),
+            }
+            match f.kind {
+                CommsKind::Drop { p } => {
+                    h.write_u64(0);
+                    h.write_f64(p);
+                }
+                CommsKind::Delay { steps } => {
+                    h.write_u64(1);
+                    h.write_u64(u64::from(steps));
+                }
+                CommsKind::Corrupt { amp } => {
+                    h.write_u64(2);
+                    h.write_f64(amp);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Per-fault seed salt: decorrelates the streams of distinct faults in

@@ -86,6 +86,13 @@ impl FlowProfile {
         last.1
     }
 
+    /// The `(time seconds, rate veh/h)` control points, strictly
+    /// increasing in time (read access for fingerprinting and spec
+    /// serialization).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
     /// Last control-point time: no vehicles are generated after it.
     pub fn end_time(&self) -> f64 {
         self.points.last().expect("non-empty").0

@@ -71,11 +71,27 @@ pub struct TscEnv {
     /// Installed chaos plan, re-installed into the fresh simulation on
     /// every [`reset`](Self::reset).
     chaos: ChaosPlan,
+    /// Structural fingerprint of `scenario`, computed once at
+    /// construction (see [`Scenario::fingerprint`]).
+    fingerprint: u64,
     /// Whether episodes run on the legacy tick oracle instead of the
     /// event core (see [`Simulation::new_legacy`]); preserved across
     /// [`reset`](Self::reset).
     #[cfg_attr(not(feature = "legacy-oracle"), allow(dead_code))]
     legacy: bool,
+}
+
+/// Computes the scenario fingerprint and records the construction in
+/// the tsc-obs scenario-event ring (observation-only; no RNG impact).
+fn fingerprint_and_record(scenario: &Scenario, agents: usize) -> u64 {
+    let fingerprint = scenario.fingerprint();
+    tsc_obs::record_scenario(
+        &scenario.name,
+        fingerprint,
+        agents,
+        scenario.network.num_links(),
+    );
+    fingerprint
 }
 
 impl TscEnv {
@@ -93,6 +109,7 @@ impl TscEnv {
     ) -> Result<Self, SimError> {
         let sim = Simulation::new(&scenario, sim_config, seed)?;
         let agents = scenario.agents();
+        let fingerprint = fingerprint_and_record(&scenario, agents.len());
         Ok(TscEnv {
             scenario,
             sim_config,
@@ -100,6 +117,7 @@ impl TscEnv {
             sim,
             agents,
             chaos: ChaosPlan::default(),
+            fingerprint,
             legacy: false,
         })
     }
@@ -122,6 +140,7 @@ impl TscEnv {
     ) -> Result<Self, SimError> {
         let sim = Simulation::new_legacy(&scenario, sim_config, seed)?;
         let agents = scenario.agents();
+        let fingerprint = fingerprint_and_record(&scenario, agents.len());
         Ok(TscEnv {
             scenario,
             sim_config,
@@ -129,6 +148,7 @@ impl TscEnv {
             sim,
             agents,
             chaos: ChaosPlan::default(),
+            fingerprint,
             legacy: true,
         })
     }
@@ -189,6 +209,13 @@ impl TscEnv {
     /// The scenario driving this environment.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The scenario's structural fingerprint (computed once at
+    /// construction; see [`Scenario::fingerprint`]). Bench reports
+    /// embed this value so runs are attributable to an exact world.
+    pub fn scenario_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Seconds of simulated time per decision step (yellow + green).

@@ -72,7 +72,7 @@ pub use network::{Lane, Link, Movement, Network, NetworkBuilder, Node};
 pub use recorder::{Recorder, Sample};
 pub use rollout::{derive_rollout_seed, RolloutSet};
 pub use routing::shortest_route;
-pub use scenario::Scenario;
+pub use scenario::{Boundary, Fnv64, Scenario};
 pub use signal::{Phase, SignalPlan, SignalState};
 pub use sim::{SimConfig, Simulation};
 pub use stats::{TravelTimeSummary, TripStats};

@@ -49,8 +49,9 @@ pub struct Grid {
 }
 
 /// Lanes of a two-lane arterial approach: dedicated left + shared
-/// through/right (paper Fig. 2).
-fn arterial_lanes() -> Vec<Lane> {
+/// through/right (paper Fig. 2). Public because the scenario compiler
+/// reuses the same lane idiom for its generated topologies.
+pub fn arterial_lanes() -> Vec<Lane> {
     vec![
         Lane::new(&[Movement::Left]),
         Lane::new(&[Movement::Through, Movement::Right]),
@@ -58,7 +59,7 @@ fn arterial_lanes() -> Vec<Lane> {
 }
 
 /// The single fully shared lane of a one-lane avenue.
-fn avenue_lanes() -> Vec<Lane> {
+pub fn avenue_lanes() -> Vec<Lane> {
     vec![Lane::all_movements()]
 }
 
@@ -175,6 +176,17 @@ impl Grid {
     /// Terminal north of column `col`.
     pub fn north_terminal(&self, col: usize) -> NodeId {
         self.north_terminals[col]
+    }
+
+    /// The grid's boundary terminals as the topology-agnostic
+    /// [`Boundary`] view the flow patterns address.
+    pub fn boundary(&self) -> crate::scenario::Boundary {
+        crate::scenario::Boundary {
+            west: self.west_terminals.clone(),
+            east: self.east_terminals.clone(),
+            south: self.south_terminals.clone(),
+            north: self.north_terminals.clone(),
+        }
     }
 
     /// Builds the four-phase signal plans for every intersection.

@@ -5,11 +5,11 @@
 //! * [`grid`] — the 6×6 synthetic grid with two-lane arterials and
 //!   one-lane avenues (§VI-A), together with the five traffic flow
 //!   [`patterns`] of Fig. 6;
-//! * [`monaco`] — a heterogeneous 30-intersection network standing in
-//!   for the paper's Monaco scenario (§VI-D).
+//! * the heterogeneous Monaco-style network of §VI-D now lives in the
+//!   `tsc-scenario` crate as a compiled spec (`monaco_spec`), which
+//!   reproduces the retired builder bit-for-bit.
 
 pub mod grid;
-pub mod monaco;
 pub mod patterns;
 
 use crate::demand::OdFlow;
@@ -17,6 +17,126 @@ use crate::error::SimError;
 use crate::ids::NodeId;
 use crate::network::Network;
 use crate::signal::SignalPlan;
+
+/// FNV-1a 64-bit hasher used to fingerprint compiled scenarios.
+///
+/// The fingerprint identifies a scenario *structurally* — same network,
+/// plans, and demand bits ⇒ same fingerprint — so bench reports and
+/// tsc-obs events can attribute every run to an exact world. The same
+/// construction backs the checkpoint config fingerprint in the core
+/// crate; this copy exists because the dependency points the other way.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds a string (as UTF-8 bytes plus a terminator, so `"ab","c"`
+    /// and `"a","bc"` hash differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_bytes(&[0xff]);
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` by its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The boundary terminals of a generated network, grouped by the side
+/// they sit on: `west`/`east` indexed by row, `south`/`north` by
+/// column. This is the surface the flow [`patterns`] address, so any
+/// topology that exposes a `Boundary` — the 6×6 grid, a compiled
+/// irregular city graph, an arterial corridor — can carry the paper's
+/// five demand patterns (see [`patterns::flows_on`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Boundary {
+    /// Terminals on the west side, south-to-north (one per row).
+    pub west: Vec<NodeId>,
+    /// Terminals on the east side, south-to-north (one per row).
+    pub east: Vec<NodeId>,
+    /// Terminals on the south side, west-to-east (one per column).
+    pub south: Vec<NodeId>,
+    /// Terminals on the north side, west-to-east (one per column).
+    pub north: Vec<NodeId>,
+}
+
+impl Boundary {
+    /// Number of west/east rows.
+    pub fn rows(&self) -> usize {
+        self.west.len()
+    }
+
+    /// Number of south/north columns.
+    pub fn cols(&self) -> usize {
+        self.south.len()
+    }
+
+    /// Terminal west of row `row` (vehicles entering travel east).
+    pub fn west_terminal(&self, row: usize) -> NodeId {
+        self.west[row]
+    }
+
+    /// Terminal east of row `row`.
+    pub fn east_terminal(&self, row: usize) -> NodeId {
+        self.east[row]
+    }
+
+    /// Terminal south of column `col`.
+    pub fn south_terminal(&self, col: usize) -> NodeId {
+        self.south[col]
+    }
+
+    /// Terminal north of column `col`.
+    pub fn north_terminal(&self, col: usize) -> NodeId {
+        self.north[col]
+    }
+
+    /// All terminals, west → east → south → north.
+    pub fn all(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(
+            self.west.len() + self.east.len() + self.south.len() + self.north.len(),
+        );
+        out.extend_from_slice(&self.west);
+        out.extend_from_slice(&self.east);
+        out.extend_from_slice(&self.south);
+        out.extend_from_slice(&self.north);
+        out
+    }
+}
 
 /// A self-contained simulation scenario.
 #[derive(Debug, Clone)]
@@ -86,6 +206,71 @@ impl Scenario {
     /// Number of controlled intersections.
     pub fn num_agents(&self) -> usize {
         self.signal_plans.len()
+    }
+
+    /// A stable FNV-1a fingerprint of the scenario's full structural
+    /// content: name, every node (position bits, signalization), every
+    /// link (endpoints, direction, length bits, per-lane movements),
+    /// every signal plan (phases as *sorted* permitted pairs — phases
+    /// store a set, so ordering is normalized here), and every flow
+    /// (endpoints plus exact profile control-point bits).
+    ///
+    /// Two scenarios compare equal bit-for-bit on the simulation path
+    /// iff their fingerprints agree; bench reports embed this value so
+    /// every run is attributable to an exact compiled world.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(&self.name);
+        h.write_usize(self.network.num_nodes());
+        for node in self.network.nodes() {
+            let (x, y) = node.position();
+            h.write_f64(x);
+            h.write_f64(y);
+            h.write_u64(u64::from(node.is_signalized()));
+        }
+        h.write_usize(self.network.num_links());
+        for link in self.network.links() {
+            h.write_usize(link.from().index());
+            h.write_usize(link.to().index());
+            h.write_usize(link.direction().index());
+            h.write_f64(link.length());
+            h.write_usize(link.num_lanes());
+            for lane in link.lanes() {
+                h.write_usize(lane.movements().len());
+                for m in lane.movements() {
+                    h.write_usize(m.index());
+                }
+            }
+        }
+        h.write_usize(self.signal_plans.len());
+        for plan in &self.signal_plans {
+            h.write_usize(plan.node().index());
+            h.write_usize(plan.num_phases());
+            for phase in plan.phases() {
+                let mut pairs: Vec<(usize, usize)> = phase
+                    .permitted()
+                    .map(|(l, m)| (l.index(), m.index()))
+                    .collect();
+                pairs.sort_unstable();
+                h.write_usize(pairs.len());
+                for (l, m) in pairs {
+                    h.write_usize(l);
+                    h.write_usize(m);
+                }
+            }
+        }
+        h.write_usize(self.flows.len());
+        for flow in &self.flows {
+            h.write_usize(flow.origin.index());
+            h.write_usize(flow.destination.index());
+            let points = flow.profile.points();
+            h.write_usize(points.len());
+            for &(t, r) in points {
+                h.write_f64(t);
+                h.write_f64(r);
+            }
+        }
+        h.finish()
     }
 
     /// Replaces the demand, keeping network and plans — used to evaluate

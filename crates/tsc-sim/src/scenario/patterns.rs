@@ -21,6 +21,7 @@
 use crate::demand::{FlowProfile, OdFlow};
 use crate::error::SimError;
 use crate::scenario::grid::Grid;
+use crate::scenario::Boundary;
 
 /// The five evaluation flow patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -57,6 +58,23 @@ impl FlowPattern {
             FlowPattern::Four => "Pattern 4",
             FlowPattern::Five => "Pattern 5",
         }
+    }
+
+    /// The paper's 1-based pattern number.
+    pub fn number(self) -> usize {
+        match self {
+            FlowPattern::One => 1,
+            FlowPattern::Two => 2,
+            FlowPattern::Three => 3,
+            FlowPattern::Four => 4,
+            FlowPattern::Five => 5,
+        }
+    }
+
+    /// The pattern with the given 1-based number, if any — the inverse
+    /// of [`number`](Self::number), used by the scenario spec parser.
+    pub fn from_number(n: usize) -> Option<FlowPattern> {
+        FlowPattern::ALL.get(n.wrapping_sub(1)).copied()
     }
 }
 
@@ -101,7 +119,9 @@ fn middle_band(n: usize) -> Vec<usize> {
     }
 }
 
-/// Builds the OD flow list for `pattern` on `grid`.
+/// Builds the OD flow list for `pattern` on `grid` — the historical
+/// grid-only entry point, now a thin wrapper over [`flows_on`] with the
+/// grid's [`Boundary`].
 ///
 /// # Errors
 ///
@@ -111,11 +131,39 @@ pub fn flows(
     pattern: FlowPattern,
     cfg: &PatternConfig,
 ) -> Result<Vec<OdFlow>, SimError> {
+    flows_on(&grid.boundary(), pattern, cfg)
+}
+
+/// Builds the OD flow list for `pattern` on any network exposing a
+/// rectangular [`Boundary`] — the 6×6 grid, a compiled city graph, an
+/// arterial corridor. Rows and columns are taken from the boundary's
+/// terminal lists; the five patterns address terminals exactly as they
+/// always addressed the grid's.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for non-positive rates or a
+/// boundary with mismatched/empty sides.
+pub fn flows_on(
+    b: &Boundary,
+    pattern: FlowPattern,
+    cfg: &PatternConfig,
+) -> Result<Vec<OdFlow>, SimError> {
     if cfg.peak_rate <= 0.0 || cfg.uniform_we <= 0.0 || cfg.uniform_sn <= 0.0 {
         return Err(SimError::InvalidConfig("pattern rates must be > 0".into()));
     }
-    let cols = grid.config().cols;
-    let rows = grid.config().rows;
+    if b.west.len() != b.east.len() || b.south.len() != b.north.len() {
+        return Err(SimError::InvalidConfig(
+            "pattern boundary sides must pair up (west/east, south/north)".into(),
+        ));
+    }
+    if b.west.is_empty() || b.south.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "pattern boundary needs terminals on all four sides".into(),
+        ));
+    }
+    let cols = b.cols();
+    let rows = b.rows();
     let band_r = middle_band(rows);
     let band_c = middle_band(cols);
     // Group A ramps over [0, 2*peak]; group B over [peak, 3*peak].
@@ -143,25 +191,25 @@ pub fn flows(
             for (i, &r) in band_r.iter().enumerate() {
                 if i % 2 == 0 {
                     out.push(OdFlow::new(
-                        grid.west_terminal(r),
-                        grid.east_terminal(r),
+                        b.west_terminal(r),
+                        b.east_terminal(r),
                         ramp_a.clone(),
                     ));
                     out.push(OdFlow::new(
-                        grid.east_terminal(r),
-                        grid.west_terminal(r),
+                        b.east_terminal(r),
+                        b.west_terminal(r),
                         ramp_b.clone(),
                     ));
                 } else {
                     let c = band_c[i % band_c.len()];
                     out.push(OdFlow::new(
-                        grid.west_terminal(r),
-                        grid.south_terminal(c),
+                        b.west_terminal(r),
+                        b.south_terminal(c),
                         ramp_a.clone(),
                     ));
                     out.push(OdFlow::new(
-                        grid.south_terminal(c),
-                        grid.west_terminal(r),
+                        b.south_terminal(c),
+                        b.west_terminal(r),
                         ramp_b.clone(),
                     ));
                 }
@@ -169,25 +217,25 @@ pub fn flows(
             for (i, &c) in band_c.iter().enumerate() {
                 if i % 2 == 0 {
                     out.push(OdFlow::new(
-                        grid.north_terminal(c),
-                        grid.south_terminal(c),
+                        b.north_terminal(c),
+                        b.south_terminal(c),
                         ramp_a.clone(),
                     ));
                     out.push(OdFlow::new(
-                        grid.south_terminal(c),
-                        grid.north_terminal(c),
+                        b.south_terminal(c),
+                        b.north_terminal(c),
                         ramp_b.clone(),
                     ));
                 } else {
                     let r = band_r[i % band_r.len()];
                     out.push(OdFlow::new(
-                        grid.north_terminal(c),
-                        grid.east_terminal(r),
+                        b.north_terminal(c),
+                        b.east_terminal(r),
                         ramp_a.clone(),
                     ));
                     out.push(OdFlow::new(
-                        grid.east_terminal(r),
-                        grid.north_terminal(c),
+                        b.east_terminal(r),
+                        b.north_terminal(c),
                         ramp_b.clone(),
                     ));
                 }
@@ -199,26 +247,26 @@ pub fn flows(
             for (i, &r) in band_r.iter().enumerate() {
                 let c = band_c[i % band_c.len()];
                 out.push(OdFlow::new(
-                    grid.west_terminal(r),
-                    grid.south_terminal(c),
+                    b.west_terminal(r),
+                    b.south_terminal(c),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.south_terminal(c),
-                    grid.west_terminal(r),
+                    b.south_terminal(c),
+                    b.west_terminal(r),
                     ramp_b.clone(),
                 ));
             }
             for (i, &c) in band_c.iter().enumerate() {
                 let r = band_r[i % band_r.len()];
                 out.push(OdFlow::new(
-                    grid.north_terminal(c),
-                    grid.east_terminal(r),
+                    b.north_terminal(c),
+                    b.east_terminal(r),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.east_terminal(r),
-                    grid.north_terminal(c),
+                    b.east_terminal(r),
+                    b.north_terminal(c),
                     ramp_b.clone(),
                 ));
             }
@@ -231,26 +279,26 @@ pub fn flows(
             for (i, &r) in band_r.iter().enumerate() {
                 let c = band_c[band_c.len() - 1 - (i % band_c.len())];
                 out.push(OdFlow::new(
-                    grid.west_terminal(r),
-                    grid.north_terminal(c),
+                    b.west_terminal(r),
+                    b.north_terminal(c),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.north_terminal(c),
-                    grid.west_terminal(r),
+                    b.north_terminal(c),
+                    b.west_terminal(r),
                     ramp_b.clone(),
                 ));
             }
             for (i, &c) in band_c.iter().enumerate() {
                 let r = band_r[band_r.len() - 1 - (i % band_r.len())];
                 out.push(OdFlow::new(
-                    grid.south_terminal(c),
-                    grid.east_terminal(r),
+                    b.south_terminal(c),
+                    b.east_terminal(r),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.east_terminal(r),
-                    grid.south_terminal(c),
+                    b.east_terminal(r),
+                    b.south_terminal(c),
                     ramp_b.clone(),
                 ));
             }
@@ -260,25 +308,25 @@ pub fn flows(
             // head-on conflict between the EB/WB and NB/SB groups.
             for &r in &band_r {
                 out.push(OdFlow::new(
-                    grid.west_terminal(r),
-                    grid.east_terminal(r),
+                    b.west_terminal(r),
+                    b.east_terminal(r),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.east_terminal(r),
-                    grid.west_terminal(r),
+                    b.east_terminal(r),
+                    b.west_terminal(r),
                     ramp_b.clone(),
                 ));
             }
             for &c in &band_c {
                 out.push(OdFlow::new(
-                    grid.north_terminal(c),
-                    grid.south_terminal(c),
+                    b.north_terminal(c),
+                    b.south_terminal(c),
                     ramp_a.clone(),
                 ));
                 out.push(OdFlow::new(
-                    grid.south_terminal(c),
-                    grid.north_terminal(c),
+                    b.south_terminal(c),
+                    b.north_terminal(c),
                     ramp_b.clone(),
                 ));
             }
@@ -286,15 +334,15 @@ pub fn flows(
         FlowPattern::Five => {
             for r in 0..rows {
                 out.push(OdFlow::new(
-                    grid.west_terminal(r),
-                    grid.east_terminal(r),
+                    b.west_terminal(r),
+                    b.east_terminal(r),
                     FlowProfile::constant(cfg.uniform_we, 0.0, cfg.uniform_end),
                 ));
             }
             for c in 0..cols {
                 out.push(OdFlow::new(
-                    grid.south_terminal(c),
-                    grid.north_terminal(c),
+                    b.south_terminal(c),
+                    b.north_terminal(c),
                     FlowProfile::constant(cfg.uniform_sn, 0.0, cfg.uniform_end),
                 ));
             }

@@ -9,7 +9,7 @@
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
 use tsc_baselines::FixedTimeController;
-use tsc_sim::scenario::monaco::{self, MonacoConfig};
+use tsc_scenario::{compile, monaco_spec};
 use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 
 fn main() -> Result<(), tsc_sim::SimError> {
@@ -19,7 +19,7 @@ fn main() -> Result<(), tsc_sim::SimError> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(25);
 
-    let scenario = monaco::scenario(&MonacoConfig::default(), 11)?;
+    let scenario = compile(&monaco_spec(11))?.scenario;
     println!(
         "Monaco-style network: {} intersections, {} links",
         scenario.num_agents(),

@@ -32,4 +32,7 @@ cargo run --release -q -p tsc-bench --bin fleet -- --smoke
 echo "==> obs_report --smoke (instrumented training + JSONL stream end-to-end)"
 cargo run --release -q -p tsc-bench --bin obs_report -- --smoke
 
+echo "==> cityscale --smoke (~200-intersection compiled city: conservation + replay identity)"
+cargo run --release -q -p tsc-bench --bin cityscale -- --smoke
+
 echo "ci.sh: all gates passed"

@@ -6,8 +6,8 @@ use pairuplight::{PairUpLight, PairUpLightConfig};
 use tsc_baselines::{CoLight, CoLightConfig, FixedTimeController, Ma2c, Ma2cConfig};
 use tsc_bench::eval::{evaluate, EvalConfig};
 use tsc_bench::models::{train_model, ModelKind, TrainSetup};
+use tsc_scenario::{compile, monaco_spec, DemandProgram, TopologySpec};
 use tsc_sim::scenario::grid::{Grid, GridConfig};
-use tsc_sim::scenario::monaco::{self, MonacoConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{EnvConfig, Scenario, SimConfig, TscEnv};
 
@@ -244,13 +244,21 @@ fn harness_runs_all_models_end_to_end() {
 /// MA2C (both without parameter sharing).
 #[test]
 fn heterogeneous_monaco_trains_without_sharing() {
-    let cfg = MonacoConfig {
+    let mut spec = monaco_spec(2);
+    spec.topology = TopologySpec::City {
         cols: 3,
         rows: 3,
-        num_flows: 4,
-        ..MonacoConfig::default()
+        spacing: 250.0,
+        edge_removal: 0.18,
+        two_lane_frac: 0.4,
+        jitter: 0.18,
     };
-    let scenario = monaco::scenario(&cfg, 2).expect("monaco");
+    spec.demand = vec![DemandProgram::Conflicts {
+        flows: 4,
+        peak_rate: 975.0,
+        horizon: 2700.0,
+    }];
+    let scenario = compile(&spec).expect("monaco").scenario;
     let mut env = env_for(scenario, 400);
     let mut pcfg = PairUpLightConfig {
         parameter_sharing: false,
