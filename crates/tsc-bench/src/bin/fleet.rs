@@ -153,6 +153,7 @@ fn specs_for(tenants: &[TenantSetup], serve_cfg: ServeConfig) -> Vec<TenantSpec>
             snapshot: t.model.policy_snapshot(),
             serve_cfg,
             checkpoint: Some(t.checkpoint.clone()),
+            sla: Default::default(),
         })
         .collect()
 }

@@ -10,7 +10,10 @@
 //! conditions.
 //!
 //! Accepts the usual `ExperimentScale` flags plus `--json`, which also
-//! writes `BENCH_robustness.json` at the repository root.
+//! writes `BENCH_robustness.json` at the repository root, and
+//! `--scenario <name-or-path>`, which trains and evaluates on a
+//! compiled world instead of the default grid (the report is stamped
+//! with the world's structural fingerprint either way).
 
 use tsc_baselines::FixedTimeController;
 use tsc_bench::cli::BenchArgs;
@@ -18,6 +21,7 @@ use tsc_bench::eval::{evaluate_with_chaos, EvalConfig};
 use tsc_bench::experiments::{self, ExperimentScale};
 use tsc_bench::models::{train_model, ModelKind};
 use tsc_bench::report::Json;
+use tsc_bench::world::resolve_scenario;
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{self, FlowPattern, PatternConfig};
 use tsc_sim::{ChaosPlan, EnvConfig, LinkSel, SimConfig, TscEnv, Window};
@@ -39,13 +43,28 @@ fn main() {
     let args = BenchArgs::parse();
     let scale = ExperimentScale::from_args(std::env::args().skip(1));
     eprintln!("robustness study at scale {scale:?}");
-    let run = || -> Result<(String, Vec<Json>), tsc_sim::SimError> {
-        let grid = Grid::build(GridConfig {
-            cols: scale.grid,
-            rows: scale.grid,
-            spacing: 200.0,
-        })?;
-        let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let run = || -> Result<(String, String, Vec<Json>), tsc_sim::SimError> {
+        let (label, scenario) = match resolve_scenario(&args, scale.seed)? {
+            Some(compiled) => {
+                let label = format!(
+                    "{} ({})",
+                    compiled.scenario.name,
+                    compiled.fingerprint_hex()
+                );
+                (label, compiled.scenario)
+            }
+            None => {
+                let grid = Grid::build(GridConfig {
+                    cols: scale.grid,
+                    rows: scale.grid,
+                    spacing: 200.0,
+                })?;
+                let scenario =
+                    patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+                (format!("{0}x{0}", scale.grid), scenario)
+            }
+        };
+        eprintln!("world: {label}");
         let mut env = TscEnv::new(
             scenario.clone(),
             SimConfig::default(),
@@ -124,17 +143,17 @@ fn main() {
                 ("pairuplight_completion", Json::num(rl.completion_rate)),
             ]));
         }
-        Ok((csv, rows))
+        Ok((label, csv, rows))
     };
     match run() {
-        Ok((csv, rows)) => {
+        Ok((label, csv, rows)) => {
             match experiments::write_result("robustness.csv", &csv) {
                 Ok(p) => eprintln!("wrote {}", p.display()),
                 Err(e) => eprintln!("could not write results: {e}"),
             }
             let report = Json::obj([
                 ("bench", Json::str("robustness")),
-                ("grid", Json::str(format!("{0}x{0}", scale.grid))),
+                ("grid", Json::str(label)),
                 ("episodes", Json::num(scale.episodes as f64)),
                 ("seed", Json::num(scale.seed as f64)),
                 ("rows", Json::Arr(rows)),

@@ -30,6 +30,19 @@ pub enum FleetEventKind {
     /// A checkpoint reload attempt failed (one unit of the tenant's
     /// retry budget consumed).
     RecoveryFailed,
+    /// A hot-reload checkpoint was validated and staged into the
+    /// tenant's back buffer (serving continues on the live policy).
+    ReloadStaged,
+    /// A staged checkpoint was swapped live between steps.
+    ReloadSwapped,
+    /// Admission control moved the tenant below full service
+    /// (decimated inference, standby, or shed).
+    BrownoutEnter,
+    /// Admission control restored the tenant to full service.
+    BrownoutExit,
+    /// Admission control refused the tenant's step outright (its
+    /// previous signal plan is held).
+    Shed,
 }
 
 impl FleetEventKind {
@@ -42,6 +55,11 @@ impl FleetEventKind {
             FleetEventKind::QuarantineExit => "quarantine_exit",
             FleetEventKind::RecoveryOk => "recovery_ok",
             FleetEventKind::RecoveryFailed => "recovery_failed",
+            FleetEventKind::ReloadStaged => "reload_staged",
+            FleetEventKind::ReloadSwapped => "reload_swapped",
+            FleetEventKind::BrownoutEnter => "brownout_enter",
+            FleetEventKind::BrownoutExit => "brownout_exit",
+            FleetEventKind::Shed => "shed",
         }
     }
 }
@@ -72,6 +90,11 @@ mod tests {
             FleetEventKind::QuarantineExit,
             FleetEventKind::RecoveryOk,
             FleetEventKind::RecoveryFailed,
+            FleetEventKind::ReloadStaged,
+            FleetEventKind::ReloadSwapped,
+            FleetEventKind::BrownoutEnter,
+            FleetEventKind::BrownoutExit,
+            FleetEventKind::Shed,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

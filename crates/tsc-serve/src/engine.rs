@@ -30,8 +30,14 @@
 //!    per-agent path, whose turn arrives after the deadline) is
 //!    answered by MaxPressure while the rest of the grid stays on the
 //!    policy;
-//! 4. **whole-step fallback** — a batched deadline overrun or an
-//!    in-flight checkpoint reload degrades every agent for the step.
+//! 4. **whole-step fallback** — a batched deadline overrun degrades
+//!    every agent for the step.
+//!
+//! A staged checkpoint reload is deliberately *not* on the ladder: the
+//! staged snapshot is a second buffer, validated off the serving path,
+//! and the live policy answers at full quality until
+//! [`commit_reload`](ServeRuntime::commit_reload) swaps the buffers
+//! between steps — a reload never costs a degraded step.
 //!
 //! Deadline semantics differ by path: the batched forward is
 //! all-or-nothing, so an overrun discards the whole step's policy
@@ -124,6 +130,11 @@ pub enum DegradeReason {
     /// The per-step latency budget was exceeded.
     DeadlineOverrun,
     /// A checkpoint reload is staged but not yet committed.
+    ///
+    /// Retained for telemetry/wire compatibility: since the
+    /// double-buffered snapshot swap, a staged reload no longer
+    /// degrades serving, so the runtime never emits this reason. A
+    /// pinned reload-storm test asserts the zero-degradation property.
     ReloadInFlight,
     /// The agent's sensor-suspect streak crossed
     /// [`ResilienceConfig::sensor_fallback_after`].
@@ -377,10 +388,10 @@ impl ServeRuntime {
     }
 
     /// Stage a checkpoint for hot reload: read, checksum-verify, and
-    /// layout-check `path`, holding the new weights aside. Serving
-    /// continues (on the fallback controller) until
-    /// [`commit_reload`](Self::commit_reload); the live policy is not
-    /// touched, and on error nothing is staged.
+    /// layout-check `path`, holding the new weights aside in a second
+    /// buffer. Serving continues **at full quality on the live
+    /// policy** until [`commit_reload`](Self::commit_reload); the live
+    /// policy is not touched, and on error nothing is staged.
     ///
     /// # Errors
     ///
@@ -466,13 +477,11 @@ impl ServeRuntime {
         // unused, so its min-hold counters track the live grid and a
         // degraded step starts from a sane phase, not a cold reset.
         let fb_actions = self.fallback.decide(eff);
-        let (actions, causes) = if self.staged.is_some() {
-            // Reload in flight: policy weights are about to be
-            // swapped; recurrent state, message channel, and health
-            // streaks are left untouched (they are reset at commit
-            // anyway) and every agent falls back.
-            (fb_actions, vec![Some(DegradeReason::ReloadInFlight); n])
-        } else {
+        // A staged reload is invisible here: the staged snapshot is a
+        // second buffer held aside, and the live policy keeps serving
+        // at full quality until `commit_reload` swaps the buffers
+        // between steps.
+        let (actions, causes) = {
             let partners = self.partners(eff);
             self.deliver_messages(&partners);
             let causes = self.health_causes();

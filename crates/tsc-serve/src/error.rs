@@ -60,6 +60,14 @@ pub enum ServeError {
         /// Tenants the fleet hosts.
         tenants: usize,
     },
+    /// The fleet was stepped with an offered-load vector for the wrong
+    /// number of tenants.
+    OfferedLoadMismatch {
+        /// Offered-load entries supplied.
+        got: usize,
+        /// Tenants the fleet hosts.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -101,6 +109,12 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "infra-chaos plan targets tenant {tenant}, fleet hosts {tenants}"
+                )
+            }
+            ServeError::OfferedLoadMismatch { got, expected } => {
+                write!(
+                    f,
+                    "offered load supplied for {got} tenants, fleet hosts {expected}"
                 )
             }
         }

@@ -31,24 +31,42 @@
 //! last good checkpoint under a bounded retry budget — with the budget
 //! exhausted they stay quarantined quietly forever (no hot-looping).
 //!
+//! ## Admission and the brownout ladder
+//!
+//! With [`FleetConfig::admission`] configured, every step first runs
+//! the SLA-aware [`Admission`] controller over the offered load
+//! (declared per tenant via [`FleetRuntime::step_with_load`]; plain
+//! [`step`](FleetRuntime::step) offers 1 request per tenant). Each
+//! tenant is assigned a [`ServiceLevel`]: `Full` serves exactly as
+//! without admission; `Degraded` decimates inference (the policy
+//! forward runs every other step, the previous plan is held in
+//! between); `Standby` answers from the warm standby; `Shed` refuses
+//! the step and holds the previous plan. **Supervision outranks
+//! admission**: a Degraded/Quarantined tenant's recovery schedule is
+//! untouched, and browned-out steps neither feed the circuit breaker
+//! nor consume retry trials. With `admission: None` (the default) or
+//! no overload the fleet is bit-identical to one without the layer —
+//! pinned by a digest test.
+//!
 //! ## Determinism
 //!
 //! With the default [`FleetClock::Steps`] clock there is **zero
-//! wall-clock dependence**: backoff, retries, and every
-//! [`InfraChaosPlan`] decision are functions of the fleet step index
-//! and pure hashes. An empty plan is bit-identical to no plan, and the
-//! same seed + plan replays bit-for-bit ([`FleetStep::digest`] pins
-//! whole runs).
+//! wall-clock dependence**: backoff, retries, every
+//! [`InfraChaosPlan`] decision, and every admission/shedding decision
+//! are functions of the fleet step index and pure hashes. An empty
+//! plan is bit-identical to no plan, and the same seed + plan + load
+//! replays bit-for-bit ([`FleetStep::digest`] pins whole runs).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pairuplight::{Checkpoint, PolicySnapshot, TrainError};
 use tsc_baselines::MaxPressureController;
 use tsc_obs::{fleet_event, EventSink, FleetEventKind, Histogram};
 use tsc_sim::{Controller, IntersectionObs};
 
+use crate::admission::{Admission, AdmissionConfig, ServiceLevel, SlaClass};
 use crate::engine::{DegradeReason, ServeConfig, ServeRuntime};
 use crate::error::ServeError;
 use crate::infra_chaos::{InfraChaosPlan, TenantSel};
@@ -75,8 +93,13 @@ pub struct FleetConfig {
     pub supervisor: SupervisorConfig,
     /// Timer source for backoff/retry scheduling.
     pub clock: FleetClock,
-    /// Seed keying infra-chaos draws and per-tenant backoff jitter.
+    /// Seed keying infra-chaos draws, per-tenant backoff jitter, and
+    /// admission tie-breaks.
     pub seed: u64,
+    /// SLA-aware admission control. `None` (the default) disables the
+    /// layer entirely — the fleet is bit-identical to one built before
+    /// it existed.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// Everything needed to host one tenant.
@@ -92,6 +115,10 @@ pub struct TenantSpec {
     /// (and the reload-storm target). `None` recovers from the
     /// in-memory last good snapshot instead.
     pub checkpoint: Option<PathBuf>,
+    /// The tenant's service-level agreement (priority, latency target,
+    /// max shed rate), consulted by admission control. The default is
+    /// priority 0, no latency target, never shed.
+    pub sla: SlaClass,
 }
 
 /// Who produced a tenant's actions this step.
@@ -102,6 +129,21 @@ pub enum ServedBy {
     Policy,
     /// The fleet-level warm-standby MaxPressure controller.
     Standby,
+    /// Nobody: the tenant's previous signal plan was held without
+    /// running any controller (a decimated-inference off-step or a
+    /// shed step).
+    Held,
+}
+
+impl ServedBy {
+    /// Stable dense index (digest and telemetry material).
+    fn index(self) -> usize {
+        match self {
+            ServedBy::Policy => 0,
+            ServedBy::Standby => 1,
+            ServedBy::Held => 2,
+        }
+    }
 }
 
 /// One tenant's slice of a [`FleetStep`].
@@ -116,6 +158,28 @@ pub struct TenantStep {
     /// Whether the tenant's policy step panicked this step (caught and
     /// isolated; `actions` are the standby's).
     pub panicked: bool,
+    /// Where admission control placed the tenant on the brownout
+    /// ladder ([`ServiceLevel::Full`] whenever admission is disabled).
+    pub level: ServiceLevel,
+    /// Wall time of this tenant's full fleet step (supervision
+    /// included). Excluded from [`FleetStep::digest`] — wall time is
+    /// not replayable.
+    pub latency: Duration,
+}
+
+impl TenantStep {
+    /// Internal constructor: admission level and latency are stamped
+    /// by the fleet loop after the fact.
+    fn new(actions: Vec<usize>, state: TenantState, served_by: ServedBy, panicked: bool) -> Self {
+        TenantStep {
+            actions,
+            state,
+            served_by,
+            panicked,
+            level: ServiceLevel::Full,
+            latency: Duration::ZERO,
+        }
+    }
 }
 
 /// The outcome of one fleet step: every tenant answered, every step,
@@ -127,9 +191,9 @@ pub struct FleetStep {
 }
 
 impl FleetStep {
-    /// FNV-1a digest over every tenant's actions, state, and serving
-    /// source — fold the per-step digests to pin a whole run
-    /// bit-for-bit.
+    /// FNV-1a digest over every tenant's actions, state, serving
+    /// source, and admission level — fold the per-step digests to pin
+    /// a whole run bit-for-bit (latency is deliberately excluded).
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |byte: u64| {
@@ -138,7 +202,8 @@ impl FleetStep {
         };
         for t in &self.tenants {
             mix(t.state.index() as u64);
-            mix(matches!(t.served_by, ServedBy::Policy) as u64);
+            mix(t.served_by.index() as u64);
+            mix(t.level.index() as u64);
             mix(t.panicked as u64);
             mix(t.actions.len() as u64);
             for &a in &t.actions {
@@ -181,6 +246,13 @@ pub struct TenantStats {
     /// Steps spent in each supervisor state, indexed by
     /// [`TenantState::index`].
     pub state_steps: [u64; TenantState::COUNT],
+    /// Staged checkpoints swapped live (zero-degradation hot swaps).
+    pub hot_swaps: u64,
+    /// Steps admission control served below full quality (decimated,
+    /// standby, or shed).
+    pub brownout_steps: u64,
+    /// Steps admission control refused outright.
+    pub shed_steps: u64,
 }
 
 /// One hosted tenant: runtime + standby + supervisor + recovery
@@ -205,6 +277,15 @@ struct Tenant {
     stats: TenantStats,
     /// Wall time of each full tenant step (supervision included).
     step_latency: Histogram,
+    /// The most recent signal plan handed out — what a held (decimated
+    /// off-step or shed) step answers with. Empty until the first
+    /// served step.
+    last_actions: Vec<usize>,
+    /// Whether the previous admission decision was below full service
+    /// (brownout enter/exit event edge detection).
+    browned_out: bool,
+    /// The tenant's SLA (from its [`TenantSpec`]).
+    sla: SlaClass,
 }
 
 /// A supervised multi-tenant serving fleet. See the module docs for
@@ -214,6 +295,9 @@ pub struct FleetRuntime {
     cfg: FleetConfig,
     tenants: Vec<Tenant>,
     plan: InfraChaosPlan,
+    /// SLA-aware admission controller ([`FleetConfig::admission`];
+    /// `None` = layer disabled, every step is `Full`).
+    admission: Option<Admission>,
     /// Fleet steps served so far (the `Steps` clock and the chaos
     /// plan's time base).
     step: u64,
@@ -225,6 +309,9 @@ impl FleetRuntime {
     /// Builds a fleet hosting `specs`, all tenants Healthy, no infra
     /// chaos installed.
     pub fn new(cfg: FleetConfig, specs: Vec<TenantSpec>) -> Self {
+        let admission = cfg
+            .admission
+            .map(|acfg| Admission::new(acfg, specs.iter().map(|s| s.sla).collect(), cfg.seed));
         let tenants = specs
             .into_iter()
             .enumerate()
@@ -244,6 +331,9 @@ impl FleetRuntime {
                     quarantined_since: None,
                     stats: TenantStats::default(),
                     step_latency: Histogram::new(),
+                    last_actions: Vec::new(),
+                    browned_out: false,
+                    sla: spec.sla,
                 }
             })
             .collect();
@@ -251,6 +341,7 @@ impl FleetRuntime {
             cfg,
             tenants,
             plan: InfraChaosPlan::new(),
+            admission,
             step: 0,
             epoch: Instant::now(),
             obs_sink: None,
@@ -280,6 +371,17 @@ impl FleetRuntime {
     /// Fleet-level counters for tenant `t`.
     pub fn tenant_stats(&self, t: usize) -> &TenantStats {
         &self.tenants[t].stats
+    }
+
+    /// The SLA class of tenant `t` (from its spec).
+    pub fn tenant_sla(&self, t: usize) -> SlaClass {
+        self.tenants[t].sla
+    }
+
+    /// The admission controller, when [`FleetConfig::admission`] is
+    /// configured (per-tenant shed/step counters live here).
+    pub fn admission(&self) -> Option<&Admission> {
+        self.admission.as_ref()
     }
 
     /// Wall-time histogram of tenant `t`'s full fleet steps
@@ -344,10 +446,10 @@ impl FleetRuntime {
         }
     }
 
-    /// Serves one decision step for every tenant. `obs[t]` is tenant
-    /// `t`'s joint observation. Always returns actions for every
-    /// tenant — panics are caught, faults are absorbed by the
-    /// fallback ladder.
+    /// Serves one decision step for every tenant at an offered load of
+    /// one request per tenant. `obs[t]` is tenant `t`'s joint
+    /// observation. Always returns actions for every tenant — panics
+    /// are caught, faults are absorbed by the fallback ladder.
     ///
     /// # Errors
     ///
@@ -355,6 +457,38 @@ impl FleetRuntime {
     /// the fleet's tenant count. (Per-tenant failures never surface
     /// here — they degrade that tenant only.)
     pub fn step(&mut self, obs: &[&[IntersectionObs]]) -> Result<FleetStep, ServeError> {
+        self.step_impl(obs, None)
+    }
+
+    /// [`step`](Self::step) with an explicit offered load: `offered[t]`
+    /// is the number of requests tenant `t` brings this step (clamped
+    /// to ≥ 1). Only admission control reads the load — without
+    /// [`FleetConfig::admission`] this is exactly `step`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TenantCountMismatch`] /
+    /// [`ServeError::OfferedLoadMismatch`] when `obs` or `offered` do
+    /// not match the fleet's tenant count.
+    pub fn step_with_load(
+        &mut self,
+        obs: &[&[IntersectionObs]],
+        offered: &[u64],
+    ) -> Result<FleetStep, ServeError> {
+        if offered.len() != self.tenants.len() {
+            return Err(ServeError::OfferedLoadMismatch {
+                got: offered.len(),
+                expected: self.tenants.len(),
+            });
+        }
+        self.step_impl(obs, Some(offered))
+    }
+
+    fn step_impl(
+        &mut self,
+        obs: &[&[IntersectionObs]],
+        offered: Option<&[u64]>,
+    ) -> Result<FleetStep, ServeError> {
         if obs.len() != self.tenants.len() {
             return Err(ServeError::TenantCountMismatch {
                 got: obs.len(),
@@ -364,11 +498,62 @@ impl FleetRuntime {
         let step = self.step;
         let now = self.now();
         let seed = self.cfg.seed;
+        // Admission runs first, over every tenant at once (levels are
+        // a fleet-wide budget decision); the per-tenant loop then
+        // dispatches under the assigned level. Admission disabled ⇒
+        // no decision is computed at all.
+        let decided: Option<(Vec<ServiceLevel>, Vec<bool>)> = self.admission.as_mut().map(|adm| {
+            let agents: Vec<usize> = self
+                .tenants
+                .iter()
+                .map(|t| t.last_good.num_agents())
+                .collect();
+            let ones: Vec<u64>;
+            let off: &[u64] = match offered {
+                Some(o) => o,
+                None => {
+                    ones = vec![1; agents.len()];
+                    &ones
+                }
+            };
+            let levels = adm.decide(step, off, &agents);
+            let forwards = (0..agents.len())
+                .map(|t| adm.forward_due(step, t))
+                .collect();
+            (levels, forwards)
+        });
         let mut events: Vec<(usize, FleetEventKind)> = Vec::new();
         let mut out = Vec::with_capacity(self.tenants.len());
         for (idx, tenant) in self.tenants.iter_mut().enumerate() {
+            let (level, forward_due) = match &decided {
+                Some((levels, forwards)) => (levels[idx], forwards[idx]),
+                None => (ServiceLevel::Full, true),
+            };
+            if decided.is_some() {
+                tenant
+                    .archive
+                    .record_admission(level, offered.map_or(1, |o| o[idx].max(1)));
+                if level.browned_out() != tenant.browned_out {
+                    tenant.browned_out = level.browned_out();
+                    events.push((
+                        idx,
+                        if tenant.browned_out {
+                            FleetEventKind::BrownoutEnter
+                        } else {
+                            FleetEventKind::BrownoutExit
+                        },
+                    ));
+                }
+                if level.browned_out() {
+                    tenant.stats.brownout_steps += 1;
+                }
+                if level == ServiceLevel::Shed {
+                    tenant.stats.shed_steps += 1;
+                    events.push((idx, FleetEventKind::Shed));
+                }
+            }
             let t0 = Instant::now();
-            let step_out = Self::step_tenant(
+            let mut step_out = Self::step_tenant(
                 tenant,
                 idx,
                 obs[idx],
@@ -376,9 +561,15 @@ impl FleetRuntime {
                 seed,
                 step,
                 now,
+                level,
+                forward_due,
                 &mut events,
             );
-            tenant.step_latency.record(t0.elapsed());
+            let dt = t0.elapsed();
+            tenant.step_latency.record(dt);
+            step_out.level = level;
+            step_out.latency = dt;
+            tenant.last_actions.clone_from(&step_out.actions);
             tenant.stats.steps += 1;
             tenant.stats.state_steps[step_out.state.index()] += 1;
             if matches!(step_out.served_by, ServedBy::Standby) {
@@ -393,6 +584,11 @@ impl FleetRuntime {
 
     /// One tenant's slice of a fleet step: chaos injection, state
     /// dispatch, crash isolation, supervision bookkeeping.
+    ///
+    /// Supervision outranks admission: the supervisor's recovery
+    /// schedule runs regardless of `level`, and a browned-out step
+    /// neither feeds the circuit breaker nor consumes a retry trial
+    /// (the policy never ran, so its health was not observed).
     #[allow(clippy::too_many_arguments)]
     fn step_tenant(
         tenant: &mut Tenant,
@@ -402,6 +598,8 @@ impl FleetRuntime {
         seed: u64,
         step: u64,
         now: u64,
+        level: ServiceLevel,
+        forward_due: bool,
         events: &mut Vec<(usize, FleetEventKind)>,
     ) -> TenantStep {
         // Warm standby first: its min-hold counters must advance every
@@ -412,48 +610,75 @@ impl FleetRuntime {
         // the code path is identical with and without a plan, which is
         // what makes the empty plan bit-identical to no plan.
         tenant.runtime.inject_delay(plan.spike(seed, step, idx));
-        // Reload storm: commit last step's staged reload, then stage
-        // the next one. Only meaningful for policy-serving tenants
-        // with an on-disk checkpoint.
+        // Reload storm: commit last step's staged reload (a
+        // zero-degradation hot swap — the old policy served every step
+        // in between), then stage the next one. Only meaningful for
+        // policy-serving tenants with an on-disk checkpoint.
         if tenant.supervisor.state().serves_policy() {
-            if tenant.runtime.reload_in_flight() {
-                let _ = tenant.runtime.commit_reload();
+            if tenant.runtime.reload_in_flight() && tenant.runtime.commit_reload().is_ok() {
+                tenant.stats.hot_swaps += 1;
+                events.push((idx, FleetEventKind::ReloadSwapped));
             }
             if plan.storm_due(step, idx) {
                 if let Some(path) = &tenant.checkpoint {
-                    let _ = tenant.runtime.begin_reload(path);
+                    if tenant.runtime.begin_reload(path).is_ok() {
+                        events.push((idx, FleetEventKind::ReloadStaged));
+                    }
                 }
             }
         }
 
+        // Whether the admission level lets the policy forward run this
+        // step (decimated inference only forwards on its on-steps).
+        let policy_due =
+            level == ServiceLevel::Full || (level == ServiceLevel::Degraded && forward_due);
         match tenant.supervisor.state() {
             TenantState::Quarantined => {
                 if tenant.supervisor.retry_due(now) {
                     Self::attempt_reload(tenant, idx, plan, seed, step, now, events);
                 }
-                TenantStep {
-                    actions: fb_actions,
-                    state: tenant.supervisor.state(),
-                    served_by: ServedBy::Standby,
-                    panicked: false,
-                }
+                TenantStep::new(
+                    fb_actions,
+                    tenant.supervisor.state(),
+                    ServedBy::Standby,
+                    false,
+                )
             }
             TenantState::Degraded => {
-                if tenant.supervisor.retry_due(now) {
+                if policy_due && tenant.supervisor.retry_due(now) {
                     tenant.supervisor.begin_trial();
                     Self::policy_step(tenant, idx, obs, fb_actions, plan, seed, step, now, events)
                 } else {
-                    TenantStep {
-                        actions: fb_actions,
-                        state: TenantState::Degraded,
-                        served_by: ServedBy::Standby,
-                        panicked: false,
-                    }
+                    TenantStep::new(fb_actions, TenantState::Degraded, ServedBy::Standby, false)
                 }
             }
-            TenantState::Healthy | TenantState::Recovering => {
-                Self::policy_step(tenant, idx, obs, fb_actions, plan, seed, step, now, events)
-            }
+            TenantState::Healthy | TenantState::Recovering => match level {
+                _ if policy_due => {
+                    Self::policy_step(tenant, idx, obs, fb_actions, plan, seed, step, now, events)
+                }
+                ServiceLevel::Standby => TenantStep::new(
+                    fb_actions,
+                    tenant.supervisor.state(),
+                    ServedBy::Standby,
+                    false,
+                ),
+                // A decimated off-step or a shed step: hold the last
+                // plan without running any controller (the standby
+                // answers only when there is nothing to hold yet).
+                _ => Self::held_step(tenant, fb_actions),
+            },
+        }
+    }
+
+    /// Answers with the tenant's previous signal plan without running
+    /// any controller; falls back to the standby's actions when no
+    /// plan has been handed out yet (or the grid changed shape).
+    fn held_step(tenant: &Tenant, fb_actions: Vec<usize>) -> TenantStep {
+        let state = tenant.supervisor.state();
+        if tenant.last_actions.len() == fb_actions.len() {
+            TenantStep::new(tenant.last_actions.clone(), state, ServedBy::Held, false)
+        } else {
+            TenantStep::new(fb_actions, state, ServedBy::Standby, false)
         }
     }
 
@@ -499,12 +724,7 @@ impl FleetRuntime {
                 // A trip this very step keeps the policy's actions: the
                 // forward already ran and answered; standby takes over
                 // from the next step.
-                TenantStep {
-                    actions: served.actions,
-                    state,
-                    served_by: ServedBy::Policy,
-                    panicked: false,
-                }
+                TenantStep::new(served.actions, state, ServedBy::Policy, false)
             }
             Ok(Err(_)) => {
                 // Typed serve error (e.g. wired to the wrong grid):
@@ -513,23 +733,18 @@ impl FleetRuntime {
                 if let Some(state) = tenant.supervisor.record_step(true, now) {
                     Self::note_transition(tenant, idx, was, state, now, events);
                 }
-                TenantStep {
-                    actions: fb_actions,
-                    state: tenant.supervisor.state(),
-                    served_by: ServedBy::Standby,
-                    panicked: false,
-                }
+                TenantStep::new(
+                    fb_actions,
+                    tenant.supervisor.state(),
+                    ServedBy::Standby,
+                    false,
+                )
             }
             Err(_) => {
                 tenant.stats.panics += 1;
                 let state = tenant.supervisor.record_panic(now);
                 Self::note_transition(tenant, idx, was, state, now, events);
-                TenantStep {
-                    actions: fb_actions,
-                    state,
-                    served_by: ServedBy::Standby,
-                    panicked: true,
-                }
+                TenantStep::new(fb_actions, state, ServedBy::Standby, true)
             }
         }
     }

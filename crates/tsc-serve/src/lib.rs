@@ -14,10 +14,9 @@
 //!   this bit-identical to per-agent forwards (pinned by the tier-1
 //!   parity test against the training controller).
 //! * **Deadline + graceful degradation** — a configurable per-step
-//!   latency budget; on overrun or while a checkpoint reload is in
-//!   flight, affected intersections fall back to a warm-standby
-//!   MaxPressure controller, with typed [`ServeError`]s and per-agent
-//!   fallback accounting.
+//!   latency budget; on overrun, affected intersections fall back to a
+//!   warm-standby MaxPressure controller, with typed [`ServeError`]s
+//!   and per-agent fallback accounting.
 //! * **Controller-side resilience** — optional observation-health
 //!   tracking with last-known-good imputation, a message channel with
 //!   a configurable loss policy, per-agent health-triggered fallback
@@ -27,10 +26,19 @@
 //! * **Serving telemetry** — decisions/sec, latency p50/p95/p99 from a
 //!   streaming log-bucket histogram, fallback rate
 //!   ([`ServeTelemetry`]).
-//! * **Hot reload** — [`ServeRuntime::begin_reload`] stages and fully
-//!   validates a new checkpoint while serving continues degraded;
-//!   [`ServeRuntime::commit_reload`] swaps it in atomically between
-//!   steps.
+//! * **Zero-degradation hot reload** — [`ServeRuntime::begin_reload`]
+//!   stages and fully validates a new checkpoint into a second buffer
+//!   while the live policy keeps serving at full quality;
+//!   [`ServeRuntime::commit_reload`] swaps the buffers atomically
+//!   between steps. A staged reload never costs a degraded step
+//!   (pinned by a reload-storm test).
+//! * **SLA-aware admission** — [`FleetRuntime`] tenants carry an
+//!   [`SlaClass`] (priority, deadline, max shed rate); under a
+//!   configured capacity ([`AdmissionConfig`]) a deterministic
+//!   splitmix64-hash brownout ladder (full → decimated inference →
+//!   MaxPressure standby → shed) sheds load without ever violating a
+//!   tenant's shed-rate cap, and with no overload is bit-identical to
+//!   a fleet without the layer.
 //! * **Fleet supervision** — [`FleetRuntime`] hosts many tenants (one
 //!   runtime per grid) with per-tenant circuit breakers, crash
 //!   isolation (`catch_unwind`; a panicking tenant answers with
@@ -67,6 +75,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod engine;
 mod error;
 mod fleet;
@@ -74,6 +83,7 @@ mod infra_chaos;
 mod supervisor;
 mod telemetry;
 
+pub use admission::{Admission, AdmissionConfig, LoadPhase, LoadPlan, ServiceLevel, SlaClass};
 pub use engine::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime, ServeStep};
 pub use error::ServeError;
 pub use fleet::{

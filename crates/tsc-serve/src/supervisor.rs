@@ -20,6 +20,14 @@
 //!   streak of [`SupervisorConfig::probation_steps`] closes the
 //!   breaker, any fault re-opens it (or re-quarantines on panic).
 //!
+//! Supervision composes with SLA-aware admission
+//! ([`crate::Admission`]) by outranking it: the supervisor's recovery
+//! schedule runs regardless of the tenant's brownout level, while a
+//! browned-out step — where the policy never ran — neither feeds the
+//! breaker window nor consumes a Degraded tenant's retry trial (a
+//! trial begun on a step the policy cannot serve would be an
+//! automatic, meaningless fault).
+//!
 //! All transitions go through one **pure** function,
 //! [`Supervisor::transition`], so the whole `(state, event)` matrix is
 //! exhaustively unit-testable. All timing is expressed in ticks of the

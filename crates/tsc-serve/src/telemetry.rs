@@ -13,10 +13,14 @@ use std::time::Duration;
 
 use tsc_obs::Histogram;
 
+use crate::admission::ServiceLevel;
 use crate::engine::DegradeReason;
 
 /// Streaming serving metrics. Create with [`ServeTelemetry::new`],
-/// feed with [`record`](ServeTelemetry::record) once per served step.
+/// feed with [`record`](ServeTelemetry::record) once per served step
+/// (and, on fleets with admission control, with
+/// [`record_admission`](ServeTelemetry::record_admission) once per
+/// admission decision).
 #[derive(Debug, Clone)]
 pub struct ServeTelemetry {
     latency: Histogram,
@@ -27,6 +31,13 @@ pub struct ServeTelemetry {
     /// Per agent, fallback decisions broken down by [`DegradeReason`]
     /// (indexed by [`DegradeReason::index`]).
     per_agent_causes: Vec<[u64; DegradeReason::COUNT]>,
+    /// Admission decisions by brownout-ladder rung (indexed by
+    /// [`ServiceLevel::index`]); all zero without admission control.
+    level_steps: [u64; ServiceLevel::COUNT],
+    /// Requests offered to the admission controller.
+    offered_requests: u64,
+    /// Offered requests refused by shedding.
+    shed_requests: u64,
 }
 
 impl ServeTelemetry {
@@ -39,6 +50,9 @@ impl ServeTelemetry {
             degraded_steps: 0,
             per_agent_fallbacks: vec![0; num_agents],
             per_agent_causes: vec![[0; DegradeReason::COUNT]; num_agents],
+            level_steps: [0; ServiceLevel::COUNT],
+            offered_requests: 0,
+            shed_requests: 0,
         }
     }
 
@@ -65,6 +79,17 @@ impl ServeTelemetry {
         }
     }
 
+    /// Records one admission decision: the service level assigned and
+    /// the requests offered (all of which count as shed when the level
+    /// is [`ServiceLevel::Shed`]). Allocation-free.
+    pub fn record_admission(&mut self, level: ServiceLevel, offered: u64) {
+        self.level_steps[level.index()] += 1;
+        self.offered_requests += offered;
+        if level == ServiceLevel::Shed {
+            self.shed_requests += offered;
+        }
+    }
+
     /// Folds another runtime's telemetry into this one (histograms
     /// merge bucket-wise; agent breakdowns require equal grid sizes).
     ///
@@ -81,6 +106,11 @@ impl ServeTelemetry {
         self.decisions += other.decisions;
         self.fallback_decisions += other.fallback_decisions;
         self.degraded_steps += other.degraded_steps;
+        for (slot, o) in self.level_steps.iter_mut().zip(&other.level_steps) {
+            *slot += o;
+        }
+        self.offered_requests += other.offered_requests;
+        self.shed_requests += other.shed_requests;
         for (slot, o) in self
             .per_agent_fallbacks
             .iter_mut()
@@ -135,6 +165,38 @@ impl ServeTelemetry {
     /// order).
     pub fn per_agent_causes(&self) -> &[[u64; DegradeReason::COUNT]] {
         &self.per_agent_causes
+    }
+
+    /// Admission decisions per brownout-ladder rung, indexed by
+    /// [`ServiceLevel::index`] (see [`ServiceLevel::ALL`] for the
+    /// order). All zero without admission control.
+    pub fn level_steps(&self) -> &[u64; ServiceLevel::COUNT] {
+        &self.level_steps
+    }
+
+    /// Admission decisions for one service level.
+    pub fn steps_at(&self, level: ServiceLevel) -> u64 {
+        self.level_steps[level.index()]
+    }
+
+    /// Requests offered to the admission controller so far.
+    pub fn offered_requests(&self) -> u64 {
+        self.offered_requests
+    }
+
+    /// Offered requests refused by shedding.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed_requests
+    }
+
+    /// Fraction of offered requests that were shed (0 when nothing
+    /// was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered_requests == 0 {
+            0.0
+        } else {
+            self.shed_requests as f64 / self.offered_requests as f64
+        }
     }
 
     /// Grid-wide fallback decisions for one cause.
@@ -303,6 +365,27 @@ mod tests {
         assert_eq!(t.fallbacks_for(SensorHealth), 1);
         assert_eq!(t.fallbacks_for(CommsHealth), 1);
         assert_eq!(t.fallbacks_for(ReloadInFlight), 0);
+    }
+
+    #[test]
+    fn admission_counters_accumulate_and_merge() {
+        use ServiceLevel::*;
+        let mut a = ServeTelemetry::new(1);
+        a.record_admission(Full, 3);
+        a.record_admission(Shed, 5);
+        assert_eq!(a.steps_at(Full), 1);
+        assert_eq!(a.steps_at(Shed), 1);
+        assert_eq!(a.offered_requests(), 8);
+        assert_eq!(a.shed_requests(), 5);
+        assert!((a.shed_rate() - 5.0 / 8.0).abs() < 1e-12);
+        let mut b = ServeTelemetry::new(1);
+        b.record_admission(Degraded, 2);
+        b.record_admission(Standby, 1);
+        a.merge(&b);
+        assert_eq!(a.level_steps(), &[1, 1, 1, 1]);
+        assert_eq!(a.offered_requests(), 11);
+        assert_eq!(a.shed_requests(), 5);
+        assert_eq!(ServeTelemetry::new(2).shed_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Reload edge cases for the double-buffered snapshot swap: an
+//! aborted staged reload must leave no trace (bit-identical to a
+//! runtime that never saw reload traffic), a failed `commit_reload`
+//! must mutate nothing, and the fleet's reload storm must not stage
+//! reloads on a quarantined tenant — quarantine recovery owns that
+//! tenant's checkpoint path exclusively.
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_obs::EventSink;
+use tsc_serve::{
+    FleetConfig, FleetRuntime, InfraChaosPlan, ServeConfig, ServeError, ServeRuntime,
+    SupervisorConfig, TenantSel, TenantSpec, TenantState,
+};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv, Window};
+
+fn tiny_env(horizon: u32) -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, FlowPattern::Three, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("serve-reload", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    }
+}
+
+/// Staging a reload and then aborting it mid-serve leaves the runtime
+/// bit-identical to a mirror that never saw any reload traffic: the
+/// staged buffer is a pure spectator until commit.
+#[test]
+fn aborted_staged_reload_leaves_no_trace() {
+    let mut env = tiny_env(1400);
+    let model = PairUpLight::new(&env, small_cfg());
+    let path = std::env::temp_dir().join(format!("tsc_reload_abort_{}.ckpt", std::process::id()));
+    model.save_checkpoint(&path, 0).unwrap();
+
+    let mut serve = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let mut mirror = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let mut obs = env.reset(21);
+
+    for step in 0..30 {
+        // Race the staged swap from every phase: stage on one step,
+        // serve with it staged, abort on the next, repeat.
+        match step % 3 {
+            0 => serve.begin_reload(&path).unwrap(),
+            2 => assert!(serve.abort_reload()),
+            _ => assert!(serve.reload_in_flight()),
+        }
+        let got = serve.serve_step(&obs).unwrap();
+        let want = mirror.serve_step(&obs).unwrap();
+        assert_eq!(got.actions, want.actions, "divergence at step {step}");
+        assert!(got.degraded.is_none());
+        assert!(got.fell_back.iter().all(|&f| !f));
+        obs = env.step(&got.actions).unwrap().obs;
+    }
+    // The abort drops the staged buffer for good: nothing to commit,
+    // nothing left to abort twice.
+    serve.begin_reload(&path).unwrap();
+    assert!(serve.abort_reload());
+    assert!(!serve.reload_in_flight());
+    assert!(matches!(
+        serve.commit_reload(),
+        Err(ServeError::NoReloadPending)
+    ));
+    assert!(!serve.abort_reload());
+    assert_eq!(serve.telemetry().degraded_steps(), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Mirror replay: a `commit_reload` that fails (nothing staged) and a
+/// `begin_reload` that fails (corrupt checkpoint) both leave the
+/// runtime untouched — the continuation is bit-identical to a mirror
+/// that never issued the failing calls.
+#[test]
+fn failed_reload_calls_mutate_nothing() {
+    let mut env = tiny_env(1400);
+    let model = PairUpLight::new(&env, small_cfg());
+    let garbage =
+        std::env::temp_dir().join(format!("tsc_reload_garbage_{}.ckpt", std::process::id()));
+    std::fs::write(&garbage, b"definitely not a checkpoint").unwrap();
+
+    let mut serve = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let mut mirror = ServeRuntime::new(model.policy_snapshot(), ServeConfig::default());
+    let mut obs = env.reset(33);
+
+    for step in 0..20 {
+        // Interleave failing reload calls with serving: commit with
+        // nothing staged, stage from a corrupt file.
+        assert!(matches!(
+            serve.commit_reload(),
+            Err(ServeError::NoReloadPending)
+        ));
+        assert!(matches!(
+            serve.begin_reload(&garbage),
+            Err(ServeError::Load(_))
+        ));
+        assert!(!serve.reload_in_flight(), "a failed begin staged nothing");
+        let got = serve.serve_step(&obs).unwrap();
+        let want = mirror.serve_step(&obs).unwrap();
+        assert_eq!(got.actions, want.actions, "divergence at step {step}");
+        obs = env.step(&got.actions).unwrap().obs;
+    }
+    assert_eq!(serve.telemetry().steps(), mirror.telemetry().steps());
+    assert_eq!(serve.telemetry().degraded_steps(), 0);
+    std::fs::remove_file(&garbage).ok();
+}
+
+/// The fleet's reload storm must skip a quarantined tenant: quarantine
+/// recovery owns the checkpoint path, so no `reload_staged` or
+/// `reload_swapped` event may fire for the tenant and its hot-swap
+/// counter stays at zero. Recovery reload attempts stay bounded by the
+/// retry budget exactly as without the storm.
+#[test]
+fn reload_storm_skips_quarantined_tenants() {
+    let dir = std::env::temp_dir().join(format!("reload-quarantine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("garbage.ckpt");
+    // Permanently corrupt: the tenant quarantines on the first panic
+    // and every recovery reload fails, so it stays quarantined while
+    // the storm keeps firing.
+    std::fs::write(&ckpt, b"not a checkpoint at all").unwrap();
+
+    let env = tiny_env(2000);
+    let model = PairUpLight::new(&env, small_cfg());
+    let budget = 2u32;
+    let mut fleet = FleetRuntime::new(
+        FleetConfig {
+            supervisor: SupervisorConfig {
+                backoff_base: 1,
+                backoff_max: 2,
+                retry_budget: budget,
+                ..Default::default()
+            },
+            seed: 5,
+            ..Default::default()
+        },
+        vec![TenantSpec {
+            name: "stormed".into(),
+            snapshot: model.policy_snapshot(),
+            serve_cfg: ServeConfig::default(),
+            checkpoint: Some(ckpt.clone()),
+            sla: Default::default(),
+        }],
+    );
+    fleet
+        .set_infra_chaos(
+            InfraChaosPlan::new()
+                .tenant_panic(Window::new(0, 1), TenantSel::One(0), 1.0)
+                .reload_storm(Window::always(), TenantSel::All, 3),
+        )
+        .unwrap();
+    let events_path = dir.join("events.jsonl");
+    fleet.attach_obs(EventSink::create(&events_path).unwrap());
+
+    let mut env = env;
+    let mut obs = [env.reset(100)];
+    for _ in 0..40 {
+        let views: Vec<&[_]> = obs.iter().map(|o| o.as_slice()).collect();
+        let out = fleet.step(&views).unwrap();
+        obs[0] = env.step(&out.tenants[0].actions).unwrap().obs;
+    }
+    assert_eq!(fleet.tenant_state(0), TenantState::Quarantined);
+    let stats = fleet.tenant_stats(0);
+    assert_eq!(stats.hot_swaps, 0, "storm must not hot-swap in quarantine");
+    assert_eq!(stats.reload_attempts, u64::from(budget));
+    assert_eq!(stats.reload_failures, u64::from(budget));
+
+    drop(fleet.detach_obs());
+    let log = std::fs::read_to_string(&events_path).unwrap();
+    assert!(log.contains("quarantine_enter"));
+    assert!(
+        !log.contains("reload_staged") && !log.contains("reload_swapped"),
+        "reload storm events fired on a quarantined tenant"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,15 +7,34 @@
 use std::time::Duration;
 
 use proptest::prelude::*;
-use tsc_serve::{DegradeReason, ServeTelemetry};
+use tsc_serve::{DegradeReason, ServeTelemetry, ServiceLevel};
 
 const AGENTS: usize = 3;
 
-/// One recorded step: a latency and per-agent fallback causes.
+/// One recorded step: a latency, per-agent fallback causes, and the
+/// admission outcome (service level + offered requests) when the step
+/// went through admission control.
 #[derive(Debug, Clone)]
 struct Step {
     latency_us: u64,
     causes: Vec<Option<DegradeReason>>,
+    admission: Option<(ServiceLevel, u64)>,
+}
+
+fn admission_strategy() -> impl Strategy<Value = Option<(ServiceLevel, u64)>> {
+    prop_oneof![
+        1 => Just(None),
+        4 => (
+            prop_oneof![
+                Just(ServiceLevel::Full),
+                Just(ServiceLevel::Degraded),
+                Just(ServiceLevel::Standby),
+                Just(ServiceLevel::Shed),
+            ],
+            1u64..200,
+        )
+            .prop_map(Some),
+    ]
 }
 
 fn cause_strategy() -> impl Strategy<Value = Option<DegradeReason>> {
@@ -32,14 +51,22 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     (
         1u64..2_000_000,
         proptest::collection::vec(cause_strategy(), AGENTS),
+        admission_strategy(),
     )
-        .prop_map(|(latency_us, causes)| Step { latency_us, causes })
+        .prop_map(|(latency_us, causes, admission)| Step {
+            latency_us,
+            causes,
+            admission,
+        })
 }
 
 fn record_all(t: &mut ServeTelemetry, steps: &[Step]) {
     for s in steps {
         let degraded = s.causes.iter().any(|c| c.is_some());
         t.record(Duration::from_micros(s.latency_us), &s.causes, degraded);
+        if let Some((level, offered)) = s.admission {
+            t.record_admission(level, offered);
+        }
     }
 }
 
@@ -75,6 +102,16 @@ proptest! {
             prop_assert_eq!(left.fallbacks_for(reason), whole.fallbacks_for(reason));
         }
 
+        // Admission counters are plain sums, so merge == concatenation
+        // must hold exactly — including the derived shed rate.
+        prop_assert_eq!(left.level_steps(), whole.level_steps());
+        for level in ServiceLevel::ALL {
+            prop_assert_eq!(left.steps_at(level), whole.steps_at(level));
+        }
+        prop_assert_eq!(left.offered_requests(), whole.offered_requests());
+        prop_assert_eq!(left.shed_requests(), whole.shed_requests());
+        prop_assert_eq!(left.shed_rate().to_bits(), whole.shed_rate().to_bits());
+
         // Histogram agreement: identical bucket contents, so identical
         // percentiles at every probed quantile and exact extrema.
         prop_assert_eq!(left.latency_histogram().buckets(), whole.latency_histogram().buckets());
@@ -106,6 +143,9 @@ proptest! {
         prop_assert_eq!(ab.per_agent_fallbacks(), ba.per_agent_fallbacks());
         prop_assert_eq!(ab.latency_histogram().buckets(), ba.latency_histogram().buckets());
         prop_assert_eq!(ab.p99_us(), ba.p99_us());
+        prop_assert_eq!(ab.level_steps(), ba.level_steps());
+        prop_assert_eq!(ab.offered_requests(), ba.offered_requests());
+        prop_assert_eq!(ab.shed_requests(), ba.shed_requests());
     }
 }
 

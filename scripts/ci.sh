@@ -29,6 +29,9 @@ cargo run --release -q -p tsc-bench --bin chaos -- --smoke
 echo "==> fleet --smoke (supervised fleet: no abort, replay digest, recovery cycle)"
 cargo run --release -q -p tsc-bench --bin fleet -- --smoke
 
+echo "==> loadgen --smoke (admission: no abort, overload replay digest, zero reload-degraded steps, pinned p99)"
+cargo run --release -q -p tsc-bench --bin loadgen -- --smoke
+
 echo "==> obs_report --smoke (instrumented training + JSONL stream end-to-end)"
 cargo run --release -q -p tsc-bench --bin obs_report -- --smoke
 
