@@ -24,7 +24,8 @@
 //!
 //! Usage: `fleet [--json] [--smoke] [--scenario <name-or-path>]
 //! [steps]` (default steps: 400; `--smoke` shrinks the fleet and run
-//! for CI; `--json` also writes `BENCH_fleet.json` at the repo root).
+//! for CI; `--json` also writes `BENCH_fleet.json` and the live
+//! Prometheus exposition `BENCH_fleet.prom` at the repo root).
 //! With `--scenario` every tenant serves the compiled world instead
 //! of the alternating grids.
 
@@ -34,12 +35,12 @@ use std::time::{Duration, Instant};
 
 use pairuplight::{PairUpLight, PairUpLightConfig};
 use tsc_bench::cli::{exit_on_error, BenchArgs};
-use tsc_bench::report::Json;
+use tsc_bench::report::{write_prometheus, Json};
 use tsc_bench::world::resolve_scenario;
 use tsc_scenario::CompiledScenario;
 use tsc_serve::{
-    FleetConfig, FleetRuntime, InfraChaosPlan, ServeConfig, SupervisorConfig, TenantSel,
-    TenantSpec, TenantState,
+    FleetConfig, FleetRuntime, FlightConfig, InfraChaosPlan, ServeConfig, SupervisorConfig,
+    TenantSel, TenantSpec, TenantState,
 };
 use tsc_sim::scenario::grid::{Grid, GridConfig};
 use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
@@ -372,18 +373,24 @@ fn run(steps: usize, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
         backoff_max: 2,
         ..Default::default()
     };
+    // The flight recorder rides along (observation-only: the replay
+    // digest below proves recording never perturbs decisions) so the
+    // live exposition carries real flight health.
     let mut outs = Vec::new();
+    let mut exposition = None;
     for _ in 0..2 {
         let mut fleet = FleetRuntime::new(
             FleetConfig {
                 supervisor: infra_supervisor,
                 seed: SEED,
+                flight: Some(FlightConfig::default()),
                 ..Default::default()
             },
             specs_for(&tenants, ServeConfig::default()),
         );
         fleet.set_infra_chaos(infra_plan(n))?;
         outs.push(run_regime(&mut fleet, &mut tenants, steps)?);
+        exposition = Some(fleet.exposition());
     }
     let infra_replay = outs.pop().expect("second infra run");
     let infra = outs.pop().expect("first infra run");
@@ -423,8 +430,21 @@ fn run(steps: usize, args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>>
         ),
         ("infra_replay_digest_match", Json::Bool(true)),
         ("infra_recovery_cycles", Json::num(infra.recoveries as f64)),
+        (
+            "flight",
+            exposition
+                .as_ref()
+                .map(|e| e.summary.clone())
+                .unwrap_or(Json::Null),
+        ),
     ]);
     args.write_report_if_json("BENCH_fleet.json", &report)?;
+    if args.json {
+        if let Some(e) = &exposition {
+            write_prometheus("BENCH_fleet.prom", &e.prometheus)?;
+            println!("wrote BENCH_fleet.prom");
+        }
+    }
 
     for t in &tenants {
         std::fs::remove_file(&t.checkpoint).ok();

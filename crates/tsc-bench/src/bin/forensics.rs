@@ -1,0 +1,193 @@
+//! Flight-recorder forensics: dump incidents from a chaos-stressed
+//! fleet, then reconstruct the world from each incident's replay
+//! context alone and re-execute it — asserting the replayed frames
+//! match the captured ones **bit-for-bit**.
+//!
+//! Without arguments the bin runs the canonical round trip:
+//!
+//! 1. build the deterministic forensics world (three small-grid
+//!    tenants, flight recorder on) with an [`InfraChaosPlan`] that
+//!    panics one tenant through a window — driving it breaker-open →
+//!    quarantine → recovery and dumping incidents along the way;
+//! 2. read every incident file back from `results/incidents/`;
+//! 3. replay each from its embedded context and diff frame-by-frame;
+//! 4. exit non-zero unless every replay is clean.
+//!
+//! With incident paths as positional arguments, the bin skips the
+//! capture phase and replays those files instead (the
+//! "reproduce-from-attachment" workflow: an incident file is all you
+//! need).
+//!
+//! Usage: `forensics [--json] [--smoke] [<incident.jsonl>...]`
+//! (`--json` also writes `BENCH_forensics.json` and the live
+//! Prometheus exposition `BENCH_forensics.prom` at the repo root).
+
+use std::panic;
+use std::path::PathBuf;
+
+use tsc_bench::cli::{exit_on_error, BenchArgs};
+use tsc_bench::forensics::{replay_incident, FleetWorldSpec, TenantWorldSpec};
+use tsc_bench::report::{repo_root, write_prometheus, Json};
+use tsc_obs::{read_incident, FlightTrigger};
+use tsc_serve::{InfraChaosPlan, SupervisorConfig, TenantSel};
+use tsc_sim::Window;
+
+fn main() {
+    let args = BenchArgs::parse();
+    install_quiet_hook();
+    exit_on_error("forensics", run(&args));
+}
+
+/// Silences the default panic report for *injected* tenant panics —
+/// caught at the tenant boundary by design; the backtrace banner
+/// would only be noise.
+fn install_quiet_hook() {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected tenant panic"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected tenant panic"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// The canonical forensics world: three heterogeneous small-grid
+/// tenants, recorder on, fast supervision so the whole
+/// panic → quarantine → recovery arc fits a short run.
+fn canonical_spec() -> FleetWorldSpec {
+    let tenants = (0..3)
+        .map(|i| TenantWorldSpec {
+            name: format!("tenant-{i}"),
+            cols: 2,
+            rows: 2,
+            spacing: 150.0,
+            pattern: (i * 2) % 5,
+            hidden: 16,
+            lstm_hidden: 16,
+            model_seed: 1000 + i as u64,
+            env_seed: 100 + i as u64,
+        })
+        .collect();
+    FleetWorldSpec {
+        tenants,
+        decision_interval: 5,
+        horizon: 1_000_000,
+        fleet_seed: 42,
+        supervisor: SupervisorConfig {
+            backoff_base: 1,
+            backoff_max: 2,
+            ..Default::default()
+        },
+        admission_capacity: None,
+        flight_capacity: 32,
+        flight_cooldown: 8,
+        chaos: InfraChaosPlan::new().tenant_panic(Window::new(10, 25), TenantSel::One(1), 1.0),
+        load: tsc_serve::LoadPlan::new(),
+    }
+}
+
+fn run(args: &BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let steps: u64 = if args.smoke { 40 } else { 60 };
+    let incident_paths: Vec<PathBuf> = if args.positional().is_empty() {
+        capture(steps, args)?
+    } else {
+        args.positional().iter().map(PathBuf::from).collect()
+    };
+    if incident_paths.is_empty() {
+        return Err("capture phase dumped no incidents".into());
+    }
+
+    println!("replaying {} incident(s):", incident_paths.len());
+    let mut reports = Vec::new();
+    let mut dirty = 0usize;
+    for path in &incident_paths {
+        let incident = read_incident(path)?;
+        let report = replay_incident(&incident)?;
+        println!(
+            "  {} tenant={} trigger={} step={} frames={} -> {}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            incident.tenant_name,
+            incident.trigger.as_str(),
+            incident.step,
+            report.captured_frames,
+            if report.clean() {
+                "clean (bit-for-bit)".to_string()
+            } else {
+                dirty += 1;
+                format!("DIVERGED ({} mismatches)", report.mismatches.len())
+            }
+        );
+        reports.push((path.clone(), incident, report));
+    }
+
+    if args.json {
+        let incidents = reports
+            .iter()
+            .map(|(path, incident, report)| {
+                Json::obj([
+                    ("path", Json::str(path.display().to_string())),
+                    ("tenant", Json::str(&incident.tenant_name)),
+                    ("trigger", Json::str(incident.trigger.as_str())),
+                    ("step", Json::num(incident.step as f64)),
+                    ("report", report.to_json()),
+                ])
+            })
+            .collect();
+        let report = Json::obj([
+            ("bench", Json::str("forensics")),
+            ("steps", Json::num(steps as f64)),
+            ("incidents", Json::Arr(incidents)),
+            ("clean", Json::Bool(dirty == 0)),
+        ]);
+        args.write_report_if_json("BENCH_forensics.json", &report)?;
+    }
+
+    if dirty > 0 {
+        return Err(format!("{dirty} incident replay(s) diverged").into());
+    }
+    println!("all replays clean: captured incidents reproduce bit-for-bit");
+    Ok(())
+}
+
+/// The capture phase: run the canonical world under chaos with an
+/// incident directory attached; return the incident files it dumped.
+fn capture(steps: u64, args: &BenchArgs) -> Result<Vec<PathBuf>, Box<dyn std::error::Error>> {
+    let dir = repo_root().join("results").join("incidents");
+    std::fs::create_dir_all(&dir)?;
+    // Stale incidents from previous runs would double-count below.
+    for entry in std::fs::read_dir(&dir)? {
+        let p = entry?.path();
+        if p.extension().is_some_and(|e| e == "jsonl") {
+            std::fs::remove_file(p)?;
+        }
+    }
+    let spec = canonical_spec();
+    let (mut fleet, mut envs) = spec.build()?;
+    fleet.set_incident_dir(dir.clone());
+    spec.run(&mut fleet, &mut envs, steps)?;
+
+    let health = fleet.flight_health();
+    println!(
+        "capture: {} steps, {} frames recorded, {} incidents dumped (last: {:?})",
+        steps, health.frames_recorded, health.incidents_dumped, health.last_trigger
+    );
+    let triggers: Vec<FlightTrigger> = fleet.take_incidents().iter().map(|i| i.trigger).collect();
+    if !triggers.contains(&FlightTrigger::Panic) {
+        return Err("the chaos window must dump a panic-triggered incident".into());
+    }
+    if fleet.tenant_stats(1).quarantines == 0 {
+        return Err("the chaos window must drive the faulty tenant into quarantine".into());
+    }
+    if args.json {
+        write_prometheus("BENCH_forensics.prom", &fleet.exposition().prometheus)?;
+        println!("wrote BENCH_forensics.prom");
+    }
+    Ok(fleet.incident_paths().to_vec())
+}

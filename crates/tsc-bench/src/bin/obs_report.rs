@@ -17,6 +17,10 @@
 //!   `obs_report --smoke`                self-contained CI gate: run a tiny
 //!                                       instrumented training, verify the
 //!                                       stream, summarize it, exit 0
+//!   `obs_report --spans`                run a tiny span-instrumented
+//!                                       training + observe pass and print the
+//!                                       flamegraph-style span JSON
+//!                                       (`span::report_json`) plus a table
 //!
 //! `--tail N` limits the update table to the last `N` rows (default 10).
 
@@ -32,6 +36,7 @@ use tsc_sim::{EnvConfig, SimConfig, TscEnv};
 fn main() {
     let mut follow = false;
     let mut smoke = false;
+    let mut spans = false;
     let mut csv = false;
     let mut prom = false;
     let mut tail: usize = 10;
@@ -41,6 +46,7 @@ fn main() {
         match arg.as_str() {
             "--follow" => follow = true,
             "--smoke" => smoke = true,
+            "--spans" => spans = true,
             "--csv" => csv = true,
             "--prom" => prom = true,
             "--tail" => {
@@ -55,6 +61,8 @@ fn main() {
     }
     let result = if smoke {
         run_smoke()
+    } else if spans {
+        run_spans()
     } else {
         let path = path.unwrap_or_else(|| usage("missing <run.jsonl> path"));
         if follow {
@@ -71,7 +79,9 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("obs_report: {msg}");
-    eprintln!("usage: obs_report [--follow|--csv|--prom] [--tail N] <run.jsonl> | --smoke");
+    eprintln!(
+        "usage: obs_report [--follow|--csv|--prom] [--tail N] <run.jsonl> | --smoke | --spans"
+    );
     std::process::exit(2);
 }
 
@@ -315,6 +325,75 @@ fn run_follow(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::thread::sleep(Duration::from_millis(500));
     }
+}
+
+/// Runs a tiny span-instrumented training round plus an observation
+/// pass and prints the span call tree — first as the flamegraph-style
+/// JSON from `span::report_json` (fold `self_ns` up the `parent`
+/// chain to reconstruct the flame stacks), then as a human table. The
+/// event-core `sim.observe_all` span must be present and measurable.
+fn run_spans() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 200.0,
+    })?;
+    let scenario = patterns::grid_scenario(&grid, FlowPattern::One, &PatternConfig::default())?;
+    let mut env = TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: 150,
+        },
+        0,
+    )?;
+    let cfg = PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    };
+    let mut model = PairUpLight::new(&env, cfg);
+    tsc_obs::span::reset();
+    tsc_obs::span::set_enabled(true);
+    model.train(&mut env, 3, 0, |_| {})?;
+    tsc_obs::span::set_enabled(false);
+
+    let json = tsc_obs::span::report_json();
+    println!("{}", json.pretty());
+    println!();
+    println!(
+        "{:>10} {:>12} {:>12}  span (parent)",
+        "count", "total_ms", "self_ms"
+    );
+    let tree = tsc_obs::span::report_tree();
+    for node in &tree {
+        println!(
+            "{:>10} {:>12.3} {:>12.3}  {} ({})",
+            node.stat.count,
+            node.stat.total_ns as f64 / 1e6,
+            node.stat.self_ns as f64 / 1e6,
+            node.name,
+            node.parent.unwrap_or("root"),
+        );
+    }
+    // `sim.observe_all` can appear under several parents (reset and
+    // step paths) — sum its edges for the gate.
+    let (count, total_ns) = tree
+        .iter()
+        .filter(|n| n.name == "sim.observe_all")
+        .fold((0u64, 0u64), |(c, t), n| {
+            (c + n.stat.count, t + n.stat.total_ns)
+        });
+    if count == 0 || total_ns == 0 {
+        return Err("sim.observe_all span missing or recorded no time".into());
+    }
+    println!(
+        "\nspan report OK: {} edges, sim.observe_all x{count} ({:.3} ms total)",
+        tree.len(),
+        total_ns as f64 / 1e6
+    );
+    Ok(())
 }
 
 /// CI gate: a tiny instrumented training run must produce a parseable

@@ -31,6 +31,7 @@
 pub mod cli;
 pub mod eval;
 pub mod experiments;
+pub mod forensics;
 pub mod models;
 pub mod report;
 pub mod world;
@@ -38,6 +39,7 @@ pub mod world;
 pub use cli::{exit_on_error, BenchArgs};
 pub use eval::{evaluate, evaluate_seeds, EvalConfig, EvalResult};
 pub use experiments::{ExperimentScale, TravelTimeTable};
+pub use forensics::{replay_incident, FleetWorldSpec, ReplayReport, TenantWorldSpec};
 pub use models::{train_model, ModelKind, TrainSetup, TrainedModel};
-pub use report::{repo_root, write_report, Json};
+pub use report::{repo_root, write_prometheus, write_report, Json};
 pub use world::resolve_scenario;

@@ -30,6 +30,20 @@ pub fn write_report(name: &str, report: &Json) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes a Prometheus text-exposition page as `<repo root>/<name>`
+/// (conventionally `BENCH_*.prom`, written alongside the same bench's
+/// `BENCH_*.json` from [`tsc_serve::FleetRuntime::exposition`]) and
+/// returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_prometheus(name: &str, page: &str) -> io::Result<PathBuf> {
+    let path = repo_root().join(name);
+    std::fs::write(&path, page)?;
+    Ok(path)
+}
+
 /// Reads a `BENCH_*.json` report back from the repository root.
 ///
 /// # Errors

@@ -43,6 +43,9 @@ pub enum FleetEventKind {
     /// Admission control refused the tenant's step outright (its
     /// previous signal plan is held).
     Shed,
+    /// The tenant's flight recorder dumped an incident file (the
+    /// record carries no path — the fleet's incident listing does).
+    IncidentDumped,
 }
 
 impl FleetEventKind {
@@ -60,6 +63,7 @@ impl FleetEventKind {
             FleetEventKind::BrownoutEnter => "brownout_enter",
             FleetEventKind::BrownoutExit => "brownout_exit",
             FleetEventKind::Shed => "shed",
+            FleetEventKind::IncidentDumped => "incident_dumped",
         }
     }
 }
@@ -95,6 +99,7 @@ mod tests {
             FleetEventKind::BrownoutEnter,
             FleetEventKind::BrownoutExit,
             FleetEventKind::Shed,
+            FleetEventKind::IncidentDumped,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

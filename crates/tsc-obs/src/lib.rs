@@ -20,6 +20,12 @@
 //!   and seed) and stream per-update training metrics and per-step
 //!   serve events; `obs_report` (in `tsc-bench`) turns the file back
 //!   into human tables.
+//! * **Flight recorder** — [`FlightRecorder`]: a fixed-capacity,
+//!   allocation-free-in-steady-state ring of compact per-step
+//!   [`FlightFrame`]s, dumped on a [`FlightTrigger`] together with a
+//!   deterministic replay context as a self-describing JSONL
+//!   [`Incident`] file (format v1) that the `forensics` bin replays
+//!   bit-for-bit.
 //! * **JSON** — [`Json`]: the hand-rolled value type (render + parse)
 //!   behind both the JSONL sink and the `BENCH_*.json` reports.
 //! * **Scenario events** — [`record_scenario`]/[`latest_scenario`]: a
@@ -37,6 +43,7 @@
 
 pub mod events;
 pub mod fleet;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod manifest;
@@ -46,9 +53,12 @@ pub mod span;
 
 pub use events::{parse_jsonl, read_jsonl, EventSink, JsonlWarning, WriteFault};
 pub use fleet::{fleet_event, FleetEventKind};
+pub use flight::{
+    read_incident, write_incident, FlightFrame, FlightRecorder, FlightTrigger, Incident,
+};
 pub use hist::Histogram;
 pub use json::{Json, ParseError};
 pub use manifest::{build_info, BuildInfo};
-pub use metrics::MetricsRegistry;
+pub use metrics::{escape_label_value, prom_name, MetricsRegistry};
 pub use scenario::{drain_scenarios, latest_scenario, record_scenario, ScenarioEvent};
-pub use span::{SpanGuard, SpanStat};
+pub use span::{SpanGuard, SpanNode, SpanStat};

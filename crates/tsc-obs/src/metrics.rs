@@ -181,9 +181,13 @@ impl MetricsRegistry {
     }
 }
 
-/// Rewrites a dotted metric name into the Prometheus charset.
-fn prom_name(name: &str) -> String {
-    name.chars()
+/// Rewrites a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`,
+/// a leading digit is prefixed with `_`, and an empty name renders as
+/// a single `_` — the exposition format forbids all three.
+pub fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
@@ -191,7 +195,28 @@ fn prom_name(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline
+/// → `\n` (the three escapes the text exposition format defines).
+/// Label *values* may hold any UTF-8 — unlike metric names, nothing
+/// else is rewritten.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -238,6 +263,55 @@ mod tests {
         assert!(text.contains("# TYPE serve_step_latency histogram"));
         assert!(text.contains("serve_step_latency_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("serve_step_latency_count 1"));
+    }
+
+    #[test]
+    fn prom_names_escape_spaces_dots_and_leading_digits() {
+        assert_eq!(prom_name("ppo.minibatch"), "ppo_minibatch");
+        assert_eq!(prom_name("serve step latency"), "serve_step_latency");
+        assert_eq!(prom_name("train:lr"), "train:lr", "colons are legal");
+        assert_eq!(prom_name("95th.pct"), "_95th_pct", "no leading digit");
+        assert_eq!(prom_name(""), "_", "never an empty name");
+        assert_eq!(prom_name("µs/step"), "_s_step", "non-ASCII rewritten");
+    }
+
+    #[test]
+    fn label_values_escape_exactly_backslash_quote_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            escape_label_value("tenant \"a\\b\"\n"),
+            "tenant \\\"a\\\\b\\\"\\n"
+        );
+        assert_eq!(escape_label_value("döt.ok"), "döt.ok", "UTF-8 untouched");
+    }
+
+    #[test]
+    fn exposition_format_is_locked_for_awkward_names() {
+        let mut m = MetricsRegistry::new();
+        m.add("ppo.minibatch", 2);
+        m.add("95th percentile tracker", 1);
+        m.set_gauge("serve.load factor", 0.5);
+        m.observe_ns("ppo.minibatch", 1_500);
+        let text = m.to_prometheus();
+        // One locked line per kind: TYPE header then sample, with the
+        // rewritten name — never the raw dotted/spaced one.
+        assert!(text.contains("# TYPE ppo_minibatch counter\nppo_minibatch 2\n"));
+        assert!(
+            text.contains("# TYPE _95th_percentile_tracker counter\n_95th_percentile_tracker 1\n")
+        );
+        assert!(text.contains("# TYPE serve_load_factor gauge\nserve_load_factor 0.5\n"));
+        assert!(text.contains("# TYPE ppo_minibatch histogram"));
+        assert!(text.contains("ppo_minibatch_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("ppo_minibatch_sum 1.5\n"));
+        assert!(text.contains("ppo_minibatch_count 1\n"));
+        assert!(
+            !text.contains("ppo.minibatch"),
+            "raw name never leaks:\n{text}"
+        );
+        assert!(!text.contains("load factor"), "{text}");
     }
 
     #[test]

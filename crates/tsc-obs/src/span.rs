@@ -16,6 +16,13 @@
 //! thread exits (scoped rollout workers flush before their round
 //! returns) and whenever [`report`] runs on the owning thread.
 //!
+//! Each occurrence is attributed to its **parent** — the innermost
+//! span open on the same thread at entry time — so the registry holds
+//! the call tree, not just a flat table: [`report`] aggregates by name
+//! (the flat view), [`report_tree`] keeps the `(name, parent)` edges,
+//! and [`report_json`] renders them as flamegraph-style JSON
+//! (`{name, parent, count, total_ns, self_ns}` per edge).
+//!
 //! Instrumentation is strictly out-of-band: spans never touch RNG
 //! streams, parameters, or any training state, so an instrumented run
 //! is bit-identical to an uninstrumented one.
@@ -31,6 +38,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::json::Json;
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Aggregated timing of one span name.
@@ -44,19 +53,40 @@ pub struct SpanStat {
     pub self_ns: u64,
 }
 
-fn global() -> &'static Mutex<BTreeMap<&'static str, SpanStat>> {
-    static GLOBAL: OnceLock<Mutex<BTreeMap<&'static str, SpanStat>>> = OnceLock::new();
+/// One `(name, parent)` edge of the span call tree, as aggregated by
+/// [`report_tree`]. The same name can appear under several parents
+/// (e.g. `sim.observe_all` under both reset and step paths); summing a
+/// name's stats across its parents reproduces [`report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: &'static str,
+    /// The innermost enclosing span at entry time (`None` = root).
+    pub parent: Option<&'static str>,
+    /// Aggregated timing of this `(name, parent)` edge.
+    pub stat: SpanStat,
+}
+
+/// Registry key: span name plus the name of the span it was entered
+/// under (`None` for root spans).
+type SpanKey = (&'static str, Option<&'static str>);
+
+fn global() -> &'static Mutex<BTreeMap<SpanKey, SpanStat>> {
+    static GLOBAL: OnceLock<Mutex<BTreeMap<SpanKey, SpanStat>>> = OnceLock::new();
     GLOBAL.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-/// Per-thread span state: the stack of open spans' child-time
-/// accumulators plus locally aggregated stats. Flushed into the global
-/// registry when the thread exits (the `Drop` impl — thread-local
-/// destructors run on thread exit) and by [`report`]/[`reset`].
+/// Per-thread span state: the stack of open spans (names + child-time
+/// accumulators) plus locally aggregated stats. Flushed into the
+/// global registry when the thread exits (the `Drop` impl —
+/// thread-local destructors run on thread exit) and by
+/// [`report`]/[`reset`].
 #[derive(Default)]
 struct LocalSpans {
     child_ns: Vec<u64>,
-    stats: BTreeMap<&'static str, SpanStat>,
+    /// Names of the open spans, innermost last (parent attribution).
+    stack: Vec<&'static str>,
+    stats: BTreeMap<SpanKey, SpanStat>,
 }
 
 impl LocalSpans {
@@ -65,8 +95,8 @@ impl LocalSpans {
             return;
         }
         let mut global = global().lock().expect("span registry lock");
-        for (name, stat) in std::mem::take(&mut self.stats) {
-            let slot = global.entry(name).or_default();
+        for (key, stat) in std::mem::take(&mut self.stats) {
+            let slot = global.entry(key).or_default();
             slot.count += stat.count;
             slot.total_ns += stat.total_ns;
             slot.self_ns += stat.self_ns;
@@ -103,12 +133,54 @@ pub fn enabled() -> bool {
 /// scope call [`flush_thread`] before returning.
 pub fn report() -> Vec<(&'static str, SpanStat)> {
     flush_thread();
+    let mut by_name: BTreeMap<&'static str, SpanStat> = BTreeMap::new();
+    for (&(name, _parent), &stat) in global().lock().expect("span registry lock").iter() {
+        let slot = by_name.entry(name).or_default();
+        slot.count += stat.count;
+        slot.total_ns += stat.total_ns;
+        slot.self_ns += stat.self_ns;
+    }
+    by_name.into_iter().collect()
+}
+
+/// Like [`report`], but keeping the call tree: one [`SpanNode`] per
+/// observed `(name, parent)` edge, sorted by name then parent. The
+/// basis of the flamegraph-style JSON ([`report_json`]).
+pub fn report_tree() -> Vec<SpanNode> {
+    flush_thread();
     global()
         .lock()
         .expect("span registry lock")
         .iter()
-        .map(|(&name, &stat)| (name, stat))
+        .map(|(&(name, parent), &stat)| SpanNode { name, parent, stat })
         .collect()
+}
+
+/// The span report as flamegraph-style JSON: an array of
+/// `{name, parent, count, total_ns, self_ns}` objects, one per
+/// `(name, parent)` edge (`parent` is `null` for root spans). Folding
+/// `self_ns` up the `parent` chain reconstructs the flame stacks.
+pub fn report_json() -> Json {
+    Json::Arr(
+        report_tree()
+            .into_iter()
+            .map(|node| {
+                Json::obj([
+                    ("name", Json::str(node.name)),
+                    (
+                        "parent",
+                        match node.parent {
+                            Some(p) => Json::str(p),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("count", Json::num(node.stat.count as f64)),
+                    ("total_ns", Json::num(node.stat.total_ns as f64)),
+                    ("self_ns", Json::num(node.stat.self_ns as f64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Folds the calling thread's local span table into the global
@@ -143,7 +215,11 @@ impl SpanGuard {
         if !ENABLED.load(Ordering::Relaxed) {
             return SpanGuard { name, start: None };
         }
-        LOCAL.with(|l| l.borrow_mut().child_ns.push(0));
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.child_ns.push(0);
+            l.stack.push(name);
+        });
         SpanGuard {
             name,
             start: Some(Instant::now()),
@@ -160,7 +236,9 @@ impl Drop for SpanGuard {
         LOCAL.with(|l| {
             let mut l = l.borrow_mut();
             let child = l.child_ns.pop().unwrap_or(0);
-            let stat = l.stats.entry(self.name).or_default();
+            l.stack.pop();
+            let parent = l.stack.last().copied();
+            let stat = l.stats.entry((self.name, parent)).or_default();
             stat.count += 1;
             stat.total_ns += elapsed;
             stat.self_ns += elapsed.saturating_sub(child);
@@ -258,6 +336,52 @@ mod tests {
         set_enabled(false);
         let stats: BTreeMap<_, _> = report().into_iter().collect();
         assert!(stats["test.worker.span"].count >= 2);
+    }
+
+    #[test]
+    fn report_tree_attributes_parents_and_json_mirrors_it() {
+        let _serial = serial();
+        set_enabled(true);
+        {
+            let _outer = crate::span!("test.tree.outer");
+            let _inner = crate::span!("test.tree.inner");
+        }
+        {
+            let _root = crate::span!("test.tree.inner");
+        }
+        set_enabled(false);
+        let tree = report_tree();
+        assert!(tree
+            .iter()
+            .any(|n| n.name == "test.tree.inner" && n.parent == Some("test.tree.outer")));
+        assert!(tree
+            .iter()
+            .any(|n| n.name == "test.tree.inner" && n.parent.is_none()));
+        assert!(tree
+            .iter()
+            .any(|n| n.name == "test.tree.outer" && n.parent.is_none()));
+        // report() is exactly report_tree() summed across parents.
+        let by_name: BTreeMap<_, _> = report().into_iter().collect();
+        let summed: u64 = tree
+            .iter()
+            .filter(|n| n.name == "test.tree.inner")
+            .map(|n| n.stat.count)
+            .sum();
+        assert_eq!(by_name["test.tree.inner"].count, summed);
+        // The flamegraph JSON carries the same edges.
+        let Json::Arr(rows) = report_json() else {
+            panic!("report_json is an array");
+        };
+        let edge = rows
+            .iter()
+            .find(|r| {
+                r.get_str("name") == Some("test.tree.inner")
+                    && r.get_str("parent") == Some("test.tree.outer")
+            })
+            .expect("child edge present in JSON");
+        assert!(edge.get_num("count").unwrap() >= 1.0);
+        assert!(edge.get_num("total_ns").is_some());
+        assert!(edge.get_num("self_ns").is_some());
     }
 
     #[test]

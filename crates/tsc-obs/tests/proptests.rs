@@ -1,11 +1,12 @@
 //! Property tests: histogram merging is exactly combined recording,
 //! percentiles stay within bucket resolution of the true sample
-//! quantile, and JSONL round-trips arbitrary records.
+//! quantile, JSONL round-trips arbitrary records, and the flight
+//! recorder's ring drops exactly the oldest frames on wraparound.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tsc_obs::{parse_jsonl, Histogram, Json};
+use tsc_obs::{parse_jsonl, FlightFrame, FlightRecorder, Histogram, Json};
 
 /// Deterministic pseudo-random sample set in nanoseconds, spanning the
 /// histogram's full range (sub-µs to ~1 s).
@@ -81,6 +82,43 @@ proptest! {
             prop_assert!(read <= truth_us.max(1.0) * Histogram::RATIO + 1e-9,
                 "q={} read={} truth={}", q, read, truth_us);
         }
+    }
+
+    /// Over any frame count and capacity, the ring holds exactly the
+    /// last `min(n, capacity)` frames in recording order — wraparound
+    /// drops precisely the oldest, never reorders, and the counters
+    /// account for every frame.
+    #[test]
+    fn flight_ring_wraparound_drops_exactly_the_oldest(
+        capacity in 1usize..64,
+        n in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recorder = FlightRecorder::new(capacity);
+        let mut expected: Vec<FlightFrame> = Vec::new();
+        for step in 0..n as u64 {
+            let frame = FlightFrame {
+                step,
+                obs_digest: rng.gen(),
+                msg_digest: rng.gen(),
+                actions_digest: rng.gen(),
+                served_by: rng.gen_range(0..3u8),
+                level: rng.gen_range(0..4u8),
+                state: rng.gen_range(0..4u8),
+                panicked: rng.gen_bool(0.1),
+                offered: rng.gen_range(1..100u64),
+                chaos_mask: rng.gen(),
+                slack_us: rng.gen_range(-1000..1000i64),
+            };
+            recorder.record(frame);
+            expected.push(frame);
+        }
+        let keep = n.min(capacity);
+        prop_assert_eq!(recorder.len(), keep);
+        prop_assert_eq!(recorder.recorded(), n as u64);
+        prop_assert_eq!(recorder.dropped(), (n - keep) as u64);
+        prop_assert_eq!(recorder.frames(), expected[n - keep..].to_vec());
     }
 
     /// Compact-rendered records survive a JSONL write/parse cycle.

@@ -52,10 +52,13 @@
 //! configs and asserts the running shed ratio never exceeds the cap at
 //! any prefix.
 
+use tsc_obs::Json;
 use tsc_sim::chaos::{chaos_uniform, fault_salt};
 use tsc_sim::Window;
 
-use crate::infra_chaos::TenantSel;
+use crate::infra_chaos::{
+    tenant_sel_from_json, tenant_sel_to_json, window_from_json, window_to_json, TenantSel,
+};
 
 /// Salt decorrelating admission tie-break draws from the infra-chaos
 /// and road-chaos streams of the same user seed.
@@ -96,6 +99,26 @@ impl Default for SlaClass {
             deadline_us: 0,
             max_shed_rate: 0.0,
         }
+    }
+}
+
+impl SlaClass {
+    /// The class as a JSON object (incident replay context).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("priority", Json::num(f64::from(self.priority))),
+            ("deadline_us", Json::num(self.deadline_us as f64)),
+            ("max_shed_rate", Json::num(self.max_shed_rate)),
+        ])
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    pub fn from_json(j: &Json) -> Option<SlaClass> {
+        Some(SlaClass {
+            priority: j.get_num("priority")? as u8,
+            deadline_us: j.get_num("deadline_us")? as u64,
+            max_shed_rate: j.get_num("max_shed_rate")?,
+        })
     }
 }
 
@@ -202,6 +225,13 @@ impl Admission {
     /// Admission steps seen so far for tenant `t`.
     pub fn steps(&self, t: usize) -> u64 {
         self.steps[t]
+    }
+
+    /// Whether tenant `t`'s shed budget is exhausted: shedding it once
+    /// more would violate its max-shed-rate cap (the flight recorder's
+    /// shed-cap incident trigger).
+    pub fn shed_budget_exhausted(&self, t: usize) -> bool {
+        !self.may_shed(t)
     }
 
     /// Whether shedding tenant `t` once more would still respect its
@@ -375,6 +405,40 @@ impl LoadPlan {
     pub fn offered_all(&self, seed: u64, step: u64, tenants: usize) -> Vec<u64> {
         (0..tenants).map(|t| self.offered(seed, step, t)).collect()
     }
+
+    /// The program as a JSON array of phases (incident replay
+    /// context). [`from_json`](Self::from_json) round-trips it.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("window", window_to_json(p.window)),
+                        ("tenants", tenant_sel_to_json(p.tenants)),
+                        ("base", Json::num(p.base as f64)),
+                        ("jitter", Json::num(p.jitter as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Parses [`to_json`](Self::to_json) output. `None` on shape
+    /// mismatch.
+    pub fn from_json(j: &Json) -> Option<LoadPlan> {
+        let Json::Arr(items) = j else { return None };
+        let mut phases = Vec::with_capacity(items.len());
+        for item in items {
+            phases.push(LoadPhase {
+                window: window_from_json(item.get("window")?)?,
+                tenants: tenant_sel_from_json(item.get("tenants")?)?,
+                base: item.get_num("base")? as u64,
+                jitter: item.get_num("jitter")? as u64,
+            });
+        }
+        Some(LoadPlan { phases })
+    }
 }
 
 /// Fleet steps are `u64`; windows reuse the chaos engine's `u32`
@@ -533,6 +597,26 @@ mod tests {
         // The full jitter range is actually reachable.
         assert!(trace(1).contains(&5));
         assert!(trace(1).contains(&8));
+    }
+
+    #[test]
+    fn load_plan_and_sla_json_round_trip() {
+        let plan = LoadPlan::new()
+            .phase(Window::new(10, 20), TenantSel::All, 4, 3)
+            .phase(Window::always(), TenantSel::One(2), 9, 0);
+        let text = plan.to_json().compact();
+        let back = LoadPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(
+            LoadPlan::from_json(&LoadPlan::new().to_json()),
+            Some(LoadPlan::new())
+        );
+        let sla = SlaClass {
+            priority: 3,
+            deadline_us: 1500,
+            max_shed_rate: 0.25,
+        };
+        assert_eq!(SlaClass::from_json(&sla.to_json()), Some(sla));
     }
 
     #[test]

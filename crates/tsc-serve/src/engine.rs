@@ -206,6 +206,11 @@ pub struct ServeRuntime {
     next_messages: Vec<Vec<f32>>,
     /// Post-channel partner message per receiver (`N × bandwidth`).
     delivered: Vec<Vec<f32>>,
+    /// Partner chosen per receiver on the last served step (flight
+    /// recorder / forensics causal pass).
+    last_partners: Vec<usize>,
+    /// FNV-1a digest of `delivered` as of the last served step.
+    last_msg_digest: u64,
     /// Consecutive dropped partner messages per agent.
     comms_streaks: Vec<u32>,
     /// Observation-health tracker (when resilience enables it).
@@ -245,6 +250,8 @@ impl ServeRuntime {
             states: Vec::new(),
             next_messages: Vec::new(),
             delivered: Vec::new(),
+            last_partners: Vec::new(),
+            last_msg_digest: 0,
             comms_streaks: vec![0; num_agents],
             scratch_obs: Vec::new(),
             step_index: 0,
@@ -533,7 +540,9 @@ impl ServeRuntime {
     }
 
     /// Runs the message channel for every receiver and updates the
-    /// dropped-message streaks.
+    /// dropped-message streaks. Also books what the flight recorder
+    /// reads: the partner map and a bit-exact digest of the delivered
+    /// message plane (observation-only — no decision depends on them).
     fn deliver_messages(&mut self, partners: &[usize]) {
         let time = self.step_index;
         for (a, &p) in partners.iter().enumerate() {
@@ -546,6 +555,33 @@ impl ServeRuntime {
                 0
             };
         }
+        self.last_partners.clear();
+        self.last_partners.extend_from_slice(partners);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for row in &self.delivered {
+            for &v in row {
+                let bits = u64::from(v.to_bits());
+                for i in 0..4 {
+                    h ^= (bits >> (i * 8)) & 0xff;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        self.last_msg_digest = h;
+    }
+
+    /// FNV-1a digest of the partner-message plane the policy consumed
+    /// on the most recent served step (bit-exact over the `f32`s).
+    pub fn last_message_digest(&self) -> u64 {
+        self.last_msg_digest
+    }
+
+    /// The partner each receiver consumed on the most recent served
+    /// step (empty before the first step). `partners[a] = p` means
+    /// agent `a` read the message agent `p` published the previous
+    /// step — the edge the forensics causal pass walks.
+    pub fn last_partners(&self) -> &[usize] {
+        &self.last_partners
     }
 
     /// Per-agent fallback causes from the health trackers (sensor

@@ -63,7 +63,11 @@ use std::time::{Duration, Instant};
 
 use pairuplight::{Checkpoint, PolicySnapshot, TrainError};
 use tsc_baselines::MaxPressureController;
-use tsc_obs::{fleet_event, EventSink, FleetEventKind, Histogram};
+use tsc_obs::flight::NO_DEADLINE;
+use tsc_obs::{
+    escape_label_value, fleet_event, write_incident, EventSink, FleetEventKind, FlightFrame,
+    FlightRecorder, FlightTrigger, Histogram, Incident, Json, MetricsRegistry,
+};
 use tsc_sim::{Controller, IntersectionObs};
 
 use crate::admission::{Admission, AdmissionConfig, ServiceLevel, SlaClass};
@@ -100,6 +104,114 @@ pub struct FleetConfig {
     /// layer entirely — the fleet is bit-identical to one built before
     /// it existed.
     pub admission: Option<AdmissionConfig>,
+    /// Per-tenant flight recording. `None` (the default) disables the
+    /// recorder; enabled or disabled, the fleet's decisions are
+    /// bit-identical — recording is strictly observation-only (pinned
+    /// by a tier-1 digest test).
+    pub flight: Option<FlightConfig>,
+}
+
+/// Flight-recorder knobs ([`FleetConfig::flight`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Ring capacity in frames per tenant (the incident lookback
+    /// window; clamped ≥ 1).
+    pub capacity: usize,
+    /// Minimum fleet steps between two automatic incident dumps of
+    /// the same tenant — a flapping tenant produces one incident per
+    /// cooldown window, not one per step. Explicit
+    /// [`FleetRuntime::snapshot`] dumps bypass the cooldown.
+    pub cooldown: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 256,
+            cooldown: 64,
+        }
+    }
+}
+
+/// In-memory incident tail bound ([`FleetRuntime::take_incidents`]);
+/// older incidents survive only as files.
+pub const MAX_HELD_INCIDENTS: usize = 64;
+
+/// FNV-1a digest of a joint observation, bit-exact over every field
+/// (floats hashed by their IEEE-754 bits). The flight recorder's
+/// `obs_digest` and the forensics replayer both use this, so a clean
+/// replay matches frame-for-frame. Word-wise mixing (not byte-wise):
+/// this runs on every serving step of every tenant, and an 8× cheaper
+/// fold detects divergence exactly as well.
+pub fn obs_digest(obs: &[IntersectionObs]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for o in obs {
+        mix(o.node.0 as u64);
+        mix(u64::from(o.time));
+        mix(o.current_phase as u64);
+        mix(o.num_phases as u64);
+        mix(o.incoming.len() as u64);
+        for lane in &o.incoming {
+            mix(lane.link.0 as u64);
+            mix(lane.direction as u64);
+            mix(lane.count.to_bits());
+            mix(lane.halting.to_bits());
+            for m in lane.halting_by_movement {
+                mix(m.to_bits());
+            }
+            mix(lane.head_wait.to_bits());
+        }
+        mix(o.outgoing_counts.len() as u64);
+        for c in &o.outgoing_counts {
+            mix(c.to_bits());
+        }
+        for l in &o.outgoing_links {
+            mix(l.0 as u64);
+        }
+    }
+    h
+}
+
+/// FNV-1a digest of a signal plan (chosen phase per intersection),
+/// word-wise like [`obs_digest`].
+pub fn actions_digest(actions: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &a in actions {
+        h ^= a as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Flight-recorder health across the fleet, for live exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightHealth {
+    /// Whether recording is configured at all.
+    pub enabled: bool,
+    /// Frames recorded across all tenants (lifetime).
+    pub frames_recorded: u64,
+    /// Frames overwritten by ring wraparound across all tenants.
+    pub frames_dropped: u64,
+    /// Incidents dumped (automatic triggers + snapshots).
+    pub incidents_dumped: u64,
+    /// The most recent dump: `(tenant, trigger, fleet step)`.
+    pub last_trigger: Option<(usize, FlightTrigger, u64)>,
+}
+
+/// One [`FleetRuntime::exposition`] snapshot: the Prometheus text
+/// page plus the same content as structured JSON (written alongside
+/// `BENCH_*.json` reports).
+#[derive(Debug, Clone)]
+pub struct FleetExposition {
+    /// Prometheus text exposition format (metric names and label
+    /// values escaped per the format's rules).
+    pub prometheus: String,
+    /// The same snapshot as a JSON object.
+    pub summary: Json,
 }
 
 /// Everything needed to host one tenant.
@@ -136,8 +248,9 @@ pub enum ServedBy {
 }
 
 impl ServedBy {
-    /// Stable dense index (digest and telemetry material).
-    fn index(self) -> usize {
+    /// Stable dense index (digest, telemetry, and flight-frame
+    /// material).
+    pub fn index(self) -> usize {
         match self {
             ServedBy::Policy => 0,
             ServedBy::Standby => 1,
@@ -286,6 +399,11 @@ struct Tenant {
     browned_out: bool,
     /// The tenant's SLA (from its [`TenantSpec`]).
     sla: SlaClass,
+    /// Flight ring ([`FleetConfig::flight`]; `None` = recording off).
+    flight: Option<FlightRecorder>,
+    /// Fleet step of this tenant's last incident dump (automatic-dump
+    /// cooldown).
+    last_dump_step: Option<u64>,
 }
 
 /// A supervised multi-tenant serving fleet. See the module docs for
@@ -303,6 +421,18 @@ pub struct FleetRuntime {
     step: u64,
     epoch: Instant,
     obs_sink: Option<EventSink>,
+    /// Where incident files are written (`None` = in-memory only).
+    incident_dir: Option<PathBuf>,
+    /// The replay context stamped into every dumped incident — set it
+    /// to whatever reconstructs this fleet's world deterministically
+    /// (scenario fingerprint, seed, plans, checkpoint ids).
+    replay_context: Json,
+    /// Bounded in-memory tail of dumped incidents (newest last).
+    incidents: Vec<Incident>,
+    /// Files written so far (dump order).
+    incident_paths: Vec<PathBuf>,
+    incidents_dumped: u64,
+    last_trigger: Option<(usize, FlightTrigger, u64)>,
 }
 
 impl FleetRuntime {
@@ -334,6 +464,8 @@ impl FleetRuntime {
                     last_actions: Vec::new(),
                     browned_out: false,
                     sla: spec.sla,
+                    flight: cfg.flight.map(|fc| FlightRecorder::new(fc.capacity)),
+                    last_dump_step: None,
                 }
             })
             .collect();
@@ -345,6 +477,12 @@ impl FleetRuntime {
             step: 0,
             epoch: Instant::now(),
             obs_sink: None,
+            incident_dir: None,
+            replay_context: Json::Null,
+            incidents: Vec::new(),
+            incident_paths: Vec::new(),
+            incidents_dumped: 0,
+            last_trigger: None,
         }
     }
 
@@ -524,6 +662,9 @@ impl FleetRuntime {
         });
         let mut events: Vec<(usize, FleetEventKind)> = Vec::new();
         let mut out = Vec::with_capacity(self.tenants.len());
+        // Flight triggers collected during the tenant loop, dumped
+        // after it (dumping needs the whole runtime).
+        let mut triggers: Vec<(usize, FlightTrigger)> = Vec::new();
         for (idx, tenant) in self.tenants.iter_mut().enumerate() {
             let (level, forward_due) = match &decided {
                 Some((levels, forwards)) => (levels[idx], forwards[idx]),
@@ -552,6 +693,7 @@ impl FleetRuntime {
                     events.push((idx, FleetEventKind::Shed));
                 }
             }
+            let events_before = events.len();
             let t0 = Instant::now();
             let mut step_out = Self::step_tenant(
                 tenant,
@@ -575,7 +717,64 @@ impl FleetRuntime {
             if matches!(step_out.served_by, ServedBy::Standby) {
                 tenant.stats.standby_steps += 1;
             }
+            // Flight recording: strictly observation-only — nothing
+            // below feeds back into any decision, so the recorder-on
+            // fleet digests bit-identical to recorder-off (pinned).
+            if tenant.flight.is_some() {
+                let slack_us = match tenant.serve_cfg.deadline {
+                    Some(d) => i64::try_from(d.as_micros())
+                        .unwrap_or(i64::MAX)
+                        .saturating_sub(i64::try_from(dt.as_micros()).unwrap_or(i64::MAX)),
+                    None => NO_DEADLINE,
+                };
+                let frame = FlightFrame {
+                    step,
+                    obs_digest: obs_digest(obs[idx]),
+                    msg_digest: tenant.runtime.last_message_digest(),
+                    actions_digest: actions_digest(&step_out.actions),
+                    served_by: step_out.served_by.index() as u8,
+                    level: level.index() as u8,
+                    state: step_out.state.index() as u8,
+                    panicked: step_out.panicked,
+                    offered: offered.map_or(1, |o| o[idx].max(1)),
+                    chaos_mask: self.plan.active_mask(step, idx),
+                    slack_us,
+                };
+                if let Some(rec) = tenant.flight.as_mut() {
+                    rec.record(frame);
+                }
+                // Trigger priority: a panic explains the breaker trip
+                // and the quarantine it may have caused this very step,
+                // so only the most causal trigger dumps.
+                let had = |kind: FleetEventKind| {
+                    events[events_before..]
+                        .iter()
+                        .any(|&(t, k)| t == idx && k == kind)
+                };
+                let trigger = if step_out.panicked {
+                    Some(FlightTrigger::Panic)
+                } else if had(FleetEventKind::QuarantineEnter) {
+                    Some(FlightTrigger::Quarantine)
+                } else if had(FleetEventKind::BreakerOpen) {
+                    Some(FlightTrigger::BreakerOpen)
+                } else if level == ServiceLevel::Shed
+                    && self
+                        .admission
+                        .as_ref()
+                        .is_some_and(|a| a.shed_budget_exhausted(idx))
+                {
+                    Some(FlightTrigger::ShedCap)
+                } else {
+                    None
+                };
+                if let Some(tr) = trigger {
+                    triggers.push((idx, tr));
+                }
+            }
             out.push(step_out);
+        }
+        for (idx, trigger) in triggers {
+            self.auto_dump(idx, trigger, step, &mut events);
         }
         self.step += 1;
         self.emit(step, &events);
@@ -835,6 +1034,228 @@ impl FleetRuntime {
                 }
             }
         }
+    }
+
+    /// Where incident files are written. Without a directory,
+    /// incidents are kept in memory only ([`take_incidents`]
+    /// (Self::take_incidents)).
+    pub fn set_incident_dir(&mut self, dir: PathBuf) {
+        self.incident_dir = Some(dir);
+    }
+
+    /// Sets the replay context stamped into every incident dumped from
+    /// now on — whatever JSON reconstructs this fleet's world
+    /// deterministically (scenario text, seed, chaos/load plans,
+    /// checkpoint paths). The forensics tool replays incidents from
+    /// this context alone.
+    pub fn set_replay_context(&mut self, ctx: Json) {
+        self.replay_context = ctx;
+    }
+
+    /// Drains the in-memory incident tail (oldest first; bounded at
+    /// [`MAX_HELD_INCIDENTS`] — older incidents survive only as
+    /// files).
+    pub fn take_incidents(&mut self) -> Vec<Incident> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// Paths of every incident file written so far, in dump order.
+    pub fn incident_paths(&self) -> &[PathBuf] {
+        self.incident_paths.as_slice()
+    }
+
+    /// Tenant `t`'s flight ring (`None` when recording is disabled).
+    pub fn tenant_flight(&self, t: usize) -> Option<&FlightRecorder> {
+        self.tenants[t].flight.as_ref()
+    }
+
+    /// Tenant `t`'s live serving runtime — read-only, for forensics
+    /// (message-plane digests, causal partner maps).
+    pub fn tenant_runtime(&self, t: usize) -> &ServeRuntime {
+        &self.tenants[t].runtime
+    }
+
+    /// Explicitly dumps tenant `t`'s flight ring as a
+    /// [`FlightTrigger::Snapshot`] incident, bypassing the
+    /// automatic-dump cooldown. Returns the incident (`None` when
+    /// recording is disabled), writes the file when an incident
+    /// directory is set, and emits an `IncidentDumped` event.
+    pub fn snapshot(&mut self, t: usize) -> Option<Incident> {
+        let step = self.step;
+        let inc = self.dump(t, FlightTrigger::Snapshot, step)?;
+        self.emit(step, &[(t, FleetEventKind::IncidentDumped)]);
+        Some(inc)
+    }
+
+    /// Aggregated flight-recorder health for live exposition.
+    pub fn flight_health(&self) -> FlightHealth {
+        let mut h = FlightHealth {
+            enabled: self.cfg.flight.is_some(),
+            incidents_dumped: self.incidents_dumped,
+            last_trigger: self.last_trigger,
+            ..FlightHealth::default()
+        };
+        for t in &self.tenants {
+            if let Some(rec) = &t.flight {
+                h.frames_recorded += rec.recorded();
+                h.frames_dropped += rec.dropped();
+            }
+        }
+        h
+    }
+
+    /// A live observability snapshot: the Prometheus text page
+    /// (fleet counters plus per-tenant series with escaped labels) and
+    /// the same content as structured JSON. Pure read — serving is
+    /// untouched. Benches write this alongside every `BENCH_*.json`.
+    pub fn exposition(&self) -> FleetExposition {
+        let health = self.flight_health();
+        let mut reg = MetricsRegistry::new();
+        reg.add("fleet.steps", self.step);
+        reg.add("fleet.tenants", self.tenants.len() as u64);
+        reg.add("fleet.flight.frames_recorded", health.frames_recorded);
+        reg.add("fleet.flight.frames_dropped", health.frames_dropped);
+        reg.add("fleet.flight.incidents_dumped", health.incidents_dumped);
+        reg.set_gauge(
+            "fleet.flight.enabled",
+            if health.enabled { 1.0 } else { 0.0 },
+        );
+        let mut prom = reg.to_prometheus();
+        let mut tenants_json = Vec::new();
+        prom.push_str("# TYPE fleet_tenant_steps counter\n");
+        for t in self.tenants.iter() {
+            use std::fmt::Write as _;
+            let label = escape_label_value(&t.name);
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_steps{{tenant=\"{label}\"}} {}",
+                t.stats.steps
+            );
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_panics{{tenant=\"{label}\"}} {}",
+                t.stats.panics
+            );
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_quarantines{{tenant=\"{label}\"}} {}",
+                t.stats.quarantines
+            );
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_standby_steps{{tenant=\"{label}\"}} {}",
+                t.stats.standby_steps
+            );
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_shed_steps{{tenant=\"{label}\"}} {}",
+                t.stats.shed_steps
+            );
+            let _ = writeln!(
+                prom,
+                "fleet_tenant_state{{tenant=\"{label}\"}} {}",
+                t.supervisor.state().index()
+            );
+            let (rec, drop) = t
+                .flight
+                .as_ref()
+                .map_or((0, 0), |r| (r.recorded(), r.dropped()));
+            tenants_json.push(Json::obj([
+                ("name", Json::str(&t.name)),
+                ("state", Json::num(t.supervisor.state().index() as f64)),
+                ("steps", Json::num(t.stats.steps as f64)),
+                ("panics", Json::num(t.stats.panics as f64)),
+                ("quarantines", Json::num(t.stats.quarantines as f64)),
+                ("standby_steps", Json::num(t.stats.standby_steps as f64)),
+                ("brownout_steps", Json::num(t.stats.brownout_steps as f64)),
+                ("shed_steps", Json::num(t.stats.shed_steps as f64)),
+                ("flight_recorded", Json::num(rec as f64)),
+                ("flight_dropped", Json::num(drop as f64)),
+            ]));
+        }
+        let last = match health.last_trigger {
+            Some((t, tr, s)) => Json::obj([
+                ("tenant", Json::num(t as f64)),
+                ("trigger", Json::str(tr.as_str())),
+                ("step", Json::num(s as f64)),
+            ]),
+            None => Json::Null,
+        };
+        let summary = Json::obj([
+            ("steps", Json::num(self.step as f64)),
+            ("tenants", Json::Arr(tenants_json)),
+            (
+                "flight",
+                Json::obj([
+                    ("enabled", Json::Bool(health.enabled)),
+                    ("frames_recorded", Json::num(health.frames_recorded as f64)),
+                    ("frames_dropped", Json::num(health.frames_dropped as f64)),
+                    (
+                        "incidents_dumped",
+                        Json::num(health.incidents_dumped as f64),
+                    ),
+                    ("last_trigger", last),
+                ]),
+            ),
+        ]);
+        FleetExposition {
+            prometheus: prom,
+            summary,
+        }
+    }
+
+    /// An automatic (trigger-driven) dump: applies the per-tenant
+    /// cooldown, then dumps and books the `IncidentDumped` event.
+    fn auto_dump(
+        &mut self,
+        idx: usize,
+        trigger: FlightTrigger,
+        step: u64,
+        events: &mut Vec<(usize, FleetEventKind)>,
+    ) {
+        let Some(fc) = self.cfg.flight else { return };
+        if let Some(last) = self.tenants[idx].last_dump_step {
+            if step.saturating_sub(last) < fc.cooldown {
+                return;
+            }
+        }
+        if self.dump(idx, trigger, step).is_some() {
+            events.push((idx, FleetEventKind::IncidentDumped));
+        }
+    }
+
+    /// Dumps tenant `idx`'s ring as an incident: held in memory
+    /// (bounded), written to the incident directory when one is set
+    /// (write failures are reported on stderr, never fatal).
+    fn dump(&mut self, idx: usize, trigger: FlightTrigger, step: u64) -> Option<Incident> {
+        let tenant = &mut self.tenants[idx];
+        let rec = tenant.flight.as_ref()?;
+        let incident = Incident {
+            tenant: idx,
+            tenant_name: tenant.name.clone(),
+            trigger,
+            step,
+            replay: self.replay_context.clone(),
+            frames: rec.frames(),
+        };
+        tenant.last_dump_step = Some(step);
+        self.incidents_dumped += 1;
+        self.last_trigger = Some((idx, trigger, step));
+        if let Some(dir) = &self.incident_dir {
+            let path = dir.join(format!(
+                "incident-t{idx}-step{step}-{}.jsonl",
+                trigger.as_str()
+            ));
+            match write_incident(&path, &incident) {
+                Ok(()) => self.incident_paths.push(path),
+                Err(e) => eprintln!("tsc-serve: incident dump failed at {}: {e}", path.display()),
+            }
+        }
+        if self.incidents.len() >= MAX_HELD_INCIDENTS {
+            self.incidents.remove(0);
+        }
+        self.incidents.push(incident.clone());
+        Some(incident)
     }
 
     /// Writes the step's lifecycle events to the attached sink, if

@@ -24,6 +24,7 @@
 
 use std::time::Duration;
 
+use tsc_obs::Json;
 use tsc_sim::chaos::{chaos_uniform, fault_salt};
 use tsc_sim::Window;
 
@@ -229,6 +230,88 @@ impl InfraChaosPlan {
         })
     }
 
+    /// Which faults have `tenant` **in scope** at `step`: bit `i` is
+    /// set when fault `i`'s window contains the step and its selector
+    /// matches the tenant (whether or not its probabilistic draw
+    /// fired). This is the flight-recorder frame's `chaos_mask` —
+    /// deterministic, so it replays bit-for-bit. Fault indices past 31
+    /// share nothing (a plan that large saturates the mask's top bit).
+    pub fn active_mask(&self, step: u64, tenant: usize) -> u32 {
+        let s = clamp_step(step);
+        let mut mask = 0u32;
+        for (idx, fault) in self.faults.iter().enumerate() {
+            if fault.window.contains(s) && fault.tenants.matches(tenant) {
+                mask |= 1u32 << idx.min(31);
+            }
+        }
+        mask
+    }
+
+    /// The plan as a JSON array of faults — the incident file's replay
+    /// context. [`from_json`](Self::from_json) round-trips it exactly
+    /// (probabilities are `f64`s rendered at full precision).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.faults
+                .iter()
+                .map(|f| {
+                    let kind = match f.kind {
+                        InfraKind::Panic { p } => {
+                            Json::obj([("kind", Json::str("panic")), ("p", Json::num(p))])
+                        }
+                        InfraKind::ReloadCorrupt { p } => {
+                            Json::obj([("kind", Json::str("reload_corrupt")), ("p", Json::num(p))])
+                        }
+                        InfraKind::LatencySpike { extra_us, p } => Json::obj([
+                            ("kind", Json::str("latency_spike")),
+                            ("extra_us", Json::num(extra_us as f64)),
+                            ("p", Json::num(p)),
+                        ]),
+                        InfraKind::ReloadStorm { every } => Json::obj([
+                            ("kind", Json::str("reload_storm")),
+                            ("every", Json::num(f64::from(every))),
+                        ]),
+                    };
+                    Json::obj([
+                        ("window", window_to_json(f.window)),
+                        ("tenants", tenant_sel_to_json(f.tenants)),
+                        ("fault", kind),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Parses [`to_json`](Self::to_json) output. `None` on shape
+    /// mismatch.
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let Json::Arr(items) = j else { return None };
+        let mut faults = Vec::with_capacity(items.len());
+        for item in items {
+            let window = window_from_json(item.get("window")?)?;
+            let tenants = tenant_sel_from_json(item.get("tenants")?)?;
+            let f = item.get("fault")?;
+            let kind = match f.get_str("kind")? {
+                "panic" => InfraKind::Panic { p: f.get_num("p")? },
+                "reload_corrupt" => InfraKind::ReloadCorrupt { p: f.get_num("p")? },
+                "latency_spike" => InfraKind::LatencySpike {
+                    extra_us: f.get_num("extra_us")? as u64,
+                    p: f.get_num("p")?,
+                },
+                "reload_storm" => InfraKind::ReloadStorm {
+                    every: f.get_num("every")? as u32,
+                },
+                _ => return None,
+            };
+            faults.push(InfraFault {
+                window,
+                tenants,
+                kind,
+            });
+        }
+        Some(InfraChaosPlan { faults })
+    }
+
     /// Shared per-fault hash evaluation: any matching fault whose
     /// uniform draw lands under its probability fires.
     fn hits(
@@ -255,6 +338,40 @@ impl InfraChaosPlan {
 /// schedule).
 fn clamp_step(step: u64) -> u32 {
     u32::try_from(step).unwrap_or(u32::MAX)
+}
+
+/// [`Window`] as `{start, end}` (replay-context material, shared with
+/// the load plan's serializer).
+pub(crate) fn window_to_json(w: Window) -> Json {
+    Json::obj([
+        ("start", Json::num(f64::from(w.start))),
+        ("end", Json::num(f64::from(w.end))),
+    ])
+}
+
+/// Parses [`window_to_json`] output.
+pub(crate) fn window_from_json(j: &Json) -> Option<Window> {
+    Some(Window::new(
+        j.get_num("start")? as u32,
+        j.get_num("end")? as u32,
+    ))
+}
+
+/// [`TenantSel`] as `"all"` or a tenant index.
+pub(crate) fn tenant_sel_to_json(sel: TenantSel) -> Json {
+    match sel {
+        TenantSel::All => Json::str("all"),
+        TenantSel::One(t) => Json::num(t as f64),
+    }
+}
+
+/// Parses [`tenant_sel_to_json`] output.
+pub(crate) fn tenant_sel_from_json(j: &Json) -> Option<TenantSel> {
+    match j {
+        Json::Str(s) if s == "all" => Some(TenantSel::All),
+        Json::Num(n) => Some(TenantSel::One(*n as usize)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +434,38 @@ mod tests {
         assert!(plan.panics(0, 19, 2));
         assert!(!plan.panics(0, 20, 2));
         assert!(!plan.panics(0, 15, 1), "selector misses other tenants");
+    }
+
+    #[test]
+    fn json_round_trips_every_fault_kind() {
+        let plan = InfraChaosPlan::new()
+            .tenant_panic(Window::new(3, 9), TenantSel::One(1), 0.37)
+            .reload_corrupt(Window::new(0, 10), TenantSel::All, 0.125)
+            .latency_spike(Window::always(), TenantSel::All, 450, 0.2)
+            .reload_storm(Window::new(10, 50), TenantSel::One(0), 7);
+        let text = plan.to_json().compact();
+        let back = InfraChaosPlan::from_json(&tsc_obs::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(
+            InfraChaosPlan::from_json(&InfraChaosPlan::new().to_json()),
+            Some(InfraChaosPlan::new())
+        );
+    }
+
+    #[test]
+    fn active_mask_tracks_window_and_selector_per_fault_index() {
+        let plan = InfraChaosPlan::new()
+            .tenant_panic(Window::new(0, 5), TenantSel::One(0), 0.0)
+            .latency_spike(Window::new(3, 10), TenantSel::All, 100, 0.0);
+        assert_eq!(plan.active_mask(1, 0), 0b01, "fault 0 only");
+        assert_eq!(plan.active_mask(4, 0), 0b11, "both in scope");
+        assert_eq!(plan.active_mask(4, 2), 0b10, "selector misses tenant 2");
+        assert_eq!(plan.active_mask(20, 0), 0, "all windows closed");
+        assert_eq!(
+            InfraChaosPlan::new().active_mask(0, 0),
+            0,
+            "empty plan has no scope"
+        );
     }
 
     #[test]

@@ -47,6 +47,17 @@
 //!   pure-hash [`InfraChaosPlan`] (injected panics, reload corruption,
 //!   latency spikes, reload storms) with the chaos engine's guarantee:
 //!   empty plan == no plan, bit for bit.
+//! * **Flight recorder** — with [`FleetConfig::flight`] set, every
+//!   tenant keeps a fixed-capacity ring of compact per-step frames
+//!   (observation/message/action digests, serving source, admission
+//!   level, supervisor state, chaos scope, deadline slack). Panics,
+//!   breaker trips, quarantines, and shed-cap exhaustion dump the ring
+//!   plus a deterministic replay context as a self-describing incident
+//!   file; `tsc-bench`'s `forensics` tool replays incidents
+//!   bit-for-bit. Recording is strictly observation-only: the
+//!   recorder-on fleet digests bit-identical to recorder-off (pinned),
+//!   and [`FleetRuntime::exposition`] serves Prometheus-format health
+//!   live.
 //!
 //! ## Quickstart
 //!
@@ -87,7 +98,8 @@ pub use admission::{Admission, AdmissionConfig, LoadPhase, LoadPlan, ServiceLeve
 pub use engine::{DegradeReason, ResilienceConfig, ServeConfig, ServeRuntime, ServeStep};
 pub use error::ServeError;
 pub use fleet::{
-    FleetClock, FleetConfig, FleetRuntime, FleetStep, ServedBy, TenantSpec, TenantStats, TenantStep,
+    actions_digest, obs_digest, FleetClock, FleetConfig, FleetExposition, FleetRuntime, FleetStep,
+    FlightConfig, FlightHealth, ServedBy, TenantSpec, TenantStats, TenantStep, MAX_HELD_INCIDENTS,
 };
 pub use infra_chaos::{InfraChaosPlan, InfraFault, InfraKind, TenantSel};
 pub use supervisor::{Supervisor, SupervisorConfig, TenantEvent, TenantState};

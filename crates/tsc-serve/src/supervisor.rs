@@ -38,7 +38,7 @@
 //! the same discipline as [`tsc_sim::chaos`].
 
 /// Supervision knobs shared by every tenant of a fleet.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupervisorConfig {
     /// Breaker window length in policy-served steps.
     pub window: usize,
@@ -70,6 +70,38 @@ impl Default for SupervisorConfig {
             retry_budget: 3,
             probation_steps: 5,
         }
+    }
+}
+
+impl SupervisorConfig {
+    /// The config as a JSON object (incident replay context).
+    pub fn to_json(&self) -> tsc_obs::Json {
+        use tsc_obs::Json;
+        Json::obj([
+            ("window", Json::num(self.window as f64)),
+            ("trip_fault_rate", Json::num(self.trip_fault_rate)),
+            ("min_samples", Json::num(self.min_samples as f64)),
+            ("backoff_base", Json::num(self.backoff_base as f64)),
+            ("backoff_max", Json::num(self.backoff_max as f64)),
+            ("retry_budget", Json::num(f64::from(self.retry_budget))),
+            (
+                "probation_steps",
+                Json::num(f64::from(self.probation_steps)),
+            ),
+        ])
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    pub fn from_json(j: &tsc_obs::Json) -> Option<SupervisorConfig> {
+        Some(SupervisorConfig {
+            window: j.get_num("window")? as usize,
+            trip_fault_rate: j.get_num("trip_fault_rate")?,
+            min_samples: j.get_num("min_samples")? as usize,
+            backoff_base: j.get_num("backoff_base")? as u64,
+            backoff_max: j.get_num("backoff_max")? as u64,
+            retry_budget: j.get_num("retry_budget")? as u32,
+            probation_steps: j.get_num("probation_steps")? as u32,
+        })
     }
 }
 

@@ -1,0 +1,312 @@
+//! Flight-recorder invariants: recording must be strictly
+//! observation-only (recorder-on AND recorder-off fleets are pinned
+//! bit-identical to the pre-recorder fleet), incidents must dump on
+//! the right triggers with the cooldown honored, dumped files must
+//! round-trip exactly, and the telemetry merge law must keep holding
+//! with the recorder enabled.
+
+use pairuplight::{PairUpLight, PairUpLightConfig};
+use tsc_obs::{read_incident, FlightTrigger, Json};
+use tsc_serve::{
+    FleetConfig, FleetRuntime, FlightConfig, InfraChaosPlan, ServeConfig, SupervisorConfig,
+    TenantSel, TenantSpec, TenantState,
+};
+use tsc_sim::scenario::grid::{Grid, GridConfig};
+use tsc_sim::scenario::patterns::{flows, FlowPattern, PatternConfig};
+use tsc_sim::{EnvConfig, SimConfig, TscEnv, Window};
+
+fn tiny_env(seed_pattern: FlowPattern, horizon: u32) -> TscEnv {
+    let grid = Grid::build(GridConfig {
+        cols: 2,
+        rows: 2,
+        spacing: 150.0,
+    })
+    .unwrap();
+    let f = flows(&grid, seed_pattern, &PatternConfig::default()).unwrap();
+    let scenario = grid.scenario("flight-test", f).unwrap();
+    TscEnv::new(
+        scenario,
+        SimConfig::default(),
+        EnvConfig {
+            decision_interval: 5,
+            episode_horizon: horizon,
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn small_cfg() -> PairUpLightConfig {
+    PairUpLightConfig {
+        hidden: 16,
+        lstm_hidden: 16,
+        ..Default::default()
+    }
+}
+
+fn three_tenants(serve_cfg: ServeConfig) -> (Vec<TscEnv>, Vec<TenantSpec>) {
+    let patterns = [FlowPattern::One, FlowPattern::Three, FlowPattern::Five];
+    let mut envs = Vec::new();
+    let mut specs = Vec::new();
+    for (i, &p) in patterns.iter().enumerate() {
+        let env = tiny_env(p, 2000);
+        let model = PairUpLight::new(&env, small_cfg());
+        specs.push(TenantSpec {
+            name: format!("tenant-{i}"),
+            snapshot: model.policy_snapshot(),
+            serve_cfg,
+            checkpoint: None,
+            sla: Default::default(),
+        });
+        envs.push(env);
+    }
+    (envs, specs)
+}
+
+/// Exactly the pre-admission behavior digest from `tests/admission.rs`
+/// — actions, states, who served, as an external caller sees them.
+fn behavior_digest(fleet: &mut FleetRuntime, envs: &mut [TscEnv], steps: usize) -> u64 {
+    let mut obs: Vec<_> = envs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, env)| env.reset(100 + i as u64))
+        .collect();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |byte: u64, h: &mut u64| {
+        *h ^= byte;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for _ in 0..steps {
+        let views: Vec<&[_]> = obs.iter().map(|o| o.as_slice()).collect();
+        let out = fleet.step(&views).unwrap();
+        for (i, (t, env)) in out.tenants.iter().zip(envs.iter_mut()).enumerate() {
+            mix(t.state.index() as u64, &mut h);
+            mix(u64::from(t.panicked), &mut h);
+            for &a in &t.actions {
+                mix(a as u64, &mut h);
+            }
+            obs[i] = env.step(&t.actions).unwrap().obs;
+        }
+    }
+    h
+}
+
+/// Captured from the tree BEFORE the admission layer landed (same
+/// constant as `tests/admission.rs`); the flight recorder must not
+/// move it — on OR off.
+const PRE_ADMISSION_DIGEST: u64 = 0xfd54_7cd7_9367_d04f;
+
+/// Acceptance pin: the recorder is strictly observation-only. A fleet
+/// with recording enabled and a fleet with it disabled both digest
+/// bit-identical to the pre-recorder (pre-admission) fleet.
+#[test]
+fn recorder_on_and_off_are_bit_identical_to_pre_recorder_fleet() {
+    for flight in [None, Some(FlightConfig::default())] {
+        let (mut envs, specs) = three_tenants(ServeConfig::default());
+        let mut fleet = FleetRuntime::new(
+            FleetConfig {
+                seed: 77,
+                flight,
+                ..Default::default()
+            },
+            specs,
+        );
+        let digest = behavior_digest(&mut fleet, &mut envs, 30);
+        assert_eq!(
+            digest, PRE_ADMISSION_DIGEST,
+            "flight={flight:?} must not change fleet behavior"
+        );
+        let health = fleet.flight_health();
+        assert_eq!(health.enabled, flight.is_some());
+        if flight.is_some() {
+            // 3 tenants × 30 steps, nothing dropped at capacity 256.
+            assert_eq!(health.frames_recorded, 90);
+            assert_eq!(health.frames_dropped, 0);
+            let ring = fleet.tenant_flight(0).unwrap();
+            assert_eq!(ring.len(), 30);
+            let frames = ring.frames();
+            assert_eq!(frames.last().unwrap().step, 29);
+        } else {
+            assert!(fleet.tenant_flight(0).is_none());
+            assert_eq!(health.frames_recorded, 0);
+        }
+    }
+}
+
+/// A panicking tenant dumps a panic-triggered incident; the cooldown
+/// suppresses the per-step dump storm; the file round-trips exactly
+/// through `read_incident` (frames digest and all).
+#[test]
+fn panic_trigger_dumps_once_per_cooldown_and_file_round_trips() {
+    let dir = std::env::temp_dir().join(format!("flight-dump-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = InfraChaosPlan::new().tenant_panic(Window::new(5, 100), TenantSel::One(1), 1.0);
+    let (mut envs, specs) = three_tenants(ServeConfig::default());
+    let mut fleet = FleetRuntime::new(
+        FleetConfig {
+            supervisor: SupervisorConfig {
+                backoff_base: 1,
+                backoff_max: 2,
+                ..Default::default()
+            },
+            seed: 5,
+            flight: Some(FlightConfig {
+                capacity: 16,
+                cooldown: 10,
+            }),
+            ..Default::default()
+        },
+        specs,
+    );
+    fleet.set_infra_chaos(plan).unwrap();
+    fleet.set_incident_dir(dir.clone());
+    fleet.set_replay_context(Json::obj([("seed", Json::num(5.0))]));
+    behavior_digest(&mut fleet, &mut envs, 40);
+
+    assert_eq!(fleet.tenant_state(1), TenantState::Quarantined);
+    let health = fleet.flight_health();
+    assert!(health.incidents_dumped >= 1, "panic must dump");
+    // Cooldown 10 over ≤ 35 faulty steps: at most 4 dumps, not one
+    // per panicking step.
+    assert!(
+        health.incidents_dumped <= 4,
+        "cooldown must suppress the dump storm (got {})",
+        health.incidents_dumped
+    );
+    let incidents = fleet.take_incidents();
+    assert_eq!(incidents.len() as u64, health.incidents_dumped);
+    let first = &incidents[0];
+    assert_eq!(first.trigger, FlightTrigger::Panic);
+    assert_eq!(first.tenant, 1);
+    assert_eq!(first.tenant_name, "tenant-1");
+    assert_eq!(first.replay.get_num("seed"), Some(5.0));
+    // The dumped frame at the trigger step records the panic.
+    assert!(first.frames.last().unwrap().panicked);
+
+    // Every incident file written round-trips bit-exact.
+    assert_eq!(fleet.incident_paths().len(), incidents.len());
+    for (path, incident) in fleet.incident_paths().iter().zip(&incidents) {
+        let back = read_incident(path).unwrap();
+        assert_eq!(back.frames_digest(), incident.frames_digest());
+        assert_eq!(back.trigger, incident.trigger);
+        assert_eq!(back.step, incident.step);
+        assert_eq!(back.frames, incident.frames);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An explicit snapshot dumps with the `Snapshot` trigger, bypassing
+/// the cooldown, and returns exactly the ring's frames.
+#[test]
+fn snapshot_bypasses_cooldown_and_matches_the_ring() {
+    let (mut envs, specs) = three_tenants(ServeConfig::default());
+    let mut fleet = FleetRuntime::new(
+        FleetConfig {
+            seed: 9,
+            flight: Some(FlightConfig {
+                capacity: 8,
+                cooldown: 1_000_000,
+            }),
+            ..Default::default()
+        },
+        specs,
+    );
+    behavior_digest(&mut fleet, &mut envs, 12);
+    let ring_frames = fleet.tenant_flight(2).unwrap().frames();
+    let a = fleet.snapshot(2).expect("recorder enabled");
+    // Huge cooldown does not block a second explicit snapshot.
+    let b = fleet
+        .snapshot(2)
+        .expect("cooldown must not block snapshots");
+    assert_eq!(a.trigger, FlightTrigger::Snapshot);
+    assert_eq!(a.frames, ring_frames);
+    assert_eq!(a.frames.len(), 8, "ring capacity bounds the window");
+    assert_eq!(a.frames_digest(), b.frames_digest());
+    assert_eq!(fleet.flight_health().incidents_dumped, 2);
+
+    // Recorder disabled ⇒ snapshot is a no-op.
+    let (_, specs) = three_tenants(ServeConfig::default());
+    let mut off = FleetRuntime::new(FleetConfig::default(), specs);
+    assert!(off.snapshot(0).is_none());
+}
+
+/// The telemetry merge law survives the recorder: a tenant's
+/// whole-life telemetry (live runtime merged with reload-retired
+/// archives) is identical between a recorder-on and a recorder-off
+/// fleet, even across panic → quarantine → reload cycles.
+#[test]
+fn telemetry_merge_law_holds_with_recorder_enabled() {
+    let plan = InfraChaosPlan::new().tenant_panic(Window::new(3, 20), TenantSel::One(0), 1.0);
+    let cfg_base = FleetConfig {
+        supervisor: SupervisorConfig {
+            backoff_base: 1,
+            backoff_max: 2,
+            ..Default::default()
+        },
+        seed: 13,
+        ..Default::default()
+    };
+    let mut telems = Vec::new();
+    for flight in [None, Some(FlightConfig::default())] {
+        let (mut envs, specs) = three_tenants(ServeConfig::default());
+        let mut fleet = FleetRuntime::new(FleetConfig { flight, ..cfg_base }, specs);
+        fleet.set_infra_chaos(plan.clone()).unwrap();
+        behavior_digest(&mut fleet, &mut envs, 40);
+        assert!(
+            fleet.tenant_stats(0).reload_attempts > 0,
+            "the run must exercise the archive-merge path"
+        );
+        telems.push(
+            (0..3)
+                .map(|t| fleet.tenant_telemetry(t))
+                .collect::<Vec<_>>(),
+        );
+    }
+    for (off, on) in telems[0].iter().zip(&telems[1]) {
+        assert_eq!(off.steps(), on.steps());
+        assert_eq!(off.decisions(), on.decisions());
+        assert_eq!(off.fallback_decisions(), on.fallback_decisions());
+        assert_eq!(off.degraded_steps(), on.degraded_steps());
+        assert_eq!(off.per_agent_fallbacks(), on.per_agent_fallbacks());
+        assert_eq!(off.per_agent_causes(), on.per_agent_causes());
+    }
+}
+
+/// The exposition snapshot is a pure read that reflects fleet state:
+/// Prometheus names are escaped, per-tenant series carry the tenant
+/// label, and the JSON summary mirrors the health counters.
+#[test]
+fn exposition_reports_flight_health_and_escaped_series() {
+    let (mut envs, specs) = three_tenants(ServeConfig::default());
+    let mut fleet = FleetRuntime::new(
+        FleetConfig {
+            seed: 3,
+            flight: Some(FlightConfig::default()),
+            ..Default::default()
+        },
+        specs,
+    );
+    behavior_digest(&mut fleet, &mut envs, 10);
+    let before = fleet.flight_health();
+    let exp = fleet.exposition();
+    assert_eq!(fleet.flight_health(), before, "exposition is a pure read");
+    assert!(exp.prometheus.contains("fleet_flight_frames_recorded 30"));
+    assert!(exp
+        .prometheus
+        .contains("fleet_tenant_steps{tenant=\"tenant-0\"} 10"));
+    assert!(exp.prometheus.contains("# TYPE fleet_steps counter"));
+    assert!(
+        !exp.prometheus.contains("fleet.steps"),
+        "raw dotted names must never leak into the page"
+    );
+    let flight = exp.summary.get("flight").unwrap();
+    assert_eq!(flight.get_num("frames_recorded"), Some(30.0));
+    assert_eq!(flight.get("enabled"), Some(&Json::Bool(true)));
+    let tenants = match exp.summary.get("tenants") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("tenants must be an array, got {other:?}"),
+    };
+    assert_eq!(tenants.len(), 3);
+    assert_eq!(tenants[1].get_str("name"), Some("tenant-1"));
+    assert_eq!(tenants[1].get_num("steps"), Some(10.0));
+}

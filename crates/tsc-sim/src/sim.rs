@@ -939,6 +939,9 @@ impl Simulation {
 
     /// Observes every signalized intersection, in agent order.
     pub fn observe_all(&self) -> Vec<IntersectionObs> {
+        // ~45% of wall time at 3025 agents (ROADMAP item 1) — spanned
+        // so the hotspot shows up in `obs_report`'s flamegraph view.
+        let _span = tsc_obs::span!("sim.observe_all");
         self.signals
             .iter()
             .map(|s| self.observe(s.node()))

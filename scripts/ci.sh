@@ -35,6 +35,12 @@ cargo run --release -q -p tsc-bench --bin loadgen -- --smoke
 echo "==> obs_report --smoke (instrumented training + JSONL stream end-to-end)"
 cargo run --release -q -p tsc-bench --bin obs_report -- --smoke
 
+echo "==> forensics --smoke (flight recorder: dump incidents under chaos, replay bit-for-bit)"
+cargo run --release -q -p tsc-bench --bin forensics -- --smoke
+
+echo "==> obs_overhead --smoke (observability overhead bars incl. flight-recorder gate)"
+cargo run --release -q -p tsc-bench --bin obs_overhead -- --smoke
+
 echo "==> cityscale --smoke (~200-intersection compiled city: conservation + replay identity)"
 cargo run --release -q -p tsc-bench --bin cityscale -- --smoke
 
